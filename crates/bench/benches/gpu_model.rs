@@ -1,0 +1,105 @@
+//! Benchmarks of the GPU-simulator components themselves: the model
+//! must be cheap enough to evaluate inside parameter sweeps and the
+//! autotuner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::cache::{Cache, CacheConfig};
+use gpu_sim::coalesce::{affine_transactions, transactions};
+use gpu_sim::exec::makespan;
+use gpu_sim::occupancy::{occupancy, BlockResources};
+use gpu_sim::timing::{BlockWork, KernelProfile, TimingModel};
+use gpu_sim::GpuSpec;
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let spec = GpuSpec::titan_x_maxwell();
+
+    c.bench_function("occupancy_calculation", |b| {
+        b.iter(|| {
+            black_box(occupancy(
+                &spec,
+                BlockResources { threads: 256, regs_per_thread: 32, shared_mem: 10 * 1024 },
+            ))
+        })
+    });
+
+    c.bench_function("coalesce_exact_32_lanes", |b| {
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 52).collect();
+        b.iter(|| black_box(transactions(&addrs, 4)))
+    });
+
+    c.bench_function("coalesce_affine_fast_path", |b| {
+        b.iter(|| black_box(affine_transactions(black_box(1024), 4, 4, 32)))
+    });
+
+    c.bench_function("cache_sim_4k_accesses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::maxwell_l1_tex());
+            for i in 0..4096u64 {
+                cache.access(black_box((i * 37) % 65536));
+            }
+            black_box(cache.stats())
+        })
+    });
+
+    c.bench_function("makespan_1280_blocks", |b| {
+        let times: Vec<f64> = (0..1280).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+        b.iter(|| black_box(makespan(&times, 192)))
+    });
+
+    c.bench_function("kernel_timing_rollup_1280_blocks", |b| {
+        let model = TimingModel::new(spec.clone());
+        let profile = KernelProfile {
+            name: "bench".into(),
+            resources: BlockResources { threads: 256, regs_per_thread: 32, shared_mem: 10240 },
+            blocks: vec![
+                BlockWork {
+                    flops: 1e6,
+                    instructions: 5e5,
+                    l2_bytes: 5e6,
+                    dram_bytes: 1e6,
+                    tex_bytes: 2e6,
+                    shared_bytes: 4e6,
+                    atomics: 5e4,
+                    atomic_conflict: 2.0,
+                };
+                1280
+            ],
+            l2_width_factor: 1.0,
+            warp_efficiency: 1.0,
+            mem_efficiency: 1.0,
+        };
+        b.iter(|| black_box(model.time(&profile)))
+    });
+}
+
+fn bench_trace(c: &mut Criterion) {
+    use gpu_sim::kernel::{AddrPattern, Op, Space, TraceExecutor, WarpProgram};
+    c.bench_function("warp_ir_trace_1k_ops", |b| {
+        let mut prog = WarpProgram::new();
+        for i in 0..250u64 {
+            prog.push(Op::Load {
+                space: Space::Global,
+                addrs: AddrPattern::Affine { base: i * 128, stride: 4, lanes: 32 },
+                bytes: 4,
+            });
+            prog.push(Op::Load {
+                space: Space::Texture,
+                addrs: AddrPattern::Affine { base: 1 << 28 | (i * 32), stride: 1, lanes: 32 },
+                bytes: 1,
+            });
+            prog.push(Op::Arith { flops_per_lane: 4.0, active_lanes: 32 });
+            prog.push(Op::AtomicAdd {
+                addrs: AddrPattern::Affine { base: 1 << 29 | (i * 128), stride: 4, lanes: 32 },
+                bytes: 4,
+            });
+        }
+        b.iter(|| {
+            let mut ex = TraceExecutor::default();
+            black_box(ex.run_block(std::slice::from_ref(&prog)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_model, bench_trace);
+criterion_main!(benches);

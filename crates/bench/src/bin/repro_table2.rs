@@ -1,0 +1,61 @@
+//! Regenerates **Table 2**: impact of shrinking the A-matrix to `u8`
+//! and reading it through the texture cache.
+//!
+//! ```text
+//! cargo run --release -p mbir-bench --bin repro_table2 -- --scale test
+//! ```
+
+use ct_core::phantom::Phantom;
+use gpu_icd::{AMatrixMode, GpuIcd, GpuOptions, GpuWorkModel};
+use mbir_bench::{gpu_options_for, Args, Pipeline};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    memory: &'static str,
+    dtype: &'static str,
+    seconds: f64,
+    tex_gbps: f64,
+    tex_hit_pct: f64,
+}
+
+fn main() {
+    let args = Args::capture();
+    let scale = args.scale();
+    let base = gpu_options_for(scale);
+    let p = Pipeline::build(scale, &Phantom::baggage(0), 42, None);
+    let model = GpuWorkModel::titan_x();
+
+    println!("Table 2: Reading the A-matrix via memory path and type");
+    println!("{:-<72}", "");
+    println!(
+        "{:<20} {:>12} {:>22} {:>12}",
+        "(memory, type)", "time (s)", "tex bandwidth (GB/s)", "hit rate %"
+    );
+    let mut rows = Vec::new();
+    for (mode, mem, ty) in [
+        (AMatrixMode::GlobalF32, "Global", "float"),
+        (AMatrixMode::TextureF32, "Texture", "float"),
+        (AMatrixMode::GlobalU8, "Global", "char"),
+        (AMatrixMode::TextureU8, "Texture", "char"),
+    ] {
+        let opts = GpuOptions { amatrix: mode, ..base };
+        let mut gpu = GpuIcd::new(&p.a, &p.scan.y, &p.scan.weights, &p.prior, p.init.clone(), opts);
+        gpu.run_to_rmse(&p.golden, 10.0, 300);
+        let tex = gpu.run_stats().mbir.tex_gbps();
+        let hit = if mode.uses_texture() {
+            100.0 * if mode.quantized() { model.tex_hit_u8 } else { model.tex_hit_f32 }
+        } else {
+            0.0
+        };
+        let texs = if mode.uses_texture() { format!("{tex:>22.0}") } else { format!("{:>22}", "-") };
+        let hits = if mode.uses_texture() { format!("{hit:>12.2}") } else { format!("{:>12}", "-") };
+        println!("{:<20} {:>12.5} {} {}", format!("({mem}, {ty})"), gpu.modeled_seconds(), texs, hits);
+        rows.push(Row { memory: mem, dtype: ty, seconds: gpu.modeled_seconds(), tex_gbps: tex, tex_hit_pct: hit });
+    }
+    println!(
+        "\nSpeedup (Texture,char) over (Global,float): {:.2}X   (paper: 0.48/0.41 = 1.17X)",
+        rows[0].seconds / rows[3].seconds
+    );
+    mbir_bench::write_json("table2", &rows);
+}

@@ -1,0 +1,264 @@
+//! `mbirctl` — scan simulation and MBIR reconstruction from the shell.
+//!
+//! ```text
+//! mbirctl scan        --phantom shepp-logan --scale test --out scan.csv [--truth truth.pgm]
+//! mbirctl reconstruct --sino scan.csv --scale test --algo gpu --out recon.pgm [--csv recon.csv]
+//! mbirctl fan-demo    --scale tiny
+//! mbirctl info        --scale test
+//! ```
+
+use ct_core::fbp;
+use ct_core::geometry::Geometry;
+use ct_core::hu::{hu_from_mu, mu_from_hu};
+use ct_core::image::Image;
+use ct_core::io;
+use ct_core::phantom::Phantom;
+use ct_core::project::{scan, NoiseModel};
+use ct_core::sinogram::Sinogram;
+use ct_core::sysmat::SystemMatrix;
+use gpu_icd::GpuIcd;
+use mbir::prior::QggmrfPrior;
+use mbir::sequential::{golden_image, IcdConfig, SequentialIcd};
+use mbir_bench::{gpu_options_for, Args};
+use psv_icd::{PsvConfig, PsvIcd};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_default();
+    let args = Args::capture_offset(1);
+    let result = match cmd.as_str() {
+        "scan" => cmd_scan(&args),
+        "reconstruct" => cmd_reconstruct(&args),
+        "fan-demo" => cmd_fan_demo(&args),
+        "volume" => cmd_volume(&args),
+        "info" => cmd_info(&args),
+        _ => {
+            eprintln!("usage: mbirctl <scan|reconstruct|fan-demo|info> [--scale tiny|test|harness|paper] ...");
+            eprintln!("  scan        --phantom shepp-logan|water|baggage:<seed> --out <sino.csv> [--truth <t.pgm>] [--i0 <dose>]");
+            eprintln!("  reconstruct --sino <sino.csv> --algo fbp|sequential|psv|gpu --out <img.pgm> [--csv <img.csv>]");
+            eprintln!("  fan-demo    (fan acquisition -> rebin -> reconstruction demo)");
+            eprintln!("  volume      --slices <n> (3-D multi-slice reconstruction demo)");
+            eprintln!("  info        (geometry and system-matrix statistics)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mbirctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_phantom(spec: &str) -> Result<Phantom, String> {
+    if let Some(seed) = spec.strip_prefix("baggage:") {
+        let seed: u64 = seed.parse().map_err(|_| format!("bad baggage seed '{seed}'"))?;
+        return Ok(Phantom::baggage(seed));
+    }
+    match spec {
+        "shepp-logan" => Ok(Phantom::shepp_logan()),
+        "water" => Ok(Phantom::water_cylinder(0.6)),
+        "baggage" => Ok(Phantom::baggage(0)),
+        other => Err(format!("unknown phantom '{other}' (shepp-logan, water, baggage[:seed])")),
+    }
+}
+
+fn cmd_scan(args: &Args) -> Result<(), String> {
+    let scale = args.scale();
+    let geom = scale.geometry();
+    let phantom = parse_phantom(args.get("phantom").unwrap_or("shepp-logan"))?;
+    let out = PathBuf::from(args.get("out").ok_or("scan requires --out <sino.csv>")?);
+    let i0: f32 = args.get_or("i0", 2.0e4f32);
+
+    eprintln!("computing system matrix ({}x{}, {} views)...", geom.grid.nx, geom.grid.ny, geom.num_views);
+    let a = SystemMatrix::compute(&geom);
+    let truth = phantom.render(geom.grid, 2);
+    let s = scan(&a, &truth, Some(NoiseModel { i0 }), args.get_or("seed", 0u64));
+    io::write_sinogram_csv(&out, &s.y).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} ({} views x {} channels)", out.display(), s.y.num_views(), s.y.num_channels());
+    if let Some(t) = args.get("truth") {
+        let path = PathBuf::from(t);
+        io::write_pgm(&path, &truth, mu_from_hu(-1000.0), mu_from_hu(1500.0))
+            .map_err(|e| e.to_string())?;
+        eprintln!("wrote {} (window -1000..1500 HU)", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_reconstruct(args: &Args) -> Result<(), String> {
+    let scale = args.scale();
+    let geom = scale.geometry();
+    let sino_path = PathBuf::from(args.get("sino").ok_or("reconstruct requires --sino <sino.csv>")?);
+    let out = PathBuf::from(args.get("out").ok_or("reconstruct requires --out <img.pgm>")?);
+    let algo = args.get("algo").unwrap_or("gpu");
+
+    let y = io::read_sinogram_csv(&sino_path).map_err(|e| e.to_string())?;
+    if y.num_views() != geom.num_views || y.num_channels() != geom.num_channels {
+        return Err(format!(
+            "sinogram is {}x{} but --scale {:?} expects {}x{}",
+            y.num_views(),
+            y.num_channels(),
+            scale,
+            geom.num_views,
+            geom.num_channels
+        ));
+    }
+
+    let (img, note) = reconstruct(&geom, &y, algo, args)?;
+    io::write_pgm(&out, &img, mu_from_hu(-1000.0), mu_from_hu(1500.0)).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} — {note}", out.display());
+    if let Some(csv) = args.get("csv") {
+        io::write_image_csv(&PathBuf::from(csv), &img).map_err(|e| e.to_string())?;
+        eprintln!("wrote {csv} (lossless CSV)");
+    }
+    let peak_hu = img.data().iter().fold(f32::MIN, |m, &v| m.max(hu_from_mu(v)));
+    eprintln!("peak value: {peak_hu:.0} HU");
+    Ok(())
+}
+
+fn reconstruct(
+    geom: &Geometry,
+    y: &Sinogram,
+    algo: &str,
+    args: &Args,
+) -> Result<(Image, String), String> {
+    if algo == "fbp" {
+        return Ok((fbp::reconstruct(geom, y), "FBP (direct method)".into()));
+    }
+    eprintln!("computing system matrix...");
+    let a = SystemMatrix::compute(geom);
+    // Approximate the statistical weights from the measurement itself
+    // (w = I0 exp(-y); the usual move when raw counts are unavailable).
+    let i0: f32 = args.get_or("i0", 2.0e4f32);
+    let mut w = Sinogram::zeros(geom);
+    for (wi, &yi) in w.data_mut().iter_mut().zip(y.data()) {
+        *wi = i0 * (-yi.max(0.0)).exp();
+    }
+    let prior = QggmrfPrior::standard(args.get_or("sigma", 0.002f32));
+    let init = fbp::reconstruct(geom, y);
+    let max_iters: usize = args.get_or("max-iters", 200);
+    let scale = args.scale();
+
+    eprintln!("computing 40-equit golden for the convergence criterion...");
+    let golden = golden_image(&a, y, &w, &prior, init.clone(), 40.0);
+
+    match algo {
+        "sequential" => {
+            let mut icd = SequentialIcd::new(&a, y, &w, &prior, init, IcdConfig::default());
+            let rmse = icd.run_to_rmse(&golden, 10.0, max_iters);
+            let note = format!("sequential ICD, {:.1} equits, final {rmse:.1} HU", icd.equits());
+            Ok((icd.into_image(), note))
+        }
+        "psv" => {
+            let (cpu_side, _) = scale.sv_sides();
+            let mut psv = PsvIcd::new(
+                &a,
+                y,
+                &w,
+                &prior,
+                init,
+                PsvConfig { sv_side: cpu_side, threads: 2, ..Default::default() },
+            );
+            psv.run_to_rmse(&golden, 10.0, max_iters);
+            let note = format!(
+                "PSV-ICD, {:.1} equits, modeled 16-core time {:.3} s",
+                psv.equits(),
+                psv.modeled_seconds()
+            );
+            Ok((psv.image(), note))
+        }
+        "gpu" => {
+            let mut gpu = GpuIcd::new(&a, y, &w, &prior, init, gpu_options_for(scale));
+            gpu.run_to_rmse(&golden, 10.0, max_iters);
+            let note = format!(
+                "GPU-ICD, {:.1} equits, modeled Titan X time {:.4} s",
+                gpu.equits(),
+                gpu.modeled_seconds()
+            );
+            Ok((gpu.image().clone(), note))
+        }
+        other => Err(format!("unknown algorithm '{other}' (fbp, sequential, psv, gpu)")),
+    }
+}
+
+fn cmd_fan_demo(args: &Args) -> Result<(), String> {
+    let scale = args.scale();
+    let geom = scale.geometry();
+    let fan = ct_core::fanbeam::FanGeometry::covering(&geom, geom.grid.bounding_radius() * 4.0);
+    eprintln!(
+        "fan geometry: {} views, {} channels, fan angle {:.1} deg, R = {:.0} mm",
+        fan.num_views,
+        fan.num_channels,
+        fan.fan_angle.to_degrees(),
+        fan.source_radius
+    );
+    let truth = Phantom::shepp_logan().render(geom.grid, 2);
+    let fan_sino = ct_core::fanbeam::fan_forward(&fan, &truth);
+    let y = ct_core::fanbeam::rebin_to_parallel(&fan, &fan_sino, &geom);
+    let rec = fbp::reconstruct(&geom, &y);
+    let rmse = ct_core::hu::rmse_hu(&rec, &truth);
+    println!("fan scan -> rebin -> FBP: RMSE vs truth {rmse:.1} HU");
+    if let Some(out) = args.get("out") {
+        io::write_pgm(&PathBuf::from(out), &rec, mu_from_hu(-1000.0), mu_from_hu(1500.0))
+            .map_err(|e| e.to_string())?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_volume(args: &Args) -> Result<(), String> {
+    use ct_core::volume::Volume;
+    use mbir::volume_icd::VolumeIcd;
+    let scale = args.scale();
+    let geom = scale.geometry();
+    let nz: usize = args.get_or("slices", 5);
+    eprintln!("scanning {nz} slices of a varying cylinder at {scale:?}...");
+    let a = SystemMatrix::compute(&geom);
+    let radii: Vec<f32> =
+        (0..nz).map(|z| 0.3 + 0.3 * (z as f32 * std::f32::consts::PI / nz as f32).sin()).collect();
+    let slices: Vec<Image> =
+        radii.iter().map(|&r| Phantom::water_cylinder(r).render(geom.grid, 2)).collect();
+    let truth = Volume::from_slices(&slices);
+    let mut ys = Vec::new();
+    let mut ws = Vec::new();
+    for (z, s) in slices.iter().enumerate() {
+        let sc = scan(&a, s, Some(NoiseModel::default_dose()), 900 + z as u64);
+        ys.push(sc.y);
+        ws.push(sc.weights);
+    }
+    let prior = QggmrfPrior::standard(args.get_or("sigma", 0.002f32));
+    let init = Volume::from_slices(
+        &ys.iter().map(|y| fbp::reconstruct(&geom, y)).collect::<Vec<_>>(),
+    );
+    let mut icd = VolumeIcd::new(&a, &ys, &ws, &prior, init);
+    let to_hu = 1000.0 / ct_core::phantom::MU_WATER;
+    for pass in 0..args.get_or("passes", 6usize) {
+        icd.pass_slice_parallel(2);
+        println!("pass {pass}: RMSE vs truth {:.1} HU", icd.volume().rmse(&truth) * to_hu);
+    }
+    if let Some(prefix) = args.get("out") {
+        for z in 0..nz {
+            let path = PathBuf::from(format!("{prefix}-z{z}.pgm"));
+            io::write_pgm(&path, &icd.volume().slice(z), mu_from_hu(-1000.0), mu_from_hu(1500.0))
+                .map_err(|e| e.to_string())?;
+        }
+        eprintln!("wrote {nz} slice images with prefix {prefix}");
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let scale = args.scale();
+    let geom = scale.geometry();
+    println!("scale {:?}", scale);
+    println!("  image: {} x {} voxels of {} mm", geom.grid.nx, geom.grid.ny, geom.grid.pixel_size);
+    println!("  views: {} over 180 deg; channels: {}", geom.num_views, geom.num_channels);
+    let a = SystemMatrix::compute(&geom);
+    println!("  system matrix: {} nonzeros, {:.1} MB, {:.2} channels/voxel/view", a.nnz(), a.bytes() as f64 / 1e6, a.mean_channels_per_view());
+    let (cpu_side, gpu_side) = scale.sv_sides();
+    println!("  tuned SV sides: CPU {cpu_side}, GPU {gpu_side}");
+    Ok(())
+}

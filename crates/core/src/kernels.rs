@@ -1,0 +1,419 @@
+//! The MBIR update kernel written in the `gpu-sim` warp IR.
+//!
+//! This is the per-voxel inner loop of `MBIR_GPU_Kernel` (Algorithm 3,
+//! lines 4-13) as explicit warp operations: chunk rows are read
+//! coalesced from the transposed SVB (e as 64-bit words, w as floats)
+//! and the zero-padded A chunks through the texture path, partial
+//! thetas are tree-reduced through shared memory, and the error
+//! write-back issues one atomic per sparse entry.
+//!
+//! It exists for *validation*: executing these programs on the
+//! trace-driven simulator produces transaction/byte/instruction counts
+//! from first principles, which the analytic profiles of
+//! [`crate::model`] are checked against (see the `validation` tests).
+//! The driver itself uses the analytic path — tracing every voxel of
+//! every reconstruction would be needlessly slow.
+
+use crate::opts::{GpuOptions, Layout};
+use ct_core::sysmat::ColumnView;
+use gpu_sim::kernel::{AddrPattern, Op, Space, WarpProgram};
+use supervoxel::chunks::chunk_column;
+use supervoxel::svb::SvbShape;
+
+/// Virtual base addresses for the kernel's arrays (distinct regions so
+/// cache sets don't alias between arrays).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelLayout {
+    /// Error-plane SVB base.
+    pub e_base: u64,
+    /// Weight-plane SVB base.
+    pub w_base: u64,
+    /// A-matrix (chunked, padded) base.
+    pub a_base: u64,
+    /// Chunk-descriptor array base.
+    pub desc_base: u64,
+    /// Shared-memory scratch base.
+    pub smem_base: u64,
+}
+
+impl Default for KernelLayout {
+    fn default() -> Self {
+        KernelLayout {
+            e_base: 0x1000_0000,
+            w_base: 0x2000_0000,
+            a_base: 0x3000_0000,
+            desc_base: 0x4000_0000,
+            smem_base: 0,
+        }
+    }
+}
+
+/// Build the warp programs of one threadblock updating one voxel under
+/// the **chunked** layout. Chunks are distributed round-robin over the
+/// block's warps; each warp reads whole rows of the SVB/A chunks.
+pub fn chunked_voxel_program(
+    col: &ColumnView<'_>,
+    shape: &SvbShape,
+    opts: &GpuOptions,
+    mem: KernelLayout,
+) -> Vec<WarpProgram> {
+    let width = match opts.layout {
+        Layout::Chunked { width } => width as usize,
+        Layout::Naive => panic!("chunked_voxel_program requires a chunked layout"),
+    };
+    let a_bpe = match opts.amatrix {
+        m if m.quantized() => 1u32,
+        _ => 4u32,
+    };
+    let a_space = if opts.amatrix.uses_texture() { Space::Texture } else { Space::Global };
+    let warps = (opts.threads_per_block.div_ceil(32)).max(1) as usize;
+    let mut progs = vec![WarpProgram::new(); warps];
+
+    let chunks = chunk_column(col, width);
+    let row_stride = shape.padded_width as u64 * 4;
+    let mut a_off = mem.a_base;
+    for (ci, c) in chunks.iter().enumerate() {
+        let prog = &mut progs[ci % warps];
+        // Chunk descriptor: one broadcast load (start view, window,
+        // row count) — the dependent look-up the model charges for.
+        prog.push(Op::Load {
+            space: Space::Global,
+            addrs: AddrPattern::Broadcast(mem.desc_base + ci as u64 * 16),
+            bytes: 16,
+        });
+        for r in 0..c.height as usize {
+            let view = c.view0 as usize + r;
+            let rel = (c.ch0 - shape.first[view]).min(shape.padded_width as u32 - 1) as u64;
+            let e_row = mem.e_base + view as u64 * row_stride + rel * 4;
+            let w_row = mem.w_base + view as u64 * row_stride + rel * 4;
+            // e read as 64-bit words (the paper's double-width L2
+            // optimization): width/2 lanes of 8 bytes.
+            let e_lanes = (width as u32 / 2).max(1);
+            prog.push(Op::Load {
+                space: Space::Global,
+                addrs: AddrPattern::Affine { base: e_row, stride: 8, lanes: e_lanes },
+                bytes: 8,
+            });
+            // w read as floats.
+            prog.push(Op::Load {
+                space: Space::Global,
+                addrs: AddrPattern::Affine { base: w_row, stride: 4, lanes: width as u32 },
+                bytes: 4,
+            });
+            // A row through the texture path.
+            prog.push(Op::Load {
+                space: a_space,
+                addrs: AddrPattern::Affine {
+                    base: a_off + (r * width) as u64 * a_bpe as u64,
+                    stride: a_bpe,
+                    lanes: width as u32,
+                },
+                bytes: a_bpe,
+            });
+            // Dequant + two FMAs (theta1, theta2) per element.
+            prog.push(Op::Arith { flops_per_lane: 5.0, active_lanes: width.min(32) as u32 });
+        }
+        a_off += c.len() as u64 * a_bpe as u64;
+    }
+
+    // Tree reduction of the partial thetas through shared memory.
+    let threads = opts.threads_per_block;
+    for prog in progs.iter_mut() {
+        prog.push(Op::Store {
+            space: Space::Shared,
+            addrs: AddrPattern::Affine { base: mem.smem_base, stride: 4, lanes: 32 },
+            bytes: 4,
+        });
+        prog.push(Op::Sync);
+    }
+    let mut stride = threads / 2;
+    while stride >= 1 {
+        progs[0].push(Op::Load {
+            space: Space::Shared,
+            addrs: AddrPattern::Affine { base: mem.smem_base, stride: 4, lanes: stride.min(32) },
+            bytes: 4,
+        });
+        progs[0].push(Op::Arith { flops_per_lane: 2.0, active_lanes: stride.min(32) });
+        progs[0].push(Op::Sync);
+        stride /= 2;
+    }
+
+    progs
+}
+
+/// The error write-back of one voxel under the chunked layout: one
+/// atomic add per *sparse* entry (padding never writes), rows split
+/// over the warps.
+pub fn chunked_writeback_program(
+    col: &ColumnView<'_>,
+    shape: &SvbShape,
+    opts: &GpuOptions,
+    mem: KernelLayout,
+) -> Vec<WarpProgram> {
+    let warps = (opts.threads_per_block.div_ceil(32)).max(1) as usize;
+    let mut progs = vec![WarpProgram::new(); warps];
+    let row_stride = shape.padded_width as u64 * 4;
+    for seg in col.segments() {
+        let prog = &mut progs[seg.view % warps];
+        let rel = (seg.first_channel as u32).saturating_sub(shape.first[seg.view]) as u64;
+        let base = mem.e_base + seg.view as u64 * row_stride + rel * 4;
+        prog.push(Op::AtomicAdd {
+            addrs: AddrPattern::Affine { base, stride: 4, lanes: seg.values.len() as u32 },
+            bytes: 4,
+        });
+    }
+    progs
+}
+
+/// One voxel's theta pass under the **naive** layout: threads walk the
+/// flattened sparse entries; 32 consecutive entries span multiple
+/// views/channels, so the SVB addresses scatter (uncoalesced), and a
+/// per-view start-location look-up precedes each view's run.
+pub fn naive_voxel_program(
+    col: &ColumnView<'_>,
+    shape: &SvbShape,
+    opts: &GpuOptions,
+    mem: KernelLayout,
+) -> Vec<WarpProgram> {
+    let a_bpe = if opts.amatrix.quantized() { 1u32 } else { 4u32 };
+    let a_space = if opts.amatrix.uses_texture() { Space::Texture } else { Space::Global };
+    let warps = (opts.threads_per_block.div_ceil(32)).max(1) as usize;
+    let mut progs = vec![WarpProgram::new(); warps];
+
+    // Flatten (view, channel) coordinates of every sparse entry.
+    let mut coords: Vec<(usize, usize)> = Vec::with_capacity(col.nnz());
+    for seg in col.segments() {
+        for k in 0..seg.values.len() {
+            coords.push((seg.view, seg.first_channel + k));
+        }
+    }
+
+    // Per-view start look-ups (one broadcast-ish read per view).
+    for v in 0..shape.num_views() {
+        progs[v % warps].push(Op::Load {
+            space: Space::Global,
+            addrs: AddrPattern::Broadcast(mem.desc_base + v as u64 * 8),
+            bytes: 8,
+        });
+    }
+
+    let mut a_off = mem.a_base;
+    for (wi, warp_entries) in coords.chunks(32).enumerate() {
+        let prog = &mut progs[wi % warps];
+        // SVB addresses for 32 consecutive sparse entries: packed
+        // sensor-major layout — rows start at irregular offsets.
+        let e_addrs: Vec<u64> = warp_entries
+            .iter()
+            .map(|&(v, ch)| {
+                mem.e_base
+                    + (shape.row_offset[v] as u64 + (ch as u32 - shape.first[v]) as u64) * 4
+            })
+            .collect();
+        let w_addrs: Vec<u64> = e_addrs.iter().map(|a| a - mem.e_base + mem.w_base).collect();
+        prog.push(Op::Load { space: Space::Global, addrs: AddrPattern::Explicit(e_addrs), bytes: 4 });
+        prog.push(Op::Load { space: Space::Global, addrs: AddrPattern::Explicit(w_addrs), bytes: 4 });
+        // A is contiguous per voxel even in the naive layout.
+        prog.push(Op::Load {
+            space: a_space,
+            addrs: AddrPattern::Affine { base: a_off, stride: a_bpe, lanes: warp_entries.len() as u32 },
+            bytes: a_bpe,
+        });
+        prog.push(Op::Arith { flops_per_lane: 5.0, active_lanes: warp_entries.len() as u32 });
+        a_off += warp_entries.len() as u64 * a_bpe as u64;
+    }
+    progs
+}
+
+#[cfg(test)]
+mod validation {
+    use super::*;
+    use crate::model::GpuWorkModel;
+    use crate::tally::{BatchTally, SvTally};
+    use ct_core::geometry::Geometry;
+    use ct_core::sysmat::SystemMatrix;
+    use gpu_sim::kernel::TraceExecutor;
+    use supervoxel::svb::SvbShape;
+    use supervoxel::tiling::Tiling;
+
+    fn setup() -> (Geometry, SystemMatrix, Tiling) {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        let t = Tiling::new(g.grid, 8);
+        (g, a, t)
+    }
+
+    fn tally_for(col: &ColumnView<'_>, shape: &SvbShape, opts: &GpuOptions) -> SvTally {
+        let chunks = chunk_column(col, 32);
+        SvTally {
+            sv: 0,
+            updates: 1,
+            skipped: 0,
+            abs_delta: 0.0,
+            nnz: col.nnz() as f64,
+            dense: chunks.iter().map(|c| c.len() as f64).sum(),
+            descriptors: chunks.len() as f64,
+            svb_bytes: shape.bytes(supervoxel::svb::SvbLayout::Transposed) as f64,
+            band_width: 10.0,
+            max_block_share: 1.0 / opts.blocks_per_sv() as f64,
+        }
+    }
+
+    /// The trace-driven execution of the chunked kernel and the
+    /// analytic profile must agree on the dominant quantities within a
+    /// small factor (they are built independently: one from explicit
+    /// addresses, one from calibrated constants).
+    #[test]
+    fn chunked_trace_matches_analytic_profile() {
+        let (g, a, t) = setup();
+        let j = g.grid.index(12, 12);
+        let col = a.column(j);
+        let shape = SvbShape::compute(&a, &t, t.owner_of(j));
+        let opts = GpuOptions { threadblocks_per_sv: 1, ..GpuOptions::default() };
+
+        // Trace execution.
+        let mut ex = TraceExecutor::default();
+        let progs = chunked_voxel_program(&col, &shape, &opts, KernelLayout::default());
+        let trace = ex.run_block(&progs).to_block_work();
+
+        // Analytic profile for a 1-voxel SV, 1 block.
+        let model = GpuWorkModel::titan_x();
+        let tally = BatchTally { svs: vec![tally_for(&col, &shape, &opts)] };
+        let profile = model.mbir_profile_for_test(&tally, &opts, 1.0);
+        let analytic = &profile.blocks[0];
+
+        // SVB bytes: trace counts sectors; analytic counts dense*8.
+        let ratio = trace.l2_bytes / analytic.l2_bytes;
+        assert!((0.3..3.0).contains(&ratio), "l2 bytes ratio {ratio}: trace {} analytic {}", trace.l2_bytes, analytic.l2_bytes);
+        // A traffic: both count ~2x dense x 1B; the analytic profile
+        // includes the second (write-back) A pass, the trace program
+        // here is the theta pass only -> expect roughly half.
+        let tex_ratio = trace.tex_bytes / analytic.tex_bytes;
+        assert!((0.2..1.5).contains(&tex_ratio), "tex ratio {tex_ratio}");
+        // Instruction counts within an order of magnitude.
+        let instr_ratio = trace.instructions / (analytic.instructions / 2.0);
+        assert!((0.05..5.0).contains(&instr_ratio), "instr ratio {instr_ratio}");
+    }
+
+    /// The naive kernel's bus efficiency collapses exactly as the
+    /// model assumes: scattered SVB reads move many more bytes per
+    /// useful byte than the chunked kernel.
+    #[test]
+    fn naive_trace_is_much_less_efficient() {
+        let (g, a, t) = setup();
+        let j = g.grid.index(10, 14);
+        let col = a.column(j);
+        let shape = SvbShape::compute(&a, &t, t.owner_of(j));
+        let chunked_opts = GpuOptions::default();
+        let naive_opts = GpuOptions { layout: Layout::Naive, ..GpuOptions::default() };
+
+        let mut ex = TraceExecutor::default();
+        let naive = ex.run_block(&naive_voxel_program(&col, &shape, &naive_opts, KernelLayout::default()));
+        ex.reset();
+        let chunked = ex.run_block(&chunked_voxel_program(&col, &shape, &chunked_opts, KernelLayout::default()));
+
+        // The coalescing claim, measured from explicit addresses: the
+        // naive layout pays a near-full 32-byte sector per accessed
+        // element, while the chunked layout's rows consume their
+        // sectors fully (chunked moves more *total* bytes — that's the
+        // padding the paper accepts — but each element costs ~8 bus
+        // bytes instead of ~60).
+        let naive_elems = col.nnz() as f64;
+        let chunked_elems: f64 = chunk_column(&col, 32).iter().map(|c| c.len() as f64).sum();
+        let naive_per_elem = naive.to_block_work().l2_bytes / naive_elems;
+        let chunked_per_elem = chunked.to_block_work().l2_bytes / chunked_elems;
+        assert!(
+            naive_per_elem > 4.0 * chunked_per_elem,
+            "naive {naive_per_elem:.1} B/elem should dwarf chunked {chunked_per_elem:.1} B/elem"
+        );
+
+        // And the naive kernel issues far more instructions per sparse
+        // entry (replayed scattered transactions).
+        let naive_instr = naive.instructions / col.nnz() as f64;
+        let chunked_rows: f64 = chunk_column(&col, 32).iter().map(|c| c.height as f64).sum();
+        let chunked_instr_per_row = chunked.instructions / chunked_rows;
+        assert!(naive_instr > 1.0, "naive {naive_instr:.2} instr/entry");
+        assert!(chunked_instr_per_row < 40.0, "chunked {chunked_instr_per_row:.2} instr/row");
+    }
+
+    /// Modeled kernel *time* from trace-derived work agrees with the
+    /// analytic profile's within an order of magnitude — the end-to-end
+    /// sanity link between the two model paths.
+    #[test]
+    fn trace_and_analytic_times_agree_roughly() {
+        use gpu_sim::timing::KernelProfile;
+        let (g, a, t) = setup();
+        let opts = GpuOptions { threadblocks_per_sv: 1, ..GpuOptions::default() };
+        let model = GpuWorkModel::titan_x();
+
+        // Trace a handful of voxels and stack them as one block each.
+        let mut blocks = Vec::new();
+        let mut tallies = Vec::new();
+        for j in [g.grid.index(10, 10), g.grid.index(12, 14), g.grid.index(8, 15)] {
+            let col = a.column(j);
+            let shape = SvbShape::compute(&a, &t, t.owner_of(j));
+            let mut ex = TraceExecutor::default();
+            let mut work =
+                ex.run_block(&chunked_voxel_program(&col, &shape, &opts, KernelLayout::default()))
+                    .to_block_work();
+            let wb = ex
+                .run_block(&chunked_writeback_program(&col, &shape, &opts, KernelLayout::default()))
+                .to_block_work();
+            work.add(&wb);
+            blocks.push(work);
+            tallies.push(tally_for(&col, &shape, &opts));
+        }
+        let traced = KernelProfile {
+            name: "traced".into(),
+            resources: model
+                .mbir_profile_for_test(&BatchTally { svs: tallies.clone() }, &opts, 1.0)
+                .resources,
+            blocks,
+            l2_width_factor: 1.0,
+            warp_efficiency: 1.0,
+            mem_efficiency: 1.0,
+        };
+        let analytic = model.mbir_profile_for_test(&BatchTally { svs: tallies }, &opts, 1.0);
+        let t_trace = model.timing.time(&traced).seconds;
+        let t_analytic = model.timing.time(&analytic).seconds;
+        let ratio = t_trace / t_analytic;
+        assert!(
+            (0.05..20.0).contains(&ratio),
+            "trace {t_trace} vs analytic {t_analytic} (ratio {ratio})"
+        );
+    }
+
+    /// The write-back program issues exactly one atomic per sparse
+    /// entry and detects no conflicts for a single voxel (each entry
+    /// its own cell).
+    #[test]
+    fn writeback_atomics_match_nnz() {
+        let (g, a, t) = setup();
+        let j = g.grid.index(11, 12);
+        let col = a.column(j);
+        let shape = SvbShape::compute(&a, &t, t.owner_of(j));
+        let opts = GpuOptions::default();
+        let mut ex = TraceExecutor::default();
+        let r = ex.run_block(&chunked_writeback_program(&col, &shape, &opts, KernelLayout::default()));
+        assert_eq!(r.atomics as usize, col.nnz());
+        let w = r.to_block_work();
+        assert!((w.atomic_conflict - 1.0).abs() < 1e-9, "conflict {}", w.atomic_conflict);
+    }
+
+    /// e is read as 64-bit words: per chunk row of width 32 the e load
+    /// is 16 lanes x 8B = 128B = at most 5 sectors (alignment).
+    #[test]
+    fn double_width_reads_coalesce() {
+        let (g, a, t) = setup();
+        let j = g.grid.index(12, 13);
+        let col = a.column(j);
+        let shape = SvbShape::compute(&a, &t, t.owner_of(j));
+        let opts = GpuOptions::default();
+        let mut ex = TraceExecutor::default();
+        let r = ex.run_block(&chunked_voxel_program(&col, &shape, &opts, KernelLayout::default()));
+        let rows: f64 = chunk_column(&col, 32).iter().map(|c| c.height as f64).sum();
+        // Per row: e (<=5) + w (<=5) sectors; descriptors add ~1 per
+        // chunk; everything beyond that would indicate scattering.
+        let per_row = r.l2_transactions as f64 / rows;
+        assert!(per_row < 12.0, "l2 transactions per row {per_row:.1}");
+    }
+}

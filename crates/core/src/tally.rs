@@ -1,0 +1,89 @@
+//! Work tallies collected during functional GPU-ICD execution.
+//!
+//! The driver counts, per SV visit, exactly the quantities the paper's
+//! kernels would move through the machine; [`crate::model`] converts
+//! them into [`gpu_sim::KernelProfile`]s.
+
+/// Counters for one SV's visit within a batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SvTally {
+    /// SV id.
+    pub sv: usize,
+    /// Voxel updates performed.
+    pub updates: u64,
+    /// Voxel visits zero-skipped.
+    pub skipped: u64,
+    /// Sum of |delta| over updates (selection metric).
+    pub abs_delta: f64,
+    /// Sparse footprint entries processed (sum of column nnz).
+    pub nnz: f64,
+    /// Dense elements processed under the chunked layout (nnz plus
+    /// padding); equals `nnz` for the naive layout.
+    pub dense: f64,
+    /// Chunk descriptors read (chunked layout) or per-view start
+    /// look-ups (naive layout).
+    pub descriptors: f64,
+    /// Bytes of the SV's buffer in the active layout (one f32 plane).
+    pub svb_bytes: f64,
+    /// Mean band width of the SVB in channels (atomic-conflict model).
+    pub band_width: f64,
+    /// Fraction of the SV's entries carried by its heaviest block:
+    /// `1/blocks` under dynamic distribution; larger under static
+    /// distribution when zero-skipping skews the split (Table 3 row 4).
+    pub max_block_share: f64,
+}
+
+/// Counters for one kernel batch (up to `svs_per_batch` SVs of one
+/// checkerboard group).
+#[derive(Debug, Clone, Default)]
+pub struct BatchTally {
+    /// Per-SV counters.
+    pub svs: Vec<SvTally>,
+}
+
+impl BatchTally {
+    /// Total voxel updates in the batch.
+    pub fn updates(&self) -> u64 {
+        self.svs.iter().map(|s| s.updates).sum()
+    }
+
+    /// Total zero-skipped visits.
+    pub fn skipped(&self) -> u64 {
+        self.svs.iter().map(|s| s.skipped).sum()
+    }
+
+    /// Total sparse entries.
+    pub fn nnz(&self) -> f64 {
+        self.svs.iter().map(|s| s.nnz).sum()
+    }
+
+    /// Total dense (padded) elements.
+    pub fn dense(&self) -> f64 {
+        self.svs.iter().map(|s| s.dense).sum()
+    }
+
+    /// Total SVB bytes resident during the batch (single plane).
+    pub fn svb_bytes(&self) -> f64 {
+        self.svs.iter().map(|s| s.svb_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_sums() {
+        let b = BatchTally {
+            svs: vec![
+                SvTally { updates: 10, skipped: 2, nnz: 100.0, dense: 400.0, svb_bytes: 64.0, ..Default::default() },
+                SvTally { updates: 5, skipped: 0, nnz: 50.0, dense: 200.0, svb_bytes: 32.0, ..Default::default() },
+            ],
+        };
+        assert_eq!(b.updates(), 15);
+        assert_eq!(b.skipped(), 2);
+        assert_eq!(b.nnz(), 150.0);
+        assert_eq!(b.dense(), 600.0);
+        assert_eq!(b.svb_bytes(), 96.0);
+    }
+}

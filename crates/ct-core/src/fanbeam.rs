@@ -1,0 +1,310 @@
+//! Fan-beam acquisition and rebinning to parallel geometry.
+//!
+//! The paper's dataset comes from an Imatron C-300 electron-beam
+//! scanner — a fan-beam machine — but "the slices in this dataset are
+//! generated using parallel beam projection": the vendor *rebins* fan
+//! data to parallel geometry. This module closes that loop: it
+//! simulates an equiangular fan-beam acquisition by ray sampling and
+//! rebins it onto a [`Geometry`]'s parallel grid, after which the
+//! entire MBIR stack applies unchanged.
+//!
+//! Rebinning identity: the fan ray at gantry angle `beta` and fan angle
+//! `gamma` coincides with the parallel ray at
+//! `theta = beta + gamma`, `t = R sin(gamma)` (R = source-to-isocenter
+//! distance).
+
+use crate::geometry::Geometry;
+use crate::image::Image;
+use crate::sinogram::Sinogram;
+
+/// An equiangular fan-beam scanner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FanGeometry {
+    /// Gantry positions over a full rotation `[0, 2 pi)`.
+    pub num_views: usize,
+    /// Detector channels across the fan.
+    pub num_channels: usize,
+    /// Source-to-isocenter distance, mm.
+    pub source_radius: f32,
+    /// Full fan opening angle, radians.
+    pub fan_angle: f32,
+}
+
+impl FanGeometry {
+    /// A fan geometry whose rays cover the same field of view as the
+    /// given parallel geometry, with comparable sampling density.
+    pub fn covering(parallel: &Geometry, source_radius: f32) -> FanGeometry {
+        let fov = parallel.grid.bounding_radius();
+        assert!(source_radius > fov, "source must sit outside the object");
+        let fan_angle = 2.0 * (fov / source_radius).asin() * 1.05;
+        FanGeometry {
+            num_views: parallel.num_views * 2,
+            num_channels: parallel.num_channels,
+            source_radius,
+            fan_angle,
+        }
+    }
+
+    /// Gantry angle of view `v` (full rotation).
+    #[inline]
+    pub fn beta(&self, v: usize) -> f32 {
+        v as f32 * 2.0 * std::f32::consts::PI / self.num_views as f32
+    }
+
+    /// Fan angle of channel `c`, centered.
+    #[inline]
+    pub fn gamma(&self, c: usize) -> f32 {
+        (c as f32 - (self.num_channels as f32 - 1.0) / 2.0) * self.fan_angle
+            / (self.num_channels as f32 - 1.0)
+    }
+
+    /// Continuous channel coordinate of fan angle `gamma` (inverse of
+    /// [`FanGeometry::gamma`]).
+    #[inline]
+    pub fn channel_of(&self, gamma: f32) -> f32 {
+        gamma * (self.num_channels as f32 - 1.0) / self.fan_angle
+            + (self.num_channels as f32 - 1.0) / 2.0
+    }
+}
+
+/// Simulate a fan-beam acquisition by sampling the image along each
+/// ray (step = half a pixel). Returns a `num_views x num_channels`
+/// sinogram of line integrals.
+pub fn fan_forward(geom: &FanGeometry, image: &Image) -> Sinogram {
+    let grid = image.grid();
+    let step = grid.pixel_size * 0.5;
+    let fov = grid.bounding_radius();
+    let mut sino = Sinogram::from_vec(
+        geom.num_views,
+        geom.num_channels,
+        vec![0.0; geom.num_views * geom.num_channels],
+    );
+    for v in 0..geom.num_views {
+        let beta = geom.beta(v);
+        // Source position on the gantry circle.
+        let sx = geom.source_radius * beta.cos();
+        let sy = geom.source_radius * beta.sin();
+        for c in 0..geom.num_channels {
+            let gamma = geom.gamma(c);
+            // Ray direction: from the source through the isocenter,
+            // deflected by the fan angle.
+            let dir = beta + std::f32::consts::PI + gamma;
+            let (dy, dx) = dir.sin_cos();
+            // Integrate where the ray crosses the reconstruction disc.
+            let t_mid = geom.source_radius * gamma.cos();
+            let half = (fov + 2.0 * grid.pixel_size).min(t_mid);
+            let mut acc = 0.0f32;
+            let mut t = t_mid - half;
+            while t <= t_mid + half {
+                let x = sx + t * dx;
+                let y = sy + t * dy;
+                acc += bilinear(image, x, y);
+                t += step;
+            }
+            *sino.at_mut(v, c) = acc * step;
+        }
+    }
+    sino
+}
+
+/// Bilinear image sample at physical coordinates (mm); zero outside.
+fn bilinear(image: &Image, x: f32, y: f32) -> f32 {
+    let grid = image.grid();
+    let fx = x / grid.pixel_size + (grid.nx as f32 - 1.0) / 2.0;
+    let fy = y / grid.pixel_size + (grid.ny as f32 - 1.0) / 2.0;
+    if fx < 0.0 || fy < 0.0 || fx > (grid.nx - 1) as f32 || fy > (grid.ny - 1) as f32 {
+        return 0.0;
+    }
+    let x0 = fx.floor() as usize;
+    let y0 = fy.floor() as usize;
+    let x1 = (x0 + 1).min(grid.nx - 1);
+    let y1 = (y0 + 1).min(grid.ny - 1);
+    let ax = fx - x0 as f32;
+    let ay = fy - y0 as f32;
+    let v00 = image.at(y0, x0);
+    let v01 = image.at(y0, x1);
+    let v10 = image.at(y1, x0);
+    let v11 = image.at(y1, x1);
+    v00 * (1.0 - ax) * (1.0 - ay) + v01 * ax * (1.0 - ay) + v10 * (1.0 - ax) * ay + v11 * ax * ay
+}
+
+/// Rebin a fan-beam sinogram onto a parallel geometry by bilinear
+/// interpolation in `(beta, gamma)`.
+pub fn rebin_to_parallel(geom: &FanGeometry, fan: &Sinogram, parallel: &Geometry) -> Sinogram {
+    assert_eq!(fan.num_views(), geom.num_views);
+    assert_eq!(fan.num_channels(), geom.num_channels);
+    let mut out = Sinogram::zeros(parallel);
+    let two_pi = 2.0 * std::f32::consts::PI;
+    for pv in 0..parallel.num_views {
+        let theta = parallel.angle(pv);
+        for pc in 0..parallel.num_channels {
+            let t = parallel.channel_center(pc);
+            let s = t / geom.source_radius;
+            if s.abs() >= (geom.fan_angle / 2.0).sin() {
+                continue; // outside the fan
+            }
+            let gamma = s.asin();
+            let beta = (theta - gamma).rem_euclid(two_pi);
+            // Fractional fan coordinates.
+            let fc = geom.channel_of(gamma);
+            let fv = beta * geom.num_views as f32 / two_pi;
+            if fc < 0.0 || fc > (geom.num_channels - 1) as f32 {
+                continue;
+            }
+            let c0 = fc.floor() as usize;
+            let c1 = (c0 + 1).min(geom.num_channels - 1);
+            let ac = fc - c0 as f32;
+            let v0 = fv.floor() as usize % geom.num_views;
+            let v1 = (v0 + 1) % geom.num_views;
+            let av = fv - fv.floor();
+            let val = fan.at(v0, c0) * (1.0 - av) * (1.0 - ac)
+                + fan.at(v0, c1) * (1.0 - av) * ac
+                + fan.at(v1, c0) * av * (1.0 - ac)
+                + fan.at(v1, c1) * av * ac;
+            *out.at_mut(pv, pc) = val;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phantom::Phantom;
+    use crate::sysmat::SystemMatrix;
+
+    fn setup() -> (Geometry, FanGeometry, Image) {
+        let g = Geometry::tiny_scale();
+        let fan = FanGeometry::covering(&g, 80.0);
+        let img = Phantom::water_cylinder(0.5).render(g.grid, 2);
+        (g, fan, img)
+    }
+
+    #[test]
+    fn fan_geometry_covers_fov() {
+        let (g, fan, _) = setup();
+        // The outermost fan ray passes outside the object disc.
+        let edge_t = fan.source_radius * (fan.fan_angle / 2.0).sin();
+        assert!(edge_t > g.grid.bounding_radius());
+        // gamma/channel invert.
+        for c in [0usize, 10, fan.num_channels - 1] {
+            let gm = fan.gamma(c);
+            assert!((fan.channel_of(gm) - c as f32).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn central_ray_matches_diameter_integral() {
+        let (_, fan, img) = setup();
+        let sino = fan_forward(&fan, &img);
+        // The central channel at view 0 passes straight through the
+        // cylinder center: integral = diameter * mu.
+        let center = fan.num_channels / 2;
+        let measured = sino.at(0, center);
+        let radius_mm = 0.5 * 12.0; // 0.5 of half-extent (12 mm)
+        let expect = 2.0 * radius_mm * crate::phantom::MU_WATER;
+        assert!(
+            (measured - expect).abs() / expect < 0.12,
+            "measured {measured} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn opposite_views_see_mirrored_fans() {
+        // A ray (beta, gamma) and its conjugate (beta + pi + 2 gamma,
+        // -gamma) traverse the same line.
+        let (_, fan, img) = setup();
+        let sino = fan_forward(&fan, &img);
+        let c = fan.num_channels / 2 + 3;
+        let gamma = fan.gamma(c);
+        let v = 5usize;
+        let beta = fan.beta(v);
+        let conj_beta = beta + std::f32::consts::PI + 2.0 * gamma;
+        let conj_v = (conj_beta / (2.0 * std::f32::consts::PI) * fan.num_views as f32).round()
+            as usize
+            % fan.num_views;
+        let conj_c = fan.channel_of(-gamma).round() as usize;
+        let a = sino.at(v, c);
+        let b = sino.at(conj_v, conj_c);
+        assert!((a - b).abs() < 0.15 * a.abs().max(0.05), "{a} vs {b}");
+    }
+
+    #[test]
+    fn rebinned_matches_direct_parallel_projection() {
+        let (g, fan, img) = setup();
+        let a = SystemMatrix::compute(&g);
+        let direct = a.forward(&img);
+        let fan_sino = fan_forward(&fan, &img);
+        let rebinned = rebin_to_parallel(&fan, &fan_sino, &g);
+        // Compare over the central channels (the rebinned edge rays sit
+        // outside the fan).
+        let mut err = 0.0f64;
+        let mut count = 0usize;
+        for v in 0..g.num_views {
+            for c in 8..g.num_channels - 8 {
+                let d = (direct.at(v, c) - rebinned.at(v, c)) as f64;
+                err += d * d;
+                count += 1;
+            }
+        }
+        let rms = (err / count as f64).sqrt() as f32;
+        let scale = direct.max_abs();
+        assert!(rms < 0.08 * scale, "rebinned rms {rms} vs scale {scale}");
+    }
+
+    #[test]
+    fn mbir_reconstructs_rebinned_fan_data() {
+        // End-to-end: fan acquisition -> rebin -> MBIR converges to a
+        // sensible image with the *parallel* system matrix.
+        let (g, fan, img) = setup();
+        let a = SystemMatrix::compute(&g);
+        let fan_sino = fan_forward(&fan, &img);
+        let y = rebin_to_parallel(&fan, &fan_sino, &g);
+        let w = Sinogram::filled(&g, 1.0);
+        struct Quad {
+            sigma: f32,
+        }
+        let prior = Quad { sigma: 0.05 };
+        // Minimal inline ICD (avoid a circular dev-dependency on mbir):
+        // a few Gauss-Seidel sweeps of the data term.
+        let mut x = Image::zeros(g.grid);
+        let mut e = y.clone();
+        for _ in 0..6 {
+            for j in 0..g.grid.num_voxels() {
+                let col = a.column(j);
+                let mut t1 = 0.0f32;
+                let mut t2 = 0.0f32;
+                for seg in col.segments() {
+                    for (k, &av) in seg.values.iter().enumerate() {
+                        let ev = e.at(seg.view, seg.first_channel + k);
+                        t1 -= av * ev;
+                        t2 += av * av;
+                    }
+                }
+                t2 += prior.sigma; // light damping
+                if t2 <= 0.0 {
+                    continue;
+                }
+                let mut delta = -t1 / t2;
+                if x.get(j) + delta < 0.0 {
+                    delta = -x.get(j);
+                }
+                if delta != 0.0 {
+                    x.set(j, x.get(j) + delta);
+                    for seg in col.segments() {
+                        for (k, &av) in seg.values.iter().enumerate() {
+                            *e.at_mut(seg.view, seg.first_channel + k) -= av * delta;
+                        }
+                    }
+                }
+            }
+        }
+        let center = x.at(g.grid.ny / 2, g.grid.nx / 2);
+        let truth = img.at(g.grid.ny / 2, g.grid.nx / 2);
+        assert!(
+            (center - truth).abs() / truth < 0.25,
+            "center {center} vs truth {truth}"
+        );
+        let _ = w;
+    }
+}

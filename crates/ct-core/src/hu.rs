@@ -1,0 +1,66 @@
+//! Hounsfield-unit conversions and the convergence metric of the
+//! paper's evaluation: RMSE against a golden image in Hounsfield units,
+//! with convergence declared below 10 HU (the level at which prior
+//! work found no remaining visible artifacts).
+
+use crate::image::Image;
+use crate::phantom::MU_WATER;
+
+/// The paper's convergence threshold: RMSE below 10 HU.
+pub const CONVERGENCE_HU: f32 = 10.0;
+
+/// Convert linear attenuation (1/mm) to Hounsfield units.
+#[inline]
+pub fn hu_from_mu(mu: f32) -> f32 {
+    1000.0 * (mu - MU_WATER) / MU_WATER
+}
+
+/// Convert Hounsfield units to linear attenuation (1/mm).
+#[inline]
+pub fn mu_from_hu(hu: f32) -> f32 {
+    MU_WATER * (hu / 1000.0 + 1.0)
+}
+
+/// RMSE between two attenuation images, expressed in HU.
+///
+/// Differences scale by `1000 / MU_WATER`; the offset cancels.
+pub fn rmse_hu(a: &Image, b: &Image) -> f32 {
+    a.rmse(b) * 1000.0 / MU_WATER
+}
+
+/// True when `a` has converged to the golden image per the paper's
+/// criterion.
+pub fn converged(a: &Image, golden: &Image) -> bool {
+    rmse_hu(a, golden) < CONVERGENCE_HU
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ImageGrid;
+
+    #[test]
+    fn water_is_zero_air_is_minus_1000() {
+        assert_eq!(hu_from_mu(MU_WATER), 0.0);
+        assert_eq!(hu_from_mu(0.0), -1000.0);
+    }
+
+    #[test]
+    fn conversions_invert() {
+        for hu in [-1000.0, -500.0, 0.0, 80.0, 3000.0] {
+            assert!((hu_from_mu(mu_from_hu(hu)) - hu).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rmse_hu_scales() {
+        let grid = ImageGrid::square(4, 1.0);
+        let a = Image::zeros(grid);
+        // A uniform 1-HU difference.
+        let b = Image::from_vec(grid, vec![MU_WATER / 1000.0; 16]);
+        assert!((rmse_hu(&a, &b) - 1.0).abs() < 1e-4);
+        assert!(converged(&a, &b));
+        let c = Image::from_vec(grid, vec![MU_WATER / 50.0; 16]); // 20 HU
+        assert!(!converged(&a, &c));
+    }
+}

@@ -1,0 +1,208 @@
+//! Dense 2-D image container (the `x` of `y = A x`), row-major.
+
+use crate::geometry::ImageGrid;
+use serde::{Deserialize, Serialize};
+
+/// A reconstruction image: `ny` rows by `nx` columns of linear
+/// attenuation coefficients (1/mm), stored row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    grid: ImageGrid,
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// An all-zero (air) image on `grid`.
+    pub fn zeros(grid: ImageGrid) -> Self {
+        Image { grid, data: vec![0.0; grid.num_voxels()] }
+    }
+
+    /// Wrap existing row-major data.
+    pub fn from_vec(grid: ImageGrid, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), grid.num_voxels());
+        Image { grid, data }
+    }
+
+    /// The grid this image lives on.
+    #[inline]
+    pub fn grid(&self) -> ImageGrid {
+        self.grid
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Value at linear voxel index.
+    #[inline]
+    pub fn get(&self, idx: usize) -> f32 {
+        self.data[idx]
+    }
+
+    /// Set value at linear voxel index.
+    #[inline]
+    pub fn set(&mut self, idx: usize, v: f32) {
+        self.data[idx] = v;
+    }
+
+    /// Value at `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        self.data[self.grid.index(row, col)]
+    }
+
+    /// Mutable value at `(row, col)`.
+    #[inline]
+    pub fn at_mut(&mut self, row: usize, col: usize) -> &mut f32 {
+        let i = self.grid.index(row, col);
+        &mut self.data[i]
+    }
+
+    /// The 8-connected neighbours of voxel `idx` that lie inside the
+    /// grid, together with the MRF weight class: `true` for the four
+    /// edge neighbours, `false` for the four diagonal neighbours.
+    pub fn neighbors8(&self, idx: usize) -> Neighbors8 {
+        Neighbors8::of_grid(self.grid, idx)
+    }
+
+    /// Root-mean-square difference against `other`, in image units.
+    pub fn rmse(&self, other: &Image) -> f32 {
+        assert_eq!(self.grid, other.grid);
+        let n = self.data.len() as f64;
+        let ss: f64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum();
+        ((ss / n) as f32).sqrt()
+    }
+
+    /// Maximum absolute value.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Fraction of exactly zero voxels (drives zero-skipping rates).
+    pub fn zero_fraction(&self) -> f32 {
+        let z = self.data.iter().filter(|&&v| v == 0.0).count();
+        z as f32 / self.data.len() as f32
+    }
+}
+
+/// Fixed-size neighbour list returned by [`Image::neighbors8`].
+#[derive(Debug, Clone, Copy)]
+pub struct Neighbors8 {
+    items: [(usize, bool); 8],
+    len: usize,
+}
+
+impl Neighbors8 {
+    /// The in-bounds 8-neighbourhood of voxel `idx` on `grid`, without
+    /// needing an [`Image`] (shared-image implementations use this).
+    pub fn of_grid(grid: ImageGrid, idx: usize) -> Neighbors8 {
+        let (row, col) = grid.row_col(idx);
+        let mut out = Neighbors8 { items: [(0, false); 8], len: 0 };
+        for dr in -1i32..=1 {
+            for dc in -1i32..=1 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let r = row as i32 + dr;
+                let c = col as i32 + dc;
+                if r < 0 || c < 0 || r as usize >= grid.ny || c as usize >= grid.nx {
+                    continue;
+                }
+                let edge = dr == 0 || dc == 0;
+                out.items[out.len] = (grid.index(r as usize, c as usize), edge);
+                out.len += 1;
+            }
+        }
+        out
+    }
+
+    /// Neighbour voxel indices with their edge/diagonal class.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        self.items[..self.len].iter().copied()
+    }
+
+    /// Number of in-bounds neighbours (3, 5, or 8).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty (never true on grids >= 2x2).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut img = Image::zeros(ImageGrid::square(4, 1.0));
+        assert_eq!(img.data().len(), 16);
+        *img.at_mut(2, 3) = 5.0;
+        assert_eq!(img.at(2, 3), 5.0);
+        assert_eq!(img.get(2 * 4 + 3), 5.0);
+    }
+
+    #[test]
+    fn neighbor_counts() {
+        let img = Image::zeros(ImageGrid::square(4, 1.0));
+        // Corner voxel: 3 neighbours.
+        assert_eq!(img.neighbors8(0).len(), 3);
+        // Edge voxel: 5 neighbours.
+        assert_eq!(img.neighbors8(1).len(), 5);
+        // Interior voxel: 8 neighbours.
+        assert_eq!(img.neighbors8(5).len(), 8);
+    }
+
+    #[test]
+    fn neighbor_edge_classes() {
+        let img = Image::zeros(ImageGrid::square(3, 1.0));
+        let n = img.neighbors8(4); // center
+        let edges = n.iter().filter(|&(_, e)| e).count();
+        let diags = n.iter().filter(|&(_, e)| !e).count();
+        assert_eq!(edges, 4);
+        assert_eq!(diags, 4);
+    }
+
+    #[test]
+    fn rmse_zero_for_identical() {
+        let img = Image::zeros(ImageGrid::square(8, 1.0));
+        assert_eq!(img.rmse(&img), 0.0);
+    }
+
+    #[test]
+    fn rmse_of_constant_offset() {
+        let grid = ImageGrid::square(8, 1.0);
+        let a = Image::zeros(grid);
+        let b = Image::from_vec(grid, vec![2.0; 64]);
+        assert!((a.rmse(&b) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_fraction_counts() {
+        let grid = ImageGrid::square(2, 1.0);
+        let img = Image::from_vec(grid, vec![0.0, 1.0, 0.0, 3.0]);
+        assert_eq!(img.zero_fraction(), 0.5);
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal image/sinogram persistence: binary PGM for quick visual
+//! inspection and CSV for numeric round-trips. No external format
+//! dependencies — the repro harness and CLI write artifacts a human
+//! can open anywhere.
+
+use crate::geometry::ImageGrid;
+use crate::image::Image;
+use crate::sinogram::Sinogram;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write an image as a binary 8-bit PGM, windowed to `[lo, hi]`
+/// (values clamp). Use [`crate::hu`] conversions to pick clinically
+/// meaningful windows.
+pub fn write_pgm(path: &Path, img: &Image, lo: f32, hi: f32) -> std::io::Result<()> {
+    assert!(hi > lo, "window must be nonempty");
+    let grid = img.grid();
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "P5")?;
+    writeln!(w, "{} {}", grid.nx, grid.ny)?;
+    writeln!(w, "255")?;
+    let scale = 255.0 / (hi - lo);
+    let bytes: Vec<u8> =
+        img.data().iter().map(|&v| ((v - lo) * scale).clamp(0.0, 255.0) as u8).collect();
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Read a binary 8-bit PGM back into an image on `[lo, hi]`.
+pub fn read_pgm(path: &Path, pixel_size: f32, lo: f32, hi: f32) -> std::io::Result<Image> {
+    let f = std::fs::File::open(path)?;
+    let mut r = BufReader::new(f);
+    let mut header = String::new();
+    // Magic, dimensions, maxval (no comment support — we wrote it).
+    r.read_line(&mut header)?;
+    if header.trim() != "P5" {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "not a binary PGM"));
+    }
+    let mut dims = String::new();
+    r.read_line(&mut dims)?;
+    let mut it = dims.split_whitespace();
+    let nx: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad dims"))?;
+    let ny: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad dims"))?;
+    let mut maxval = String::new();
+    r.read_line(&mut maxval)?;
+    let mut bytes = vec![0u8; nx * ny];
+    r.read_exact(&mut bytes)?;
+    let scale = (hi - lo) / 255.0;
+    let data = bytes.iter().map(|&b| lo + b as f32 * scale).collect();
+    Ok(Image::from_vec(ImageGrid { nx, ny, pixel_size }, data))
+}
+
+/// Write a sinogram as CSV (one row per view), full precision.
+pub fn write_sinogram_csv(path: &Path, s: &Sinogram) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    for v in 0..s.num_views() {
+        let row: Vec<String> = s.view(v).iter().map(|x| format!("{x}")).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+/// Read a sinogram from CSV.
+pub fn read_sinogram_csv(path: &Path) -> std::io::Result<Sinogram> {
+    let f = std::fs::File::open(path)?;
+    let r = BufReader::new(f);
+    let mut data = Vec::new();
+    let mut channels = None;
+    let mut views = 0usize;
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f32>, _> = line.split(',').map(|t| t.trim().parse::<f32>()).collect();
+        let row =
+            row.map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        match channels {
+            None => channels = Some(row.len()),
+            Some(c) if c != row.len() => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "ragged sinogram rows",
+                ))
+            }
+            _ => {}
+        }
+        views += 1;
+        data.extend(row);
+    }
+    let channels = channels
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty sinogram"))?;
+    Ok(Sinogram::from_vec(views, channels, data))
+}
+
+/// Write an image as CSV, full precision (lossless round-trips, unlike
+/// the 8-bit PGM window).
+pub fn write_image_csv(path: &Path, img: &Image) -> std::io::Result<()> {
+    let grid = img.grid();
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    for row in 0..grid.ny {
+        let cells: Vec<String> =
+            (0..grid.nx).map(|col| format!("{}", img.at(row, col))).collect();
+        writeln!(w, "{}", cells.join(","))?;
+    }
+    w.flush()
+}
+
+/// Read an image from CSV.
+pub fn read_image_csv(path: &Path, pixel_size: f32) -> std::io::Result<Image> {
+    let s = read_sinogram_csv(path)?;
+    if s.num_views() != s.num_channels() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "image CSV must be square",
+        ));
+    }
+    let n = s.num_views();
+    Ok(Image::from_vec(ImageGrid { nx: n, ny: n, pixel_size }, s.data().to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+    use crate::phantom::Phantom;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mbir-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn pgm_roundtrip_within_quantization() {
+        let g = Geometry::tiny_scale();
+        let img = Phantom::shepp_logan().render(g.grid, 1);
+        let path = tmp("sl.pgm");
+        let (lo, hi) = (0.0, 0.05);
+        write_pgm(&path, &img, lo, hi).unwrap();
+        let back = read_pgm(&path, g.grid.pixel_size, lo, hi).unwrap();
+        assert_eq!(back.grid().nx, g.grid.nx);
+        let step = (hi - lo) / 255.0;
+        for (a, b) in img.data().iter().zip(back.data()) {
+            assert!((a.clamp(lo, hi) - b).abs() <= step, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sinogram_csv_roundtrip_exact() {
+        let g = Geometry::tiny_scale();
+        let mut s = Sinogram::zeros(&g);
+        for (i, v) in s.data_mut().iter_mut().enumerate() {
+            *v = (i as f32).sin();
+        }
+        let path = tmp("sino.csv");
+        write_sinogram_csv(&path, &s).unwrap();
+        let back = read_sinogram_csv(&path).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn image_csv_roundtrip_exact() {
+        let g = Geometry::tiny_scale();
+        let img = Phantom::baggage(3).render(g.grid, 1);
+        let path = tmp("img.csv");
+        write_image_csv(&path, &img).unwrap();
+        let back = read_image_csv(&path, g.grid.pixel_size).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn bad_inputs_error() {
+        let path = tmp("garbage.pgm");
+        std::fs::write(&path, b"P6\n1 1\n255\nxxx").unwrap();
+        assert!(read_pgm(&path, 1.0, 0.0, 1.0).is_err());
+        let path = tmp("ragged.csv");
+        std::fs::write(&path, "1,2,3\n1,2\n").unwrap();
+        assert!(read_sinogram_csv(&path).is_err());
+        let path = tmp("empty.csv");
+        std::fs::write(&path, "").unwrap();
+        assert!(read_sinogram_csv(&path).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Image-quality metrics beyond RMSE.
+//!
+//! The paper's introduction argues MBIR for *image quality*; these
+//! metrics quantify it on the QA phantoms: contrast-to-noise ratio for
+//! low-contrast detectability, region statistics, and a gradient-based
+//! edge-sharpness score.
+
+use crate::image::Image;
+
+/// Mean and standard deviation of the voxels selected by `mask`.
+pub fn region_stats(img: &Image, mask: impl Fn(usize, usize) -> bool) -> (f32, f32) {
+    let grid = img.grid();
+    let mut values = Vec::new();
+    for row in 0..grid.ny {
+        for col in 0..grid.nx {
+            if mask(row, col) {
+                values.push(img.at(row, col));
+            }
+        }
+    }
+    assert!(!values.is_empty(), "empty region");
+    let n = values.len() as f64;
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = values.iter().map(|&v| (v as f64 - mean) * (v as f64 - mean)).sum::<f64>() / n;
+    (mean as f32, var.sqrt() as f32)
+}
+
+/// Contrast-to-noise ratio between a disc (center `(crow, ccol)`,
+/// radius in voxels) and a same-size background annulus around it.
+pub fn cnr_disc(img: &Image, crow: usize, ccol: usize, radius: f32) -> f32 {
+    let inside = |row: usize, col: usize| -> bool {
+        let dr = row as f32 - crow as f32;
+        let dc = col as f32 - ccol as f32;
+        (dr * dr + dc * dc).sqrt() <= radius
+    };
+    let annulus = |row: usize, col: usize| -> bool {
+        let dr = row as f32 - crow as f32;
+        let dc = col as f32 - ccol as f32;
+        let d = (dr * dr + dc * dc).sqrt();
+        d > radius * 1.5 && d <= radius * 2.5
+    };
+    let (m_in, s_in) = region_stats(img, inside);
+    let (m_bg, s_bg) = region_stats(img, annulus);
+    let noise = ((s_in * s_in + s_bg * s_bg) / 2.0).sqrt().max(1e-12);
+    (m_in - m_bg).abs() / noise
+}
+
+/// Mean gradient magnitude (central differences) — tracks edge
+/// sharpness; over-regularized reconstructions score lower on edgy
+/// phantoms.
+pub fn mean_gradient(img: &Image) -> f32 {
+    let grid = img.grid();
+    let mut acc = 0.0f64;
+    let mut count = 0usize;
+    for row in 1..grid.ny - 1 {
+        for col in 1..grid.nx - 1 {
+            let gx = (img.at(row, col + 1) - img.at(row, col - 1)) / 2.0;
+            let gy = (img.at(row + 1, col) - img.at(row - 1, col)) / 2.0;
+            acc += ((gx * gx + gy * gy) as f64).sqrt();
+            count += 1;
+        }
+    }
+    (acc / count as f64) as f32
+}
+
+/// Structural similarity (global, single-window SSIM) between two
+/// images — a luminance/contrast/structure product in `[-1, 1]`.
+pub fn ssim_global(a: &Image, b: &Image) -> f32 {
+    assert_eq!(a.grid(), b.grid());
+    let n = a.data().len() as f64;
+    let ma = a.data().iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mb = b.data().iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mut va = 0.0f64;
+    let mut vb = 0.0f64;
+    let mut cov = 0.0f64;
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        va += (x as f64 - ma) * (x as f64 - ma);
+        vb += (y as f64 - mb) * (y as f64 - mb);
+        cov += (x as f64 - ma) * (y as f64 - mb);
+    }
+    va /= n;
+    vb /= n;
+    cov /= n;
+    // Stabilizers scaled to the attenuation range.
+    let c1 = (0.01f64 * 0.04).powi(2);
+    let c2 = (0.03f64 * 0.04).powi(2);
+    let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+        / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+    s as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ImageGrid;
+    use crate::phantom::{Phantom, Shape, MU_WATER};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid() -> ImageGrid {
+        ImageGrid::square(64, 1.0)
+    }
+
+    fn disc_phantom() -> Image {
+        let mut p = Phantom::named("disc");
+        p.push(Shape::Ellipse { cx: 0.0, cy: 0.0, a: 0.25, b: 0.25, phi: 0.0, value: MU_WATER });
+        p.render(grid(), 1)
+    }
+
+    #[test]
+    fn region_stats_flat() {
+        let img = disc_phantom();
+        let (mean, std) = region_stats(&img, |r, c| {
+            let d = ((r as f32 - 31.5).powi(2) + (c as f32 - 31.5).powi(2)).sqrt();
+            d < 4.0
+        });
+        assert!((mean - MU_WATER).abs() < 1e-6);
+        assert_eq!(std, 0.0);
+    }
+
+    #[test]
+    fn cnr_infinite_for_noiseless_disc_vs_air() {
+        // Disc radius: 0.25 normalized on a 64-grid = 8 voxels, so the
+        // annulus (1.5r..2.5r) sits fully in air.
+        let img = disc_phantom();
+        let cnr = cnr_disc(&img, 32, 32, 6.0);
+        assert!(cnr > 100.0, "cnr {cnr}");
+    }
+
+    #[test]
+    fn cnr_falls_with_noise() {
+        let clean = disc_phantom();
+        let mut noisy = clean.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in noisy.data_mut() {
+            *v += rng.random_range(-0.002f32..0.002);
+        }
+        assert!(cnr_disc(&noisy, 32, 32, 6.0) < cnr_disc(&clean, 32, 32, 6.0));
+    }
+
+    #[test]
+    fn gradient_tracks_blur() {
+        let sharp = disc_phantom();
+        // 3x3 box blur.
+        let g = sharp.grid();
+        let mut blurred = Image::zeros(g);
+        for row in 1..g.ny - 1 {
+            for col in 1..g.nx - 1 {
+                let mut acc = 0.0;
+                for dr in -1i32..=1 {
+                    for dc in -1i32..=1 {
+                        acc += sharp.at((row as i32 + dr) as usize, (col as i32 + dc) as usize);
+                    }
+                }
+                *blurred.at_mut(row, col) = acc / 9.0;
+            }
+        }
+        assert!(mean_gradient(&blurred) < mean_gradient(&sharp));
+    }
+
+    #[test]
+    fn ssim_is_one_for_identical_and_lower_for_noise() {
+        let img = disc_phantom();
+        assert!((ssim_global(&img, &img) - 1.0).abs() < 1e-6);
+        let mut noisy = img.clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        for v in noisy.data_mut() {
+            *v += rng.random_range(-0.01f32..0.01);
+        }
+        let s = ssim_global(&img, &noisy);
+        assert!(s < 0.999, "ssim {s}");
+        assert!(s > -1.0);
+    }
+}

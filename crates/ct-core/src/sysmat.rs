@@ -1,0 +1,506 @@
+//! The sparse system matrix `A`.
+//!
+//! `A` encodes the scanner geometry: entry `A[j][i,c]` is the mean
+//! intersection length of voxel `j` with the rays of channel `c` at
+//! view `i`. Following the paper, entries are stored **per voxel
+//! column**, contiguous across all views ("all these A-matrix elements,
+//! across all views, are placed in memory in a contiguous fashion,
+//! using a sparse matrix format"), with a per-view starting channel —
+//! the layout the naive GPU kernel reads and the transformed layout of
+//! paper Section 4.1 is derived from.
+
+use crate::footprint::Trapezoid;
+use crate::geometry::Geometry;
+use crate::image::Image;
+use crate::sinogram::Sinogram;
+
+/// Entries below `MIN_ENTRY` (mm) are dropped from the sparse storage.
+const MIN_ENTRY: f32 = 1e-6;
+
+/// Sparse system matrix in per-voxel column format.
+#[derive(Debug, Clone)]
+pub struct SystemMatrix {
+    geom: Geometry,
+    /// Per voxel: start of its entries in `values` (length `nvox + 1`).
+    voxel_offset: Vec<u64>,
+    /// Per `(voxel, view)`: first detector channel with a nonzero entry.
+    first_channel: Vec<u16>,
+    /// Per `(voxel, view)`: number of contiguous nonzero entries.
+    count: Vec<u16>,
+    /// All entries, voxel-major then view-major then channel-major.
+    values: Vec<f32>,
+}
+
+impl SystemMatrix {
+    /// Compute the full system matrix for `geom`.
+    ///
+    /// Cost is `O(nvox * num_views)`; at the paper's 512x512/720-view
+    /// scale this builds ~500M entries (~2 GB), matching the paper's
+    /// observation that the A-matrix stream is the memory bottleneck.
+    pub fn compute(geom: &Geometry) -> Self {
+        let nvox = geom.grid.num_voxels();
+        let nviews = geom.num_views;
+
+        // Per-view trig and footprints are voxel-independent.
+        let per_view: Vec<(f32, f32, Trapezoid)> = (0..nviews)
+            .map(|v| {
+                let th = geom.angle(v);
+                let (c, s) = (th.cos(), th.sin());
+                (c, s, Trapezoid::from_cos_sin(c.abs(), s.abs(), geom.grid.pixel_size))
+            })
+            .collect();
+
+        let mut voxel_offset = Vec::with_capacity(nvox + 1);
+        let mut first_channel = vec![0u16; nvox * nviews];
+        let mut count = vec![0u16; nvox * nviews];
+        // ~3 entries per (voxel, view) at unit channel pitch.
+        let mut values = Vec::with_capacity(nvox * nviews * 3);
+        voxel_offset.push(0u64);
+
+        let half_c = geom.channel_spacing / 2.0;
+        for j in 0..nvox {
+            let (row, col) = geom.grid.row_col(j);
+            let x = geom.grid.x_of(col);
+            let y = geom.grid.y_of(row);
+            for (v, &(cv, sv, trap)) in per_view.iter().enumerate() {
+                let tc = x * cv + y * sv;
+                // Channels whose interval intersects the footprint.
+                let lo = geom.channel_of(tc - trap.half_base);
+                let hi = geom.channel_of(tc + trap.half_base);
+                let c0 = (lo.floor().max(0.0)) as usize;
+                let c1 = (hi.ceil() as isize).min(geom.num_channels as isize - 1);
+                let mut first = 0usize;
+                let mut n = 0usize;
+                if c1 >= c0 as isize {
+                    for ch in c0..=(c1 as usize) {
+                        let t0 = geom.channel_center(ch) - half_c - tc;
+                        let a = trap.mean_over(t0, t0 + geom.channel_spacing);
+                        if a > MIN_ENTRY {
+                            if n == 0 {
+                                first = ch;
+                            }
+                            // Keep the run contiguous: interior zeros
+                            // cannot occur for a concave profile, but
+                            // guard anyway.
+                            if n > 0 || a > MIN_ENTRY {
+                                values.push(a);
+                                n += 1;
+                            }
+                        } else if n > 0 {
+                            break;
+                        }
+                    }
+                }
+                let idx = j * nviews + v;
+                first_channel[idx] = first as u16;
+                count[idx] = n as u16;
+            }
+            voxel_offset.push(values.len() as u64);
+        }
+        values.shrink_to_fit();
+        SystemMatrix { geom: *geom, voxel_offset, first_channel, count, values }
+    }
+
+    /// Compute the system matrix with `threads` worker threads
+    /// (voxel ranges are independent; results are bit-identical to
+    /// [`SystemMatrix::compute`]). At the paper's 512x512/720-view
+    /// scale the single-threaded build takes tens of seconds; this
+    /// scales nearly linearly.
+    pub fn compute_parallel(geom: &Geometry, threads: usize) -> Self {
+        assert!(threads >= 1);
+        if threads == 1 {
+            return Self::compute(geom);
+        }
+        let nvox = geom.grid.num_voxels();
+        let chunk = nvox.div_ceil(threads);
+        let parts: Vec<SystemMatrix> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(nvox);
+                    s.spawn(move || Self::compute_range(geom, lo, hi))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        // Concatenate the per-range pieces.
+        let nviews = geom.num_views;
+        let mut voxel_offset = Vec::with_capacity(nvox + 1);
+        let mut first_channel = Vec::with_capacity(nvox * nviews);
+        let mut count = Vec::with_capacity(nvox * nviews);
+        let mut values = Vec::new();
+        voxel_offset.push(0u64);
+        for part in parts {
+            let base = values.len() as u64;
+            voxel_offset.extend(part.voxel_offset[1..].iter().map(|&o| o + base));
+            first_channel.extend_from_slice(&part.first_channel);
+            count.extend_from_slice(&part.count);
+            values.extend_from_slice(&part.values);
+        }
+        SystemMatrix { geom: *geom, voxel_offset, first_channel, count, values }
+    }
+
+    /// Compute the columns of voxels `lo..hi` only (a building block of
+    /// [`SystemMatrix::compute_parallel`]; offsets are local).
+    fn compute_range(geom: &Geometry, lo: usize, hi: usize) -> Self {
+        let nviews = geom.num_views;
+        let per_view: Vec<(f32, f32, Trapezoid)> = (0..nviews)
+            .map(|v| {
+                let th = geom.angle(v);
+                let (c, s) = (th.cos(), th.sin());
+                (c, s, Trapezoid::from_cos_sin(c.abs(), s.abs(), geom.grid.pixel_size))
+            })
+            .collect();
+        let n = hi - lo;
+        let mut voxel_offset = Vec::with_capacity(n + 1);
+        let mut first_channel = vec![0u16; n * nviews];
+        let mut count = vec![0u16; n * nviews];
+        let mut values = Vec::with_capacity(n * nviews * 3);
+        voxel_offset.push(0u64);
+        let half_c = geom.channel_spacing / 2.0;
+        for (local, j) in (lo..hi).enumerate() {
+            let (row, col) = geom.grid.row_col(j);
+            let x = geom.grid.x_of(col);
+            let y = geom.grid.y_of(row);
+            for (v, &(cv, sv, trap)) in per_view.iter().enumerate() {
+                let tc = x * cv + y * sv;
+                let lo_ch = geom.channel_of(tc - trap.half_base);
+                let hi_ch = geom.channel_of(tc + trap.half_base);
+                let c0 = (lo_ch.floor().max(0.0)) as usize;
+                let c1 = (hi_ch.ceil() as isize).min(geom.num_channels as isize - 1);
+                let mut first = 0usize;
+                let mut nrun = 0usize;
+                if c1 >= c0 as isize {
+                    for ch in c0..=(c1 as usize) {
+                        let t0 = geom.channel_center(ch) - half_c - tc;
+                        let a = trap.mean_over(t0, t0 + geom.channel_spacing);
+                        if a > MIN_ENTRY {
+                            if nrun == 0 {
+                                first = ch;
+                            }
+                            values.push(a);
+                            nrun += 1;
+                        } else if nrun > 0 {
+                            break;
+                        }
+                    }
+                }
+                let idx = local * nviews + v;
+                first_channel[idx] = first as u16;
+                count[idx] = nrun as u16;
+            }
+            voxel_offset.push(values.len() as u64);
+        }
+        SystemMatrix { geom: *geom, voxel_offset, first_channel, count, values }
+    }
+
+    /// The geometry this matrix was built for.
+    #[inline]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// Column (all entries across views) of voxel `j`.
+    #[inline]
+    pub fn column(&self, j: usize) -> ColumnView<'_> {
+        let nviews = self.geom.num_views;
+        let v0 = self.voxel_offset[j] as usize;
+        let v1 = self.voxel_offset[j + 1] as usize;
+        ColumnView {
+            first_channel: &self.first_channel[j * nviews..(j + 1) * nviews],
+            count: &self.count[j * nviews..(j + 1) * nviews],
+            values: &self.values[v0..v1],
+        }
+    }
+
+    /// Total number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mean entries per (voxel, view) pair — the "average channels per
+    /// voxel per view" of the paper's intra-voxel parallelism estimate.
+    pub fn mean_channels_per_view(&self) -> f32 {
+        self.nnz() as f32 / (self.geom.grid.num_voxels() * self.geom.num_views) as f32
+    }
+
+    /// Approximate resident bytes of the sparse storage (float values).
+    pub fn bytes(&self) -> usize {
+        self.values.len() * 4 + self.first_channel.len() * 2 + self.count.len() * 2 + self.voxel_offset.len() * 8
+    }
+
+    /// Forward projection `y = A x`.
+    pub fn forward(&self, image: &Image) -> Sinogram {
+        assert_eq!(image.grid(), self.geom.grid);
+        let mut y = Sinogram::zeros(&self.geom);
+        for j in 0..self.geom.grid.num_voxels() {
+            let xj = image.get(j);
+            if xj == 0.0 {
+                continue;
+            }
+            for seg in self.column(j).segments() {
+                let row = y.view_mut(seg.view);
+                for (k, &a) in seg.values.iter().enumerate() {
+                    row[seg.first_channel + k] += a * xj;
+                }
+            }
+        }
+        y
+    }
+
+    /// Back projection `A^T s` (used to verify adjointness and by FBP
+    /// cross-checks).
+    pub fn back(&self, s: &Sinogram) -> Image {
+        let mut img = Image::zeros(self.geom.grid);
+        for j in 0..self.geom.grid.num_voxels() {
+            let mut acc = 0.0f64;
+            for seg in self.column(j).segments() {
+                let row = s.view(seg.view);
+                for (k, &a) in seg.values.iter().enumerate() {
+                    acc += (a * row[seg.first_channel + k]) as f64;
+                }
+            }
+            img.set(j, acc as f32);
+        }
+        img
+    }
+
+    /// `sum_i sum_c A[j][i,c]^2` for voxel `j` (unweighted theta2).
+    pub fn column_norm_sq(&self, j: usize) -> f32 {
+        self.column(j).values_flat().iter().map(|&a| a * a).sum()
+    }
+}
+
+/// Borrowed view of one voxel's column.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnView<'a> {
+    first_channel: &'a [u16],
+    count: &'a [u16],
+    values: &'a [f32],
+}
+
+/// One view's contiguous run of entries within a column.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment<'a> {
+    /// View index.
+    pub view: usize,
+    /// First channel of the run.
+    pub first_channel: usize,
+    /// The entries for channels `first_channel ..`.
+    pub values: &'a [f32],
+}
+
+impl<'a> ColumnView<'a> {
+    /// Iterate the per-view runs in view order.
+    pub fn segments(&self) -> impl Iterator<Item = Segment<'a>> + '_ {
+        let mut off = 0usize;
+        (0..self.first_channel.len()).map(move |v| {
+            let n = self.count[v] as usize;
+            let seg = Segment {
+                view: v,
+                first_channel: self.first_channel[v] as usize,
+                values: &self.values[off..off + n],
+            };
+            off += n;
+            seg
+        })
+    }
+
+    /// Run description for one view: `(first_channel, count)`.
+    #[inline]
+    pub fn run(&self, view: usize) -> (usize, usize) {
+        (self.first_channel[view] as usize, self.count[view] as usize)
+    }
+
+    /// All entries, flat across views.
+    #[inline]
+    pub fn values_flat(&self) -> &'a [f32] {
+        self.values
+    }
+
+    /// Number of views.
+    #[inline]
+    pub fn num_views(&self) -> usize {
+        self.first_channel.len()
+    }
+
+    /// Total entries in this column (the dot-product length of the
+    /// paper's intra-voxel parallelism).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Largest entry (used for u8 quantization scaling).
+    pub fn max_value(&self) -> f32 {
+        self.values.iter().fold(0.0f32, |m, &v| m.max(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ImageGrid;
+
+    fn small() -> (Geometry, SystemMatrix) {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        (g, a)
+    }
+
+    #[test]
+    fn entries_nonnegative_and_bounded() {
+        let (g, a) = small();
+        let max_len = g.grid.pixel_size * std::f32::consts::SQRT_2;
+        for &v in &a.values {
+            assert!(v >= 0.0 && v <= max_len + 1e-4);
+        }
+    }
+
+    #[test]
+    fn row_sums_match_path_length() {
+        // Sum over channels of mean-length * channel width equals the
+        // trapezoid area within the detector: for a voxel well inside
+        // the FOV, sum_c A[c] * dc = pixel_size^2 for every view.
+        let (g, a) = small();
+        let j = g.grid.index(g.grid.ny / 2, g.grid.nx / 2);
+        let col = a.column(j);
+        for seg in col.segments() {
+            let s: f32 = seg.values.iter().sum();
+            assert!(
+                (s * g.channel_spacing - g.grid.pixel_size * g.grid.pixel_size).abs() < 1e-3,
+                "view {}: sum {}",
+                seg.view,
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_sinusoidal() {
+        // The first-channel trace of an off-center voxel follows
+        // round(channel_of(x cos + y sin)) to within the footprint width.
+        let (g, a) = small();
+        let (row, col) = (4, 18);
+        let j = g.grid.index(row, col);
+        let x = g.grid.x_of(col);
+        let y = g.grid.y_of(row);
+        for seg in a.column(j).segments() {
+            let tc = g.project_point(seg.view, x, y);
+            let center_ch = g.channel_of(tc);
+            assert!(
+                (seg.first_channel as f32 - center_ch).abs() < 3.0,
+                "view {}: first {} vs center {}",
+                seg.view,
+                seg.first_channel,
+                center_ch
+            );
+        }
+    }
+
+    #[test]
+    fn forward_of_zero_is_zero() {
+        let (g, a) = small();
+        let y = a.forward(&Image::zeros(g.grid));
+        assert_eq!(y.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn forward_linear_in_image() {
+        let (g, a) = small();
+        let mut img = Image::zeros(g.grid);
+        img.set(g.grid.index(10, 12), 1.0);
+        let y1 = a.forward(&img);
+        img.set(g.grid.index(10, 12), 2.0);
+        let y2 = a.forward(&img);
+        for (b, d) in y1.data().iter().zip(y2.data()) {
+            assert!((d - 2.0 * b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn adjointness() {
+        // <A x, s> == <x, A^T s> for random-ish x, s.
+        let (g, a) = small();
+        let mut img = Image::zeros(g.grid);
+        for j in 0..g.grid.num_voxels() {
+            img.set(j, ((j * 2654435761) % 97) as f32 / 97.0);
+        }
+        let mut s = Sinogram::zeros(&g);
+        for i in 0..s.data().len() {
+            s.data_mut()[i] = ((i * 40503) % 89) as f32 / 89.0;
+        }
+        let ax = a.forward(&img);
+        let ats = a.back(&s);
+        let lhs: f64 = ax.data().iter().zip(s.data()).map(|(&p, &q)| (p as f64) * (q as f64)).sum();
+        let rhs: f64 =
+            img.data().iter().zip(ats.data()).map(|(&p, &q)| (p as f64) * (q as f64)).sum();
+        let scale = lhs.abs().max(rhs.abs()).max(1.0);
+        assert!(((lhs - rhs) / scale).abs() < 1e-5, "lhs {lhs} rhs {rhs}");
+    }
+
+    #[test]
+    fn column_norm_matches_flat_values() {
+        let (g, a) = small();
+        let j = g.grid.index(3, 3);
+        let manual: f32 = a.column(j).values_flat().iter().map(|&v| v * v).sum();
+        assert_eq!(manual, a.column_norm_sq(j));
+    }
+
+    #[test]
+    fn segments_cover_all_values() {
+        let (g, a) = small();
+        for j in (0..g.grid.num_voxels()).step_by(37) {
+            let col = a.column(j);
+            let total: usize = col.segments().map(|s| s.values.len()).sum();
+            assert_eq!(total, col.nnz());
+        }
+    }
+
+    #[test]
+    fn mean_channels_is_about_sqrt2_plus_one() {
+        // With channel pitch == pixel size, the footprint spans between
+        // 1 and ~2.41 channels, so the mean run length is ~2-3.
+        let (_, a) = small();
+        let m = a.mean_channels_per_view();
+        assert!((1.5..=3.5).contains(&m), "mean {m}");
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let g = Geometry::tiny_scale();
+        let seq = SystemMatrix::compute(&g);
+        for threads in [1usize, 2, 3, 5] {
+            let par = SystemMatrix::compute_parallel(&g, threads);
+            assert_eq!(par.voxel_offset, seq.voxel_offset, "{threads} threads");
+            assert_eq!(par.first_channel, seq.first_channel);
+            assert_eq!(par.count, seq.count);
+            assert_eq!(par.values, seq.values);
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_uneven_splits() {
+        // 24x24 = 576 voxels over 7 threads: ragged last chunk.
+        let g = Geometry::tiny_scale();
+        let seq = SystemMatrix::compute(&g);
+        let par = SystemMatrix::compute_parallel(&g, 7);
+        assert_eq!(par.nnz(), seq.nnz());
+        for j in (0..g.grid.num_voxels()).step_by(29) {
+            assert_eq!(par.column(j).values_flat(), seq.column(j).values_flat());
+        }
+    }
+
+    #[test]
+    fn detector_clipping_at_fov_edge() {
+        // A geometry whose detector only just covers the FOV still
+        // produces valid (possibly clipped) runs for corner voxels.
+        let g = Geometry::new(16, 36, 1.0, ImageGrid::square(24, 1.0));
+        let a = SystemMatrix::compute(&g);
+        let j = g.grid.index(0, 0);
+        for seg in a.column(j).segments() {
+            assert!(seg.first_channel + seg.values.len() <= g.num_channels);
+        }
+    }
+}

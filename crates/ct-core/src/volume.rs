@@ -1,0 +1,251 @@
+//! 3-D volumes: stacks of axial slices.
+//!
+//! The paper reconstructs 2-D slices, but the MBIR formulation it
+//! builds on (Thibault et al., the paper's \[3\]) is three-dimensional:
+//! the MRF prior couples voxels *across* slices through a
+//! 26-neighbourhood, while (for parallel-beam scanners) each slice
+//! keeps its own independent sinogram. This module provides the volume
+//! container and the 3-D neighbourhood; the 3-D ICD driver lives in the
+//! `mbir` crate.
+
+use crate::geometry::ImageGrid;
+use crate::image::Image;
+
+/// A stack of `nz` slices on a shared in-plane grid, stored
+/// slice-major (z, then row-major within the slice).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Volume {
+    grid: ImageGrid,
+    nz: usize,
+    data: Vec<f32>,
+}
+
+impl Volume {
+    /// All-zero volume.
+    pub fn zeros(grid: ImageGrid, nz: usize) -> Self {
+        assert!(nz >= 1);
+        Volume { grid, nz, data: vec![0.0; grid.num_voxels() * nz] }
+    }
+
+    /// Stack existing slices (all on the same grid).
+    pub fn from_slices(slices: &[Image]) -> Self {
+        assert!(!slices.is_empty());
+        let grid = slices[0].grid();
+        let mut data = Vec::with_capacity(grid.num_voxels() * slices.len());
+        for s in slices {
+            assert_eq!(s.grid(), grid, "slices must share a grid");
+            data.extend_from_slice(s.data());
+        }
+        Volume { grid, nz: slices.len(), data }
+    }
+
+    /// In-plane grid.
+    pub fn grid(&self) -> ImageGrid {
+        self.grid
+    }
+
+    /// Number of slices.
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Total voxels.
+    pub fn num_voxels(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Linear index of `(z, in-plane index)`.
+    #[inline]
+    pub fn index(&self, z: usize, j: usize) -> usize {
+        debug_assert!(z < self.nz && j < self.grid.num_voxels());
+        z * self.grid.num_voxels() + j
+    }
+
+    /// Value at `(z, j)`.
+    #[inline]
+    pub fn get(&self, z: usize, j: usize) -> f32 {
+        self.data[self.index(z, j)]
+    }
+
+    /// Set value at `(z, j)`.
+    #[inline]
+    pub fn set(&mut self, z: usize, j: usize, v: f32) {
+        let i = self.index(z, j);
+        self.data[i] = v;
+    }
+
+    /// Borrow one slice as an [`Image`] copy.
+    pub fn slice(&self, z: usize) -> Image {
+        let n = self.grid.num_voxels();
+        Image::from_vec(self.grid, self.data[z * n..(z + 1) * n].to_vec())
+    }
+
+    /// Overwrite one slice.
+    pub fn set_slice(&mut self, z: usize, img: &Image) {
+        assert_eq!(img.grid(), self.grid);
+        let n = self.grid.num_voxels();
+        self.data[z * n..(z + 1) * n].copy_from_slice(img.data());
+    }
+
+    /// Raw data, slice-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// RMSE against another volume.
+    pub fn rmse(&self, other: &Volume) -> f32 {
+        assert_eq!(self.nz, other.nz);
+        assert_eq!(self.grid, other.grid);
+        let ss: f64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum();
+        ((ss / self.data.len() as f64) as f32).sqrt()
+    }
+
+    /// The 26-neighbourhood of voxel `(z, j)`: in-bounds neighbours
+    /// with their MRF weight class.
+    pub fn neighbors26(&self, z: usize, j: usize) -> Vec<(usize, usize, NeighborClass)> {
+        let (row, col) = self.grid.row_col(j);
+        let mut out = Vec::with_capacity(26);
+        for dz in -1i32..=1 {
+            for dr in -1i32..=1 {
+                for dc in -1i32..=1 {
+                    if dz == 0 && dr == 0 && dc == 0 {
+                        continue;
+                    }
+                    let zz = z as i32 + dz;
+                    let r = row as i32 + dr;
+                    let c = col as i32 + dc;
+                    if zz < 0
+                        || r < 0
+                        || c < 0
+                        || zz as usize >= self.nz
+                        || r as usize >= self.grid.ny
+                        || c as usize >= self.grid.nx
+                    {
+                        continue;
+                    }
+                    let manhattan = dz.abs() + dr.abs() + dc.abs();
+                    let class = match manhattan {
+                        1 => NeighborClass::Face,
+                        2 => NeighborClass::Edge,
+                        _ => NeighborClass::Corner,
+                    };
+                    out.push((zz as usize, self.grid.index(r as usize, c as usize), class));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Distance class of a 3-D neighbour (weights scale with 1/distance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborClass {
+    /// Axis neighbour (distance 1).
+    Face,
+    /// In-plane or through-plane diagonal (distance sqrt(2)).
+    Edge,
+    /// Body diagonal (distance sqrt(3)).
+    Corner,
+}
+
+impl NeighborClass {
+    /// Unnormalized clique weight `1 / distance`.
+    pub fn raw_weight(self) -> f32 {
+        match self {
+            NeighborClass::Face => 1.0,
+            NeighborClass::Edge => 1.0 / std::f32::consts::SQRT_2,
+            NeighborClass::Corner => 1.0 / 1.732_050_8,
+        }
+    }
+
+    /// Weight normalized so a full 26-neighbourhood sums to 1.
+    pub fn weight(self) -> f32 {
+        // 6 faces + 12 edges + 8 corners.
+        let total = 6.0 + 12.0 / std::f32::consts::SQRT_2 + 8.0 / 1.732_050_8;
+        self.raw_weight() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol() -> Volume {
+        Volume::zeros(ImageGrid::square(4, 1.0), 3)
+    }
+
+    #[test]
+    fn indexing_and_slices() {
+        let mut v = vol();
+        v.set(1, 5, 2.5);
+        assert_eq!(v.get(1, 5), 2.5);
+        assert_eq!(v.get(0, 5), 0.0);
+        let s = v.slice(1);
+        assert_eq!(s.get(5), 2.5);
+        let mut img = Image::zeros(ImageGrid::square(4, 1.0));
+        img.set(0, 7.0);
+        v.set_slice(2, &img);
+        assert_eq!(v.get(2, 0), 7.0);
+    }
+
+    #[test]
+    fn from_slices_roundtrip() {
+        let grid = ImageGrid::square(4, 1.0);
+        let slices: Vec<Image> =
+            (0..3).map(|z| Image::from_vec(grid, vec![z as f32; 16])).collect();
+        let v = Volume::from_slices(&slices);
+        assert_eq!(v.nz(), 3);
+        for (z, s) in slices.iter().enumerate() {
+            assert_eq!(&v.slice(z), s);
+        }
+    }
+
+    #[test]
+    fn neighbor_counts() {
+        let v = vol();
+        // Interior voxel of the middle slice: full 26.
+        let center = v.grid().index(1, 1);
+        assert_eq!(v.neighbors26(1, center).len(), 26);
+        // Corner of the bottom slice: 2x2x2 cube minus itself = 7.
+        assert_eq!(v.neighbors26(0, 0).len(), 7);
+    }
+
+    #[test]
+    fn neighbor_classes() {
+        let v = vol();
+        let center = v.grid().index(1, 1);
+        let n = v.neighbors26(1, center);
+        let faces = n.iter().filter(|(_, _, c)| *c == NeighborClass::Face).count();
+        let edges = n.iter().filter(|(_, _, c)| *c == NeighborClass::Edge).count();
+        let corners = n.iter().filter(|(_, _, c)| *c == NeighborClass::Corner).count();
+        assert_eq!((faces, edges, corners), (6, 12, 8));
+    }
+
+    #[test]
+    fn weights_normalized() {
+        let sum = 6.0 * NeighborClass::Face.weight()
+            + 12.0 * NeighborClass::Edge.weight()
+            + 8.0 * NeighborClass::Corner.weight();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rmse_counts_all_slices() {
+        let a = vol();
+        let mut b = vol();
+        for z in 0..3 {
+            for j in 0..16 {
+                b.set(z, j, 1.0);
+            }
+        }
+        assert!((a.rmse(&b) - 1.0).abs() < 1e-6);
+    }
+}

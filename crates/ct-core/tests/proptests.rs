@@ -1,0 +1,114 @@
+//! Property-based tests for the CT substrate.
+
+use ct_core::footprint::Trapezoid;
+use ct_core::geometry::{Geometry, ImageGrid};
+use ct_core::hu::{hu_from_mu, mu_from_hu};
+use ct_core::phantom::Phantom;
+use ct_core::sysmat::SystemMatrix;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn shared() -> &'static (Geometry, SystemMatrix) {
+    static S: OnceLock<(Geometry, SystemMatrix)> = OnceLock::new();
+    S.get_or_init(|| {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        (g, a)
+    })
+}
+
+proptest! {
+    /// The footprint's total area equals the voxel area for any angle
+    /// and pixel size.
+    #[test]
+    fn trapezoid_area_is_pixel_area(theta in 0.0f32..std::f32::consts::PI, d in 0.1f32..4.0) {
+        let t = Trapezoid::at_angle(theta, d);
+        prop_assert!((t.area() - d * d).abs() < d * d * 1e-3);
+    }
+
+    /// The cumulative integral is monotone and bounded for any angle.
+    #[test]
+    fn trapezoid_cumulative_monotone(theta in 0.0f32..std::f32::consts::PI, u in -3.0f32..3.0) {
+        let t = Trapezoid::at_angle(theta, 1.0);
+        let f = t.cumulative(u);
+        prop_assert!((0.0..=t.area() + 1e-5).contains(&f));
+        prop_assert!(t.cumulative(u + 0.1) >= f - 1e-6);
+    }
+
+    /// Integrals are additive over adjacent intervals.
+    #[test]
+    fn trapezoid_integral_additive(
+        theta in 0.0f32..std::f32::consts::PI,
+        a in -2.0f32..1.0,
+        mid_frac in 0.0f32..1.0,
+        len in 0.01f32..3.0,
+    ) {
+        let t = Trapezoid::at_angle(theta, 1.3);
+        let b = a + len;
+        let m = a + len * mid_frac;
+        let whole = t.integral(a, b);
+        let split = t.integral(a, m) + t.integral(m, b);
+        prop_assert!((whole - split).abs() < 1e-4);
+    }
+
+    /// Channel coordinates invert exactly.
+    #[test]
+    fn channel_roundtrip(ch in 0usize..40) {
+        let (g, _) = shared();
+        let t = g.channel_center(ch);
+        prop_assert!((g.channel_of(t) - ch as f32).abs() < 1e-3);
+    }
+
+    /// Grid index/coordinate round-trips for arbitrary grid sizes.
+    #[test]
+    fn grid_roundtrip(n in 2usize..64, idx_seed in 0usize..4096) {
+        let grid = ImageGrid::square(n, 1.0);
+        let idx = idx_seed % grid.num_voxels();
+        let (r, c) = grid.row_col(idx);
+        prop_assert_eq!(grid.index(r, c), idx);
+        // Coordinates are centered: extremes are symmetric.
+        prop_assert!((grid.x_of(0) + grid.x_of(n - 1)).abs() < 1e-4);
+    }
+
+    /// Every system-matrix run stays inside the detector for any voxel.
+    #[test]
+    fn runs_stay_on_detector(j in 0usize..576) {
+        let (g, a) = shared();
+        let col = a.column(j);
+        for seg in col.segments() {
+            prop_assert!(seg.first_channel + seg.values.len() <= g.num_channels);
+            for &v in seg.values {
+                prop_assert!(v >= 0.0);
+            }
+        }
+    }
+
+    /// Phantom rendering is deterministic and nonnegative for any seed.
+    #[test]
+    fn baggage_rendering_sane(seed in 0u64..64) {
+        let grid = ImageGrid::square(32, 1.0);
+        let img = Phantom::baggage(seed).render(grid, 1);
+        prop_assert!(img.data().iter().all(|&v| v.is_finite() && v >= 0.0));
+        prop_assert_eq!(&img, &Phantom::baggage(seed).render(grid, 1));
+    }
+
+    /// HU conversions invert across the full clinical range.
+    #[test]
+    fn hu_roundtrip(hu in -1000.0f32..4000.0) {
+        prop_assert!((hu_from_mu(mu_from_hu(hu)) - hu).abs() < 0.01);
+    }
+
+    /// Forward projection is linear: A(ax) = a * A(x).
+    #[test]
+    fn forward_projection_homogeneous(scale in 0.1f32..5.0, j in 0usize..576) {
+        let (g, a) = shared();
+        let mut img = ct_core::image::Image::zeros(g.grid);
+        img.set(j, 1.0);
+        let y1 = a.forward(&img);
+        img.set(j, scale);
+        let y2 = a.forward(&img);
+        for (p, q) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((q - scale * p).abs() < 1e-4 + p.abs() * 1e-3);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Trace-driven set-associative LRU cache simulation.
+//!
+//! Used for the unified L1/texture path (paper Table 2's hit rates)
+//! and for small-scale L2 validation of the analytic reuse classes the
+//! timing model uses at full scale.
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity, bytes.
+    pub size_bytes: u32,
+    /// Line size, bytes (power of two).
+    pub line_bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// The Maxwell unified L1/texture cache: 24 KB, 32 B lines,
+    /// 8 ways.
+    pub fn maxwell_l1_tex() -> Self {
+        CacheConfig { size_bytes: 24 * 1024, line_bytes: 32, ways: 8 }
+    }
+
+    /// The Maxwell L2: 3 MB, 32 B sectors, 16 ways.
+    pub fn maxwell_l2() -> Self {
+        CacheConfig { size_bytes: 3 * 1024 * 1024, line_bytes: 32, ways: 16 }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 for an untouched cache).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses (`accesses - hits`).
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+}
+
+/// A set-associative LRU cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: tags ordered most-recently-used first.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// An empty (cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two());
+        assert!(config.num_sets() >= 1, "degenerate cache geometry");
+        Cache { config, sets: vec![Vec::new(); config.num_sets() as usize], stats: CacheStats::default() }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Access the line containing `addr`; returns whether it hit, and
+    /// updates LRU state and stats.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes as u64;
+        let set_idx = (line % self.config.num_sets() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        self.stats.accesses += 1;
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            self.stats.hits += 1;
+            true
+        } else {
+            set.insert(0, line);
+            if set.len() > self.config.ways as usize {
+                set.pop();
+            }
+            false
+        }
+    }
+
+    /// Access a byte range, touching every covered line. Returns the
+    /// number of line misses.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) -> u64 {
+        let lb = self.config.line_bytes as u64;
+        let first = addr / lb;
+        let last = (addr + bytes.max(1) - 1) / lb;
+        let mut misses = 0;
+        for line in first..=last {
+            if !self.access(line * lb) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop all contents and counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 32B lines = 256 bytes.
+        Cache::new(CacheConfig { size_bytes: 256, line_bytes: 32, ways: 2 })
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CacheConfig::maxwell_l1_tex().num_sets(), 96);
+        assert_eq!(CacheConfig::maxwell_l2().num_sets(), 6144);
+        assert_eq!(tiny().config().num_sets(), 4);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(4)); // same line
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn conflict_eviction_lru() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (line % 4 == 0) in a 2-way set.
+        assert!(!c.access(0));
+        assert!(!c.access(4 * 32));
+        assert!(!c.access(8 * 32)); // evicts line 0 (LRU)
+        assert!(!c.access(0)); // miss again
+        assert!(c.access(8 * 32)); // still resident
+    }
+
+    #[test]
+    fn lru_promotion_on_hit() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(4 * 32);
+        c.access(0); // promote line 0 to MRU
+        c.access(8 * 32); // evicts line 4 now
+        assert!(c.access(0));
+        assert!(!c.access(4 * 32));
+    }
+
+    #[test]
+    fn hits_plus_misses_equal_accesses() {
+        let mut c = tiny();
+        for i in 0..1000u64 {
+            c.access((i * 13) % 512);
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses(), s.accesses);
+        assert!((0.0..=1.0).contains(&s.hit_rate()));
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_after_warmup() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 32, ways: 4 });
+        // 512-byte working set fits; second sweep is all hits.
+        for addr in (0..512).step_by(32) {
+            c.access(addr);
+        }
+        c.reset();
+        for addr in (0..512).step_by(32) {
+            c.access(addr);
+        }
+        for addr in (0..512).step_by(32) {
+            assert!(c.access(addr));
+        }
+    }
+
+    #[test]
+    fn streaming_overflow_always_misses() {
+        let mut c = tiny();
+        // A 16KB stream through a 256B cache: second sweep still misses.
+        for addr in (0..16384).step_by(32) {
+            c.access(addr);
+        }
+        let before = c.stats().misses();
+        for addr in (0..16384).step_by(32) {
+            c.access(addr);
+        }
+        assert_eq!(c.stats().misses(), before * 2);
+    }
+
+    #[test]
+    fn access_range_touches_every_line() {
+        let mut c = tiny();
+        let misses = c.access_range(16, 64); // spans lines 0,1,2
+        assert_eq!(misses, 3);
+        assert_eq!(c.access_range(16, 64), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(!c.access(0));
+    }
+}

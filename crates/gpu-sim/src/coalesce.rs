@@ -1,0 +1,129 @@
+//! Warp-level memory coalescing (paper Section 4.1).
+//!
+//! When the 32 threads of a warp issue a memory instruction, the
+//! hardware merges their byte addresses into 32-byte sector
+//! transactions. Neighbouring addresses coalesce into few transactions;
+//! scattered addresses (the naive sensor-major MBIR layout) expand into
+//! up to 32 transactions, each moving mostly useless bytes.
+
+/// Sector (minimum transaction) size in bytes.
+pub const SECTOR_BYTES: u64 = 32;
+
+/// Number of 32-byte transactions needed to service one warp memory
+/// instruction, given each lane's byte address and the access size.
+pub fn transactions(addresses: &[u64], access_bytes: u32) -> u32 {
+    let mut sectors: Vec<u64> = addresses
+        .iter()
+        .flat_map(|&a| {
+            let first = a / SECTOR_BYTES;
+            let last = (a + access_bytes as u64 - 1) / SECTOR_BYTES;
+            first..=last
+        })
+        .collect();
+    sectors.sort_unstable();
+    sectors.dedup();
+    sectors.len() as u32
+}
+
+/// Transactions for an affine warp access: lane `i` reads
+/// `base + i * stride_bytes`, each access `access_bytes` wide.
+/// Exact closed form for the patterns the chunked layout produces.
+pub fn affine_transactions(base: u64, stride_bytes: u32, access_bytes: u32, lanes: u32) -> u32 {
+    if lanes == 0 {
+        return 0;
+    }
+    if stride_bytes == 0 {
+        // All lanes hit the same element.
+        return transactions(&[base], access_bytes);
+    }
+    let first = base / SECTOR_BYTES;
+    let last_addr = base + (lanes as u64 - 1) * stride_bytes as u64;
+    let last = (last_addr + access_bytes as u64 - 1) / SECTOR_BYTES;
+    if stride_bytes <= SECTOR_BYTES as u32 {
+        // Contiguous or overlapping coverage: every sector in the span
+        // is touched.
+        (last - first + 1) as u32
+    } else {
+        // Sparse: each lane touches its own sector(s).
+        let per_lane = ((base % SECTOR_BYTES) + access_bytes as u64).div_ceil(SECTOR_BYTES) as u32;
+        lanes * per_lane.max(1)
+    }
+}
+
+/// Bus efficiency of a warp access: useful bytes / transferred bytes.
+pub fn efficiency(addresses: &[u64], access_bytes: u32) -> f64 {
+    let useful = addresses.len() as u64 * access_bytes as u64;
+    let moved = transactions(addresses, access_bytes) as u64 * SECTOR_BYTES;
+    useful as f64 / moved as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes(base: u64, stride: u64, n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| base + i * stride).collect()
+    }
+
+    #[test]
+    fn fully_coalesced_f32() {
+        // 32 consecutive aligned floats = 128 bytes = 4 sectors.
+        let a = lanes(0, 4, 32);
+        assert_eq!(transactions(&a, 4), 4);
+        assert!((efficiency(&a, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_coalesced_f64() {
+        // 32 consecutive doubles = 256 bytes = 8 sectors.
+        let a = lanes(0, 8, 32);
+        assert_eq!(transactions(&a, 8), 8);
+        assert!((efficiency(&a, 8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misaligned_adds_one_sector() {
+        let a = lanes(4, 4, 32); // starts 4 bytes into a sector
+        assert_eq!(transactions(&a, 4), 5);
+    }
+
+    #[test]
+    fn fully_scattered_is_32_transactions() {
+        let a = lanes(0, 1024, 32);
+        assert_eq!(transactions(&a, 4), 32);
+        assert!((efficiency(&a, 4) - 4.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_is_one_transaction() {
+        let a = vec![64u64; 32];
+        assert_eq!(transactions(&a, 4), 1);
+    }
+
+    #[test]
+    fn byte_accesses_coalesce_8x_denser() {
+        // 32 consecutive bytes (the u8 A-matrix) = 1 sector.
+        let a = lanes(0, 1, 32);
+        assert_eq!(transactions(&a, 1), 1);
+    }
+
+    #[test]
+    fn affine_matches_exact_for_common_strides() {
+        for &(base, stride, size, n) in
+            &[(0u64, 4u32, 4u32, 32u32), (4, 4, 4, 32), (0, 8, 8, 32), (0, 64, 4, 32), (128, 1, 1, 32), (0, 4, 4, 7)]
+        {
+            let addrs: Vec<u64> = (0..n as u64).map(|i| base + i * stride as u64).collect();
+            assert_eq!(
+                affine_transactions(base, stride, size, n),
+                transactions(&addrs, size),
+                "base {base} stride {stride} size {size} n {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn affine_zero_stride() {
+        assert_eq!(affine_transactions(100, 0, 4, 32), 1);
+        assert_eq!(affine_transactions(0, 4, 4, 0), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Block scheduling across SMMs.
+//!
+//! A kernel launch dispatches its blocks to SMMs; each SMM holds at
+//! most `blocks_per_smm` (from the occupancy calculation) concurrently
+//! and picks up the next waiting block as one retires. Kernel time is
+//! the makespan of this greedy list schedule — which is exactly where
+//! load imbalance from zero-skipping (static vs dynamic voxel
+//! distribution) and underfilled batches (the batch threshold) shows
+//! up in the paper's Table 3.
+
+use crate::occupancy::Occupancy;
+use crate::spec::GpuSpec;
+
+/// Makespan of greedy list scheduling of `block_times` onto
+/// `slots` concurrent executors (seconds in, seconds out).
+pub fn makespan(block_times: &[f64], slots: usize) -> f64 {
+    assert!(slots >= 1);
+    if block_times.is_empty() {
+        return 0.0;
+    }
+    let mut finish = vec![0.0f64; slots.min(block_times.len())];
+    for &t in block_times {
+        // Assign to the earliest-finishing slot.
+        let (idx, _) = finish
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("slots >= 1");
+        finish[idx] += t;
+    }
+    finish.iter().copied().fold(0.0, f64::max)
+}
+
+/// Dispatches kernel launches on a GPU: turns per-block durations plus
+/// occupancy into a launch makespan.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    spec: GpuSpec,
+}
+
+impl Dispatcher {
+    /// A dispatcher for the given machine.
+    pub fn new(spec: GpuSpec) -> Self {
+        Dispatcher { spec }
+    }
+
+    /// The machine.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Concurrent block slots across the whole GPU for a kernel with
+    /// the given occupancy.
+    pub fn concurrent_blocks(&self, occ: &Occupancy) -> usize {
+        (occ.blocks_per_smm as usize).max(1) * self.spec.num_smm as usize
+    }
+
+    /// Makespan (seconds) of one kernel launch, including the fixed
+    /// launch overhead.
+    pub fn launch(&self, block_times: &[f64], occ: &Occupancy) -> f64 {
+        self.spec.kernel_launch_us * 1e-6 + makespan(block_times, self.concurrent_blocks(occ))
+    }
+
+    /// Utilization of a launch: total block work / (makespan x slots).
+    /// 1.0 means no idle slots; low values signal the underutilization
+    /// the paper's batch threshold avoids.
+    pub fn utilization(&self, block_times: &[f64], occ: &Occupancy) -> f64 {
+        let slots = self.concurrent_blocks(occ) as f64;
+        let total: f64 = block_times.iter().sum();
+        let ms = makespan(block_times, self.concurrent_blocks(occ));
+        if ms == 0.0 {
+            1.0
+        } else {
+            total / (ms * slots)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::{occupancy, BlockResources};
+
+    #[test]
+    fn single_slot_sums() {
+        assert_eq!(makespan(&[1.0, 2.0, 3.0], 1), 6.0);
+    }
+
+    #[test]
+    fn perfectly_parallel() {
+        assert_eq!(makespan(&[1.0; 8], 8), 1.0);
+        assert_eq!(makespan(&[1.0; 8], 16), 1.0);
+    }
+
+    #[test]
+    fn imbalance_dominates() {
+        // One long block serializes the tail.
+        let times = [10.0, 1.0, 1.0, 1.0];
+        assert_eq!(makespan(&times, 4), 10.0);
+    }
+
+    #[test]
+    fn greedy_two_slots() {
+        // 3,3,2,2 on 2 slots -> 5.
+        assert_eq!(makespan(&[3.0, 3.0, 2.0, 2.0], 2), 5.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn dispatcher_accounts_launch_overhead() {
+        let d = Dispatcher::new(GpuSpec::titan_x_maxwell());
+        let occ = occupancy(
+            d.spec(),
+            BlockResources { threads: 256, regs_per_thread: 32, shared_mem: 0 },
+        );
+        let t = d.launch(&[], &occ);
+        assert!((t - 6.0e-6).abs() < 1e-12);
+        // 8 blocks/SMM x 24 SMMs = 192 concurrent blocks.
+        assert_eq!(d.concurrent_blocks(&occ), 192);
+    }
+
+    #[test]
+    fn utilization_detects_underfilled_launches() {
+        let d = Dispatcher::new(GpuSpec::titan_x_maxwell());
+        let occ = occupancy(
+            d.spec(),
+            BlockResources { threads: 256, regs_per_thread: 32, shared_mem: 0 },
+        );
+        // 8 equal blocks on 192 slots: utilization is tiny.
+        let low = d.utilization(&[1.0; 8], &occ);
+        let high = d.utilization(&[1.0; 192], &occ);
+        assert!(low < 0.1);
+        assert!((high - 1.0).abs() < 1e-9);
+    }
+}

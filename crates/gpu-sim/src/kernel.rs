@@ -1,0 +1,520 @@
+//! A tiny warp-level kernel IR with a trace-driven executor.
+//!
+//! The analytic work model (`timing`) prices *aggregate* tallies; this
+//! module lets a kernel be written down as explicit warp operations and
+//! executed against the coalescer, the bank-conflict rules, and the
+//! cache simulators — producing an exact [`BlockWork`] from first
+//! principles. The GPU-ICD crate expresses its MBIR inner loops in this
+//! IR and cross-validates the analytic profiles against the trace
+//! (see its `validation` tests), which is how the model's constants
+//! earn their keep.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::coalesce::{transactions, SECTOR_BYTES};
+use crate::spec::GpuSpec;
+use crate::timing::BlockWork;
+
+/// Address space of a memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Space {
+    /// Device memory through L2 (global loads skip L1 on Maxwell).
+    Global,
+    /// The read-only texture/L1 path (then L2, then DRAM).
+    Texture,
+    /// On-chip shared memory (banked).
+    Shared,
+}
+
+/// The byte addresses a warp instruction touches, one per active lane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AddrPattern {
+    /// Lane `i` accesses `base + i * stride`.
+    Affine {
+        /// Byte address of lane 0.
+        base: u64,
+        /// Byte stride between lanes.
+        stride: u32,
+        /// Active lanes (1..=32).
+        lanes: u32,
+    },
+    /// Arbitrary per-lane addresses (scattered access).
+    Explicit(Vec<u64>),
+    /// Every lane reads the same address.
+    Broadcast(u64),
+}
+
+impl AddrPattern {
+    /// Materialize the lane addresses.
+    pub fn addresses(&self) -> Vec<u64> {
+        match self {
+            AddrPattern::Affine { base, stride, lanes } => {
+                (0..*lanes as u64).map(|i| base + i * *stride as u64).collect()
+            }
+            AddrPattern::Explicit(v) => v.clone(),
+            AddrPattern::Broadcast(a) => vec![*a; 32],
+        }
+    }
+
+    /// Number of active lanes.
+    pub fn lanes(&self) -> u32 {
+        match self {
+            AddrPattern::Affine { lanes, .. } => *lanes,
+            AddrPattern::Explicit(v) => v.len() as u32,
+            AddrPattern::Broadcast(_) => 32,
+        }
+    }
+}
+
+/// One warp-level operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Warp load: each active lane reads `bytes` at its address.
+    Load {
+        /// Address space.
+        space: Space,
+        /// Lane addresses.
+        addrs: AddrPattern,
+        /// Access width per lane.
+        bytes: u32,
+    },
+    /// Warp store (global or shared).
+    Store {
+        /// Address space.
+        space: Space,
+        /// Lane addresses.
+        addrs: AddrPattern,
+        /// Access width per lane.
+        bytes: u32,
+    },
+    /// Warp-wide atomic add to global memory.
+    AtomicAdd {
+        /// Lane addresses.
+        addrs: AddrPattern,
+        /// Access width per lane.
+        bytes: u32,
+    },
+    /// Arithmetic: `flops_per_lane` FLOPs on `active_lanes` lanes.
+    Arith {
+        /// FLOPs per active lane.
+        flops_per_lane: f32,
+        /// Active lanes (divergence).
+        active_lanes: u32,
+    },
+    /// Block-wide barrier (`__syncthreads`).
+    Sync,
+}
+
+/// A straight-line warp program.
+#[derive(Debug, Clone, Default)]
+pub struct WarpProgram {
+    /// Operations in issue order.
+    pub ops: Vec<Op>,
+}
+
+impl WarpProgram {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an op (builder style).
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+}
+
+/// Serialization degree of a shared-memory warp access: the maximum
+/// number of lanes hitting the same bank (32 banks of 4-byte words;
+/// broadcast from one address is conflict-free).
+pub fn shared_bank_conflict(addrs: &[u64]) -> u32 {
+    if addrs.is_empty() {
+        return 1;
+    }
+    let mut per_bank = [0u32; 32];
+    let mut words: Vec<u64> = addrs.iter().map(|a| a / 4).collect();
+    words.sort_unstable();
+    words.dedup();
+    if words.len() == 1 {
+        return 1; // broadcast
+    }
+    for w in words {
+        per_bank[(w % 32) as usize] += 1;
+    }
+    per_bank.iter().copied().max().unwrap_or(1).max(1)
+}
+
+/// Serialization degree of a warp atomic: the maximum number of lanes
+/// addressing the same memory word.
+pub fn atomic_conflict_degree(addrs: &[u64], bytes: u32) -> u32 {
+    let mut words: Vec<u64> = addrs.iter().map(|a| a / bytes.max(1) as u64).collect();
+    words.sort_unstable();
+    let mut best = 1u32;
+    let mut run = 1u32;
+    for i in 1..words.len() {
+        if words[i] == words[i - 1] {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 1;
+        }
+    }
+    best
+}
+
+/// Counters accumulated by a trace execution.
+#[derive(Debug, Clone, Default)]
+pub struct TraceResult {
+    /// Warp instructions issued (including replays for multi-
+    /// transaction accesses).
+    pub instructions: f64,
+    /// FLOPs executed.
+    pub flops: f64,
+    /// 32-byte transactions presented to L2 (global + texture misses
+    /// + atomics).
+    pub l2_transactions: u64,
+    /// 32-byte transactions presented to the texture/L1 path.
+    pub tex_transactions: u64,
+    /// Bytes moved to/from shared memory.
+    pub shared_bytes: f64,
+    /// Bytes that missed L2 and reached DRAM.
+    pub dram_bytes: f64,
+    /// Atomic operations (per lane).
+    pub atomics: f64,
+    /// Aggregate atomic serialization (weighted mean degree).
+    pub atomic_conflict_sum: f64,
+    /// Barriers executed.
+    pub syncs: u64,
+    /// L1/texture cache counters.
+    pub l1_stats: CacheStats,
+    /// L2 cache counters.
+    pub l2_stats: CacheStats,
+}
+
+impl TraceResult {
+    /// Convert to the analytic model's [`BlockWork`] currency.
+    pub fn to_block_work(&self) -> BlockWork {
+        BlockWork {
+            flops: self.flops,
+            instructions: self.instructions,
+            l2_bytes: self.l2_transactions as f64 * SECTOR_BYTES as f64,
+            tex_bytes: self.tex_transactions as f64 * SECTOR_BYTES as f64,
+            dram_bytes: self.dram_bytes,
+            shared_bytes: self.shared_bytes,
+            atomics: self.atomics,
+            atomic_conflict: if self.atomics > 0.0 {
+                self.atomic_conflict_sum / self.atomics
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Mean bus efficiency of global/texture traffic: useful bytes per
+    /// transferred byte (1.0 = perfectly coalesced).
+    pub fn useful_fraction(&self, useful_bytes: f64) -> f64 {
+        let moved = (self.l2_transactions + self.tex_transactions) as f64 * SECTOR_BYTES as f64;
+        if moved == 0.0 {
+            1.0
+        } else {
+            useful_bytes / moved
+        }
+    }
+}
+
+/// Trace-driven executor: runs warp programs against per-SMM L1 and
+/// device-wide L2 cache simulations.
+#[derive(Debug)]
+pub struct TraceExecutor {
+    l1: Cache,
+    l2: Cache,
+}
+
+impl Default for TraceExecutor {
+    fn default() -> Self {
+        Self::new(&GpuSpec::titan_x_maxwell())
+    }
+}
+
+impl TraceExecutor {
+    /// Executor with cold caches sized from `spec`.
+    pub fn new(spec: &GpuSpec) -> Self {
+        TraceExecutor {
+            l1: Cache::new(CacheConfig {
+                size_bytes: spec.l1_tex_bytes_per_smm,
+                line_bytes: spec.sector_bytes,
+                ways: 8,
+            }),
+            l2: Cache::new(CacheConfig {
+                size_bytes: spec.l2_bytes,
+                line_bytes: spec.sector_bytes,
+                ways: 16,
+            }),
+        }
+    }
+
+    /// Drop cache contents between kernels.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+    }
+
+    /// Execute a block's warps, interleaving them round-robin (one op
+    /// per warp per round — the scheduler's fair approximation).
+    pub fn run_block(&mut self, warps: &[WarpProgram]) -> TraceResult {
+        let mut r = TraceResult::default();
+        let mut pc = vec![0usize; warps.len()];
+        let mut live = warps.len();
+        while live > 0 {
+            live = 0;
+            for (w, prog) in warps.iter().enumerate() {
+                if pc[w] >= prog.ops.len() {
+                    continue;
+                }
+                self.step(&prog.ops[pc[w]], &mut r);
+                pc[w] += 1;
+                if pc[w] < prog.ops.len() {
+                    live += 1;
+                }
+            }
+        }
+        r
+    }
+
+    fn step(&mut self, op: &Op, r: &mut TraceResult) {
+        match op {
+            Op::Load { space, addrs, bytes } | Op::Store { space, addrs, bytes } => {
+                let lane_addrs = addrs.addresses();
+                match space {
+                    Space::Shared => {
+                        let conflict = shared_bank_conflict(&lane_addrs);
+                        r.instructions += conflict as f64;
+                        r.shared_bytes += lane_addrs.len() as f64 * *bytes as f64;
+                    }
+                    Space::Global => {
+                        let t = transactions(&lane_addrs, *bytes) as u64;
+                        r.instructions += t.max(1) as f64; // replays
+                        r.l2_transactions += t;
+                        self.touch_l2(&lane_addrs, *bytes, r);
+                    }
+                    Space::Texture => {
+                        let t = transactions(&lane_addrs, *bytes) as u64;
+                        r.instructions += t.max(1) as f64;
+                        r.tex_transactions += t;
+                        // Sector-level L1 accesses; misses continue to
+                        // L2, whose misses continue to DRAM.
+                        for sector in sectors(&lane_addrs, *bytes) {
+                            r.l1_stats.accesses += 1;
+                            if self.l1.access(sector * SECTOR_BYTES) {
+                                r.l1_stats.hits += 1;
+                            } else {
+                                r.l2_transactions += 1;
+                                r.l2_stats.accesses += 1;
+                                if self.l2.access(sector * SECTOR_BYTES) {
+                                    r.l2_stats.hits += 1;
+                                } else {
+                                    r.dram_bytes += SECTOR_BYTES as f64;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Op::AtomicAdd { addrs, bytes } => {
+                let lane_addrs = addrs.addresses();
+                let degree = atomic_conflict_degree(&lane_addrs, *bytes);
+                r.instructions += degree as f64;
+                r.atomics += lane_addrs.len() as f64;
+                r.atomic_conflict_sum += lane_addrs.len() as f64 * degree as f64;
+                let t = transactions(&lane_addrs, *bytes) as u64;
+                r.l2_transactions += t;
+                self.touch_l2(&lane_addrs, *bytes, r);
+            }
+            Op::Arith { flops_per_lane, active_lanes } => {
+                r.instructions += 1.0;
+                r.flops += *flops_per_lane as f64 * *active_lanes as f64;
+            }
+            Op::Sync => {
+                r.instructions += 1.0;
+                r.syncs += 1;
+            }
+        }
+    }
+
+    fn touch_l2(&mut self, lane_addrs: &[u64], bytes: u32, r: &mut TraceResult) {
+        for sector in sectors(lane_addrs, bytes) {
+            r.l2_stats.accesses += 1;
+            if self.l2.access(sector * SECTOR_BYTES) {
+                r.l2_stats.hits += 1;
+            } else {
+                r.dram_bytes += SECTOR_BYTES as f64;
+            }
+        }
+    }
+}
+
+/// The distinct 32-byte sectors a warp access touches.
+fn sectors(addrs: &[u64], bytes: u32) -> Vec<u64> {
+    let mut s: Vec<u64> = addrs
+        .iter()
+        .flat_map(|&a| {
+            let first = a / SECTOR_BYTES;
+            let last = (a + bytes as u64 - 1) / SECTOR_BYTES;
+            first..=last
+        })
+        .collect();
+    s.sort_unstable();
+    s.dedup();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn affine(base: u64, stride: u32, lanes: u32) -> AddrPattern {
+        AddrPattern::Affine { base, stride, lanes }
+    }
+
+    #[test]
+    fn coalesced_global_load_counts_four_transactions() {
+        let mut ex = TraceExecutor::default();
+        let mut prog = WarpProgram::new();
+        prog.push(Op::Load { space: Space::Global, addrs: affine(0, 4, 32), bytes: 4 });
+        let r = ex.run_block(&[prog]);
+        assert_eq!(r.l2_transactions, 4);
+        assert_eq!(r.instructions, 4.0);
+        assert_eq!(r.dram_bytes, 128.0); // cold cache: all to DRAM
+        assert!((r.useful_fraction(128.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scattered_load_replays_32_times() {
+        let mut ex = TraceExecutor::default();
+        let mut prog = WarpProgram::new();
+        prog.push(Op::Load { space: Space::Global, addrs: affine(0, 1024, 32), bytes: 4 });
+        let r = ex.run_block(&[prog]);
+        assert_eq!(r.l2_transactions, 32);
+        assert_eq!(r.instructions, 32.0);
+        assert!((r.useful_fraction(128.0) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_pass_hits_l2() {
+        let mut ex = TraceExecutor::default();
+        let mut prog = WarpProgram::new();
+        for _ in 0..2 {
+            prog.push(Op::Load { space: Space::Global, addrs: affine(0, 4, 32), bytes: 4 });
+        }
+        let r = ex.run_block(&[prog]);
+        assert_eq!(r.l2_transactions, 8);
+        assert_eq!(r.dram_bytes, 128.0); // second pass hits L2
+        assert_eq!(r.l2_stats.hits, 4);
+    }
+
+    #[test]
+    fn texture_path_populates_l1() {
+        let mut ex = TraceExecutor::default();
+        let mut prog = WarpProgram::new();
+        for _ in 0..2 {
+            prog.push(Op::Load { space: Space::Texture, addrs: affine(0, 1, 32), bytes: 1 });
+        }
+        let r = ex.run_block(&[prog]);
+        // 32 consecutive bytes = 1 sector; first access misses L1 and
+        // L2 (cold), second hits L1.
+        assert_eq!(r.tex_transactions, 2);
+        assert_eq!(r.l1_stats.accesses, 2);
+        assert_eq!(r.l1_stats.hits, 1);
+        assert_eq!(r.dram_bytes, 32.0);
+    }
+
+    #[test]
+    fn shared_bank_conflicts() {
+        // Stride-1 words: conflict-free.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(shared_bank_conflict(&addrs), 1);
+        // Stride-2 words: 2-way conflict.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 8).collect();
+        assert_eq!(shared_bank_conflict(&addrs), 2);
+        // Stride-32 words: all lanes on one bank.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 128).collect();
+        assert_eq!(shared_bank_conflict(&addrs), 32);
+        // Broadcast: conflict-free.
+        assert_eq!(shared_bank_conflict(&vec![64; 32]), 1);
+    }
+
+    #[test]
+    fn atomic_conflict_detection() {
+        // All distinct words: degree 1.
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(atomic_conflict_degree(&addrs, 4), 1);
+        // All the same word: degree 32.
+        assert_eq!(atomic_conflict_degree(&vec![0; 32], 4), 32);
+        // Pairs: degree 2.
+        let addrs: Vec<u64> = (0..32).map(|i| (i / 2) * 4).collect();
+        assert_eq!(atomic_conflict_degree(&addrs, 4), 2);
+    }
+
+    #[test]
+    fn atomics_tally_into_block_work() {
+        let mut ex = TraceExecutor::default();
+        let mut prog = WarpProgram::new();
+        prog.push(Op::AtomicAdd { addrs: AddrPattern::Explicit(vec![0; 8]), bytes: 4 });
+        let r = ex.run_block(&[prog]);
+        assert_eq!(r.atomics, 8.0);
+        let w = r.to_block_work();
+        assert!((w.atomic_conflict - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arith_and_sync_counts() {
+        let mut ex = TraceExecutor::default();
+        let mut prog = WarpProgram::new();
+        prog.push(Op::Arith { flops_per_lane: 2.0, active_lanes: 32 });
+        prog.push(Op::Sync);
+        prog.push(Op::Arith { flops_per_lane: 2.0, active_lanes: 8 });
+        let r = ex.run_block(&[prog]);
+        assert_eq!(r.flops, 64.0 + 16.0);
+        assert_eq!(r.syncs, 1);
+        assert_eq!(r.instructions, 3.0);
+    }
+
+    #[test]
+    fn warps_interleave_round_robin_sharing_l2() {
+        // Two warps streaming the same region: the second warp's
+        // accesses hit lines the first just fetched.
+        let mk = || {
+            let mut p = WarpProgram::new();
+            for i in 0..4u64 {
+                p.push(Op::Load { space: Space::Global, addrs: affine(i * 128, 4, 32), bytes: 4 });
+            }
+            p
+        };
+        let mut ex = TraceExecutor::default();
+        let r = ex.run_block(&[mk(), mk()]);
+        assert_eq!(r.l2_stats.accesses, 32);
+        assert_eq!(r.l2_stats.hits, 16);
+        assert_eq!(r.dram_bytes, 16.0 * 32.0);
+    }
+
+    #[test]
+    fn store_counts_like_load() {
+        let mut ex = TraceExecutor::default();
+        let mut prog = WarpProgram::new();
+        prog.push(Op::Store { space: Space::Global, addrs: affine(0, 4, 32), bytes: 4 });
+        let r = ex.run_block(&[prog]);
+        assert_eq!(r.l2_transactions, 4);
+    }
+
+    #[test]
+    fn broadcast_pattern() {
+        let p = AddrPattern::Broadcast(100);
+        assert_eq!(p.lanes(), 32);
+        assert!(p.addresses().iter().all(|&a| a == 100));
+        let mut ex = TraceExecutor::default();
+        let mut prog = WarpProgram::new();
+        prog.push(Op::Load { space: Space::Global, addrs: p, bytes: 4 });
+        let r = ex.run_block(&[prog]);
+        assert_eq!(r.l2_transactions, 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! The CUDA occupancy calculation (paper Section 4.2).
+//!
+//! Occupancy is "the ratio of coexisting GPU threads to the maximum
+//! number of threads that can reside on the GPU". Resident blocks per
+//! SMM are bounded by four resources — thread slots, block slots, the
+//! register file, and shared memory — and the binding one determines
+//! how much memory latency the SMM can hide.
+
+use crate::spec::GpuSpec;
+
+/// Per-block resource requirements of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockResources {
+    /// Threads per block.
+    pub threads: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Static + dynamic shared memory per block, bytes.
+    pub shared_mem: u32,
+}
+
+/// Result of the occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SMM.
+    pub blocks_per_smm: u32,
+    /// Resident warps per SMM.
+    pub warps_per_smm: u32,
+    /// `warps_per_smm / max_warps_per_smm`, in `[0, 1]`.
+    pub fraction: f64,
+    /// Which resource bound the result.
+    pub limiter: Limiter,
+}
+
+/// The resource that limited occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Thread slots per SMM.
+    Threads,
+    /// Block slots per SMM.
+    Blocks,
+    /// Register file capacity.
+    Registers,
+    /// Shared memory capacity.
+    SharedMemory,
+}
+
+/// Compute achievable occupancy for a kernel on `spec`.
+pub fn occupancy(spec: &GpuSpec, res: BlockResources) -> Occupancy {
+    assert!(res.threads >= 1 && res.threads <= spec.max_threads_per_block);
+    let warps_per_block = res.threads.div_ceil(spec.warp_size);
+
+    let by_threads = spec.max_threads_per_smm / (warps_per_block * spec.warp_size);
+    let by_blocks = spec.max_blocks_per_smm;
+    let regs = res.regs_per_thread.max(1).div_ceil(spec.register_granularity) * spec.register_granularity;
+    let regs_per_block = regs * warps_per_block * spec.warp_size;
+    let by_regs = spec.registers_per_smm / regs_per_block.max(1);
+    let by_smem = if res.shared_mem == 0 {
+        u32::MAX
+    } else {
+        let smem =
+            res.shared_mem.div_ceil(spec.shared_mem_granularity) * spec.shared_mem_granularity;
+        spec.shared_mem_per_smm / smem
+    };
+
+    let blocks = by_threads.min(by_blocks).min(by_regs).min(by_smem);
+    let limiter = if blocks == by_threads {
+        Limiter::Threads
+    } else if blocks == by_regs {
+        Limiter::Registers
+    } else if blocks == by_smem {
+        Limiter::SharedMemory
+    } else {
+        Limiter::Blocks
+    };
+    let warps = blocks * warps_per_block;
+    Occupancy {
+        blocks_per_smm: blocks,
+        warps_per_smm: warps,
+        fraction: warps as f64 / spec.max_warps_per_smm() as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GpuSpec {
+        GpuSpec::titan_x_maxwell()
+    }
+
+    #[test]
+    fn full_occupancy_at_32_regs() {
+        // The paper's tuned kernel: 256 threads, 32 regs, achieves 100%.
+        let o = occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 32, shared_mem: 0 });
+        assert_eq!(o.blocks_per_smm, 8);
+        assert_eq!(o.warps_per_smm, 64);
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_register_count_limits_occupancy() {
+        // The paper's initial kernel: 44 regs/thread capped occupancy
+        // well below 100% (they report ~50%).
+        let o = occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 44, shared_mem: 0 });
+        assert_eq!(o.limiter, Limiter::Registers);
+        assert!(o.fraction < 0.75, "fraction {}", o.fraction);
+        assert!(o.fraction >= 0.5);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        // Paper Section 4.3: a 90KB SVB in shared memory leaves room
+        // for only one block per SMM.
+        let o = occupancy(
+            &spec(),
+            BlockResources { threads: 736, regs_per_thread: 32, shared_mem: 90 * 1024 },
+        );
+        assert_eq!(o.blocks_per_smm, 1);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+        // 736 threads = 23 warps of 64 -> ~36% occupancy (paper: "the
+        // achieved occupancy would only be 35%").
+        assert!((0.30..0.40).contains(&o.fraction), "fraction {}", o.fraction);
+    }
+
+    #[test]
+    fn thread_slots_limit_small_blocks() {
+        let o = occupancy(&spec(), BlockResources { threads: 1024, regs_per_thread: 16, shared_mem: 0 });
+        assert_eq!(o.blocks_per_smm, 2);
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+        let o64 = occupancy(&spec(), BlockResources { threads: 64, regs_per_thread: 16, shared_mem: 0 });
+        // 64-thread blocks: block-slot limit (32) binds -> 64 warps? 32
+        // blocks x 2 warps = 64 warps = 100%.
+        assert_eq!(o64.blocks_per_smm, 32);
+        assert!((o64.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_granularity_rounds_up() {
+        let a = occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 33, shared_mem: 0 });
+        let b = occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 40, shared_mem: 0 });
+        assert_eq!(a.blocks_per_smm, b.blocks_per_smm);
+    }
+
+    #[test]
+    fn occupancy_384_threads_dips() {
+        // Paper Fig. 7c: 384 threads/block gives lower occupancy than
+        // 256 (3 * 384 = 1152 threads < 2048 ceiling wastes slots).
+        let o384 = occupancy(&spec(), BlockResources { threads: 384, regs_per_thread: 32, shared_mem: 0 });
+        let o256 = occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 32, shared_mem: 0 });
+        assert!(o384.fraction < o256.fraction, "{} vs {}", o384.fraction, o256.fraction);
+    }
+}

@@ -1,0 +1,329 @@
+//! Kernel time roll-up.
+//!
+//! The algorithms tally, per block, how much work of each kind a kernel
+//! does (FLOPs, post-coalescing bytes at each memory level, atomics).
+//! This module converts tallies into a modeled kernel duration:
+//!
+//! - occupancy determines a latency-hiding efficiency (few resident
+//!   warps cannot keep the memory pipes busy — why the paper spills
+//!   registers to shared memory, Section 4.2);
+//! - each concurrent block gets an equal share of every aggregate
+//!   bandwidth; a block's duration is its binding resource;
+//! - the kernel's duration is the launch overhead plus the makespan of
+//!   its blocks over the occupancy-limited slots (load imbalance,
+//!   Section 3.2);
+//! - 32-bit L2 accesses only reach half the L2 bandwidth of 64-bit
+//!   accesses (the paper's `double`-read optimization, Section 4.3.2);
+//! - atomic updates serialize per conflict (error write-back kernel).
+
+use crate::exec::Dispatcher;
+use crate::occupancy::{occupancy, BlockResources, Occupancy};
+use crate::spec::GpuSpec;
+
+/// Work performed by one block of a kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlockWork {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Warp instructions issued (loads, address arithmetic, loop and
+    /// reduction control) — the issue-throughput pipe that binds
+    /// latency-heavy kernels like MBIR's.
+    pub instructions: f64,
+    /// Bytes moved between the SMM and L2 (all global traffic after
+    /// coalescing, including what then misses to DRAM).
+    pub l2_bytes: f64,
+    /// Bytes that miss L2 and reach DRAM.
+    pub dram_bytes: f64,
+    /// Bytes read through the unified L1/texture path.
+    pub tex_bytes: f64,
+    /// Bytes moved to/from shared memory.
+    pub shared_bytes: f64,
+    /// Global atomic operations issued.
+    pub atomics: f64,
+    /// Mean serialization factor of those atomics (1 = conflict-free).
+    pub atomic_conflict: f64,
+}
+
+impl BlockWork {
+    /// Sum of two tallies (merging phases of a block).
+    pub fn add(&mut self, other: &BlockWork) {
+        self.flops += other.flops;
+        self.instructions += other.instructions;
+        self.l2_bytes += other.l2_bytes;
+        self.dram_bytes += other.dram_bytes;
+        self.tex_bytes += other.tex_bytes;
+        self.shared_bytes += other.shared_bytes;
+        // Merge conflicts weighted by atomic counts.
+        let total = self.atomics + other.atomics;
+        if total > 0.0 {
+            self.atomic_conflict = (self.atomic_conflict.max(1.0) * self.atomics
+                + other.atomic_conflict.max(1.0) * other.atomics)
+                / total;
+        }
+        self.atomics = total;
+    }
+}
+
+/// A complete kernel launch description.
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Per-block resource requirements (occupancy inputs).
+    pub resources: BlockResources,
+    /// Work tallies, one per block.
+    pub blocks: Vec<BlockWork>,
+    /// L2 width factor: 1.0 for 64-bit accesses, 0.5 for 32-bit
+    /// (measured behaviour the paper reports in Section 4.3.2).
+    pub l2_width_factor: f64,
+    /// Fraction of warp lanes doing useful work in compute
+    /// (divergence/short-run penalty of the naive layout).
+    pub warp_efficiency: f64,
+    /// Memory-system efficiency in `(0, 1]`: scattered (uncoalesced)
+    /// warp accesses bottleneck transaction issue and reach only a
+    /// fraction of every achievable bandwidth; 1.0 for sector-aligned
+    /// coalesced access.
+    pub mem_efficiency: f64,
+}
+
+/// Modeled outcome of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelTiming {
+    /// Wall-clock seconds including launch overhead.
+    pub seconds: f64,
+    /// Occupancy achieved.
+    pub occupancy: f64,
+    /// Achieved L2 bandwidth, GB/s.
+    pub l2_gbps: f64,
+    /// Achieved texture-path bandwidth, GB/s.
+    pub tex_gbps: f64,
+    /// Achieved DRAM bandwidth, GB/s.
+    pub dram_gbps: f64,
+    /// Achieved shared-memory bandwidth, GB/s.
+    pub shared_gbps: f64,
+}
+
+/// The roll-up model.
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    /// Machine description.
+    pub spec: GpuSpec,
+    /// Occupancy at which memory latency is fully hidden.
+    pub mem_occupancy_sat: f64,
+    /// Occupancy at which compute issue is fully fed.
+    pub compute_occupancy_sat: f64,
+    /// Fraction of the non-binding pipes' time that leaks into the
+    /// block duration (pipes overlap, but not perfectly).
+    pub overlap_leak: f64,
+}
+
+impl TimingModel {
+    /// Model for the given machine with default saturation points.
+    pub fn new(spec: GpuSpec) -> Self {
+        TimingModel { spec, mem_occupancy_sat: 0.85, compute_occupancy_sat: 0.25, overlap_leak: 0.3 }
+    }
+
+    /// Occupancy for a profile's resources.
+    pub fn occupancy_of(&self, profile: &KernelProfile) -> Occupancy {
+        occupancy(&self.spec, profile.resources)
+    }
+
+    /// Model one kernel launch.
+    pub fn time(&self, profile: &KernelProfile) -> KernelTiming {
+        let occ = self.occupancy_of(profile);
+        let dispatcher = Dispatcher::new(self.spec.clone());
+        let total_slots = dispatcher.concurrent_blocks(&occ);
+        // A launch with fewer blocks than slots leaves SMMs idle or
+        // underfilled: each active block gets a bigger share of the
+        // aggregate bandwidth, but the machine-wide occupancy (and so
+        // latency hiding) drops proportionally — the underutilization
+        // the paper's intra-SV parallelism and batch threshold fight.
+        let active = profile.blocks.len().clamp(1, total_slots);
+        let fill = active as f64 / total_slots as f64;
+        let occ_eff = occ.fraction * fill;
+        let eta_mem = (occ_eff / self.mem_occupancy_sat).min(1.0);
+        let eta_cmp = (occ_eff / self.compute_occupancy_sat).min(1.0);
+        let slots = active as f64;
+
+        let mem_eff = profile.mem_efficiency.clamp(0.01, 1.0);
+        let flops_rate =
+            (self.spec.peak_flops() * profile.warp_efficiency.clamp(0.01, 1.0) * eta_cmp / slots).max(1.0);
+        let issue_rate = (self.spec.issue_rate() * eta_cmp / slots).max(1.0);
+        let l2_rate =
+            (self.spec.l2_gbps * 1e9 * profile.l2_width_factor * mem_eff * eta_mem / slots).max(1.0);
+        let tex_rate = (self.spec.tex_gbps * 1e9 * mem_eff * eta_mem / slots).max(1.0);
+        let dram_rate = (self.spec.dram_gbps * 1e9 * mem_eff * eta_mem / slots).max(1.0);
+        let shared_rate = (self.spec.shared_gbps * 1e9 * mem_eff * eta_mem / slots).max(1.0);
+
+        let block_times: Vec<f64> = profile
+            .blocks
+            .iter()
+            .map(|b| {
+                let pipes = [
+                    b.flops / flops_rate,
+                    b.instructions / issue_rate,
+                    b.l2_bytes / l2_rate,
+                    b.tex_bytes / tex_rate,
+                    b.dram_bytes / dram_rate,
+                    b.shared_bytes / shared_rate,
+                ];
+                let binding = pipes.iter().copied().fold(0.0, f64::max);
+                let sum: f64 = pipes.iter().sum();
+                let atomics = b.atomics * b.atomic_conflict.max(1.0) * self.spec.atomic_cycles
+                    / self.spec.clock_hz();
+                binding + self.overlap_leak * (sum - binding) + atomics
+            })
+            .collect();
+
+        let seconds = dispatcher.launch(&block_times, &occ);
+        let sum = |f: fn(&BlockWork) -> f64| -> f64 { profile.blocks.iter().map(f).sum() };
+        let gbps = |bytes: f64| if seconds > 0.0 { bytes / seconds / 1e9 } else { 0.0 };
+        KernelTiming {
+            seconds,
+            occupancy: occ.fraction,
+            l2_gbps: gbps(sum(|b| b.l2_bytes)),
+            tex_gbps: gbps(sum(|b| b.tex_bytes)),
+            dram_gbps: gbps(sum(|b| b.dram_bytes)),
+            shared_gbps: gbps(sum(|b| b.shared_bytes)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TimingModel {
+        TimingModel::new(GpuSpec::titan_x_maxwell())
+    }
+
+    fn base_profile(blocks: usize) -> KernelProfile {
+        KernelProfile {
+            name: "test".into(),
+            resources: BlockResources { threads: 256, regs_per_thread: 32, shared_mem: 0 },
+            blocks: vec![
+                BlockWork {
+                    flops: 1e6,
+                    instructions: 1e4,
+                    l2_bytes: 4e6,
+                    dram_bytes: 1e6,
+                    tex_bytes: 2e6,
+                    shared_bytes: 1e6,
+                    atomics: 100.0,
+                    atomic_conflict: 1.0,
+                };
+                blocks
+            ],
+            l2_width_factor: 1.0,
+            warp_efficiency: 1.0,
+            mem_efficiency: 1.0,
+        }
+    }
+
+    #[test]
+    fn more_work_takes_longer() {
+        let m = model();
+        let p1 = base_profile(192);
+        let mut p2 = base_profile(192);
+        for b in &mut p2.blocks {
+            b.l2_bytes *= 3.0;
+        }
+        assert!(m.time(&p2).seconds > m.time(&p1).seconds);
+    }
+
+    #[test]
+    fn narrow_l2_reads_are_slower() {
+        // The paper's float-vs-double L2 observation: same bytes, lower
+        // achieved bandwidth with 32-bit accesses.
+        let m = model();
+        let mut p = base_profile(192);
+        for b in &mut p.blocks {
+            b.l2_bytes = 1e8; // make L2 binding
+        }
+        let double = m.time(&p).seconds;
+        p.l2_width_factor = 0.5;
+        let float = m.time(&p).seconds;
+        assert!(float > double * 1.5, "float {float} double {double}");
+    }
+
+    #[test]
+    fn low_occupancy_hurts_memory_bound_kernels() {
+        // The paper's register-spilling motivation: 44 regs -> lower
+        // occupancy -> less latency hiding -> slower.
+        let m = model();
+        let mut p = base_profile(192);
+        for b in &mut p.blocks {
+            b.l2_bytes = 1e8;
+        }
+        let fast = m.time(&p).seconds;
+        p.resources.regs_per_thread = 44;
+        let slow = m.time(&p).seconds;
+        assert!(slow > fast, "slow {slow} fast {fast}");
+    }
+
+    #[test]
+    fn imbalanced_blocks_extend_makespan() {
+        let m = model();
+        let balanced = base_profile(192);
+        let mut skewed = base_profile(192);
+        // Move all of block 0..96's L2 work onto blocks 96..192.
+        for i in 0..96 {
+            let extra = skewed.blocks[i].l2_bytes;
+            skewed.blocks[i].l2_bytes = 0.0;
+            skewed.blocks[i + 96].l2_bytes += extra;
+        }
+        assert!(m.time(&skewed).seconds > m.time(&balanced).seconds);
+    }
+
+    #[test]
+    fn atomic_conflicts_serialize() {
+        let m = model();
+        let mut p = base_profile(192);
+        for b in &mut p.blocks {
+            b.atomics = 1e5;
+            b.atomic_conflict = 1.0;
+        }
+        let free = m.time(&p).seconds;
+        for b in &mut p.blocks {
+            b.atomic_conflict = 8.0;
+        }
+        let contended = m.time(&p).seconds;
+        assert!(contended > free * 2.0, "contended {contended} free {free}");
+    }
+
+    #[test]
+    fn launch_overhead_floors_empty_kernels() {
+        let m = model();
+        let mut p = base_profile(0);
+        p.blocks.clear();
+        let t = m.time(&p).seconds;
+        assert!((t - 6e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reported_bandwidths_are_consistent() {
+        let m = model();
+        let p = base_profile(192);
+        let t = m.time(&p);
+        let total_l2: f64 = p.blocks.iter().map(|b| b.l2_bytes).sum();
+        assert!((t.l2_gbps - total_l2 / t.seconds / 1e9).abs() < 1e-9);
+        assert!(t.l2_gbps <= m.spec.l2_gbps * 1.001);
+    }
+
+    #[test]
+    fn warp_efficiency_slows_compute_bound_kernels() {
+        let m = model();
+        let mut p = base_profile(192);
+        for b in &mut p.blocks {
+            b.flops = 1e9;
+            b.l2_bytes = 0.0;
+            b.tex_bytes = 0.0;
+            b.dram_bytes = 0.0;
+            b.shared_bytes = 0.0;
+        }
+        let full = m.time(&p).seconds;
+        p.warp_efficiency = 0.1;
+        let diverged = m.time(&p).seconds;
+        assert!(diverged > full * 5.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Correlation-based column grouping (the paper's generalization of
+//! SuperVoxels and their checkerboard groups).
+//!
+//! Columns updated concurrently should have *low* mutual correlation
+//! `sum_k |A_ki| |A_kj|` (they share few rows of the residual), while
+//! columns grouped for locality should have *high* correlation. The
+//! greedy partitioner below spreads strongly correlated columns across
+//! different groups, which keeps each group internally low-conflict —
+//! the property concurrent (Jacobi-round) updates need.
+
+use crate::sparse::SparseMatrix;
+
+/// Partition the columns of `a` into `groups` sets such that strongly
+/// correlated columns tend to land in *different* sets. Greedy: visit
+/// columns in order, placing each in the set where it adds the least
+/// correlation.
+pub fn correlation_groups(a: &SparseMatrix, groups: usize) -> Vec<Vec<usize>> {
+    assert!(groups >= 1);
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); groups];
+    for j in 0..a.cols() {
+        let mut best = 0usize;
+        let mut best_cost = f32::INFINITY;
+        for (g, part) in parts.iter().enumerate() {
+            let cost: f32 = part.iter().map(|&k| a.column_correlation(j, k)).sum::<f32>()
+                + part.len() as f32 * 1e-6; // tie-break toward balance
+            if cost < best_cost {
+                best_cost = cost;
+                best = g;
+            }
+        }
+        parts[best].push(j);
+    }
+    parts
+}
+
+/// Total within-group correlation of a partition (lower = safer to
+/// update concurrently).
+pub fn within_group_correlation(a: &SparseMatrix, parts: &[Vec<usize>]) -> f32 {
+    let mut acc = 0.0f32;
+    for part in parts {
+        for (i, &ci) in part.iter().enumerate() {
+            for &cj in &part[i + 1..] {
+                acc += a.column_correlation(ci, cj);
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A block-diagonal-ish matrix: columns 0/1 share rows, 2/3 share
+    /// rows, across blocks disjoint.
+    fn blocky() -> SparseMatrix {
+        SparseMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 0, 1.0),
+                (1, 0, 1.0),
+                (0, 1, 1.0),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+                (3, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 3, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn partition_covers_all_columns() {
+        let a = blocky();
+        let parts = correlation_groups(&a, 2);
+        let mut seen = [false; 4];
+        for p in &parts {
+            for &j in p {
+                assert!(!seen[j]);
+                seen[j] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn correlated_columns_are_separated() {
+        let a = blocky();
+        let parts = correlation_groups(&a, 2);
+        // Columns 0 and 1 are fully correlated: different groups.
+        let g0 = parts.iter().position(|p| p.contains(&0)).unwrap();
+        let g1 = parts.iter().position(|p| p.contains(&1)).unwrap();
+        assert_ne!(g0, g1);
+        let g2 = parts.iter().position(|p| p.contains(&2)).unwrap();
+        let g3 = parts.iter().position(|p| p.contains(&3)).unwrap();
+        assert_ne!(g2, g3);
+        assert_eq!(within_group_correlation(&a, &parts), 0.0);
+    }
+
+    #[test]
+    fn partition_beats_naive_split() {
+        let a = blocky();
+        let greedy = correlation_groups(&a, 2);
+        let naive = vec![vec![0usize, 1], vec![2usize, 3]];
+        assert!(within_group_correlation(&a, &greedy) <= within_group_correlation(&a, &naive));
+    }
+
+    #[test]
+    fn single_group_takes_everything() {
+        let a = blocky();
+        let parts = correlation_groups(&a, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 4);
+    }
+}

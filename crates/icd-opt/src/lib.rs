@@ -1,0 +1,36 @@
+//! Generalized ICD optimization (the paper's Section 6).
+//!
+//! Many sensing problems (synchrotron imaging, dual coordinate descent
+//! for SVMs, geophysics, radar) minimize
+//!
+//! ```text
+//! f(x) = ||y - A x||^2_Lambda = (y - A x)^T Lambda (y - A x)
+//! ```
+//!
+//! for a large sparse `A` and diagonal weights `Lambda`. Iterative
+//! Coordinate Descent updates one element of `x` at a time, touching
+//! exactly one column of `A` — the same access pattern as a voxel
+//! update in MBIR. The paper observes GPU-ICD is a *generalized
+//! parallel update framework* for such solvers:
+//!
+//! - intra-voxel parallelism generalizes to the per-column dot products;
+//! - an SV generalizes to a group `S` of columns chosen to *maximize*
+//!   within-group correlation `sum_k |A_ki| |A_kj|` (cache locality);
+//! - inter-SV parallelism generalizes to concurrent groups chosen to
+//!   *minimize* cross-group correlation (low synchronization).
+//!
+//! When `f` is a linear system's least-squares functional, coordinate
+//! descent is exactly Gauss-Seidel on the normal equations
+//! `A^T Lambda A x = A^T Lambda y` — tested below.
+
+#![warn(missing_docs)]
+
+pub mod grouping;
+pub mod lasso;
+pub mod solver;
+pub mod sparse;
+
+pub use grouping::correlation_groups;
+pub use lasso::{soft_threshold, LassoSolver};
+pub use solver::IcdSolver;
+pub use sparse::SparseMatrix;

@@ -1,0 +1,166 @@
+//! Column-compressed sparse matrices (ICD touches one column per
+//! update, so CSC is the natural storage — the general analogue of the
+//! per-voxel A-matrix columns).
+
+/// A sparse `rows x cols` matrix in CSC format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseMatrix {
+    /// Build from `(row, col, value)` triplets (duplicates summed).
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut per_col: Vec<Vec<(usize, f32)>> = vec![Vec::new(); cols];
+        for &(r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            per_col[c].push((r, v));
+        }
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        for col in &mut per_col {
+            col.sort_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < col.len() {
+                let (r, mut v) = col[i];
+                let mut j = i + 1;
+                while j < col.len() && col[j].0 == r {
+                    v += col[j].1;
+                    j += 1;
+                }
+                row_idx.push(r as u32);
+                values.push(v);
+                i = j;
+            }
+            col_ptr.push(values.len());
+        }
+        SparseMatrix { rows, cols, col_ptr, row_idx, values }
+    }
+
+    /// A dense matrix given row-major data.
+    pub fn from_dense(rows: usize, cols: usize, data: &[f32]) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        let triplets: Vec<(usize, usize, f32)> = (0..rows)
+            .flat_map(|r| (0..cols).map(move |c| (r, c, data[r * cols + c])))
+            .filter(|&(_, _, v)| v != 0.0)
+            .collect();
+        Self::from_triplets(rows, cols, &triplets)
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column `j` as `(row_indices, values)`.
+    pub fn column(&self, j: usize) -> (&[u32], &[f32]) {
+        let s = self.col_ptr[j];
+        let e = self.col_ptr[j + 1];
+        (&self.row_idx[s..e], &self.values[s..e])
+    }
+
+    /// `A x` for a dense `x`.
+    pub fn mul(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0f32; self.rows];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.column(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                y[r as usize] += v * xj;
+            }
+        }
+        y
+    }
+
+    /// The correlation `sum_k |A_ki| |A_kj|` between two columns — the
+    /// paper's grouping criterion.
+    pub fn column_correlation(&self, i: usize, j: usize) -> f32 {
+        let (ri, vi) = self.column(i);
+        let (rj, vj) = self.column(j);
+        let mut a = 0usize;
+        let mut b = 0usize;
+        let mut acc = 0.0f32;
+        while a < ri.len() && b < rj.len() {
+            match ri[a].cmp(&rj[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += vi[a].abs() * vj[b].abs();
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SparseMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        SparseMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (1, 1, 3.0), (0, 2, 2.0)])
+    }
+
+    #[test]
+    fn columns_and_nnz() {
+        let m = small();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.column(0), (&[0u32][..], &[1.0f32][..]));
+        assert_eq!(m.column(1), (&[1u32][..], &[3.0f32][..]));
+        assert_eq!(m.column(2), (&[0u32][..], &[2.0f32][..]));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = SparseMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.column(0).1, &[3.5f32][..]);
+    }
+
+    #[test]
+    fn mul_matches_dense() {
+        let m = small();
+        let y = m.mul(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let data = [1.0, 0.0, 2.0, 0.0, 3.0, 0.0];
+        let m = SparseMatrix::from_dense(2, 3, &data);
+        assert_eq!(m, small());
+    }
+
+    #[test]
+    fn correlation_shares_rows() {
+        let m = small();
+        // Columns 0 and 2 share row 0: corr = 1*2 = 2.
+        assert_eq!(m.column_correlation(0, 2), 2.0);
+        // Columns 0 and 1 are disjoint.
+        assert_eq!(m.column_correlation(0, 1), 0.0);
+        // Symmetric.
+        assert_eq!(m.column_correlation(2, 0), 2.0);
+    }
+}

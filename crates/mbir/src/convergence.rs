@@ -1,0 +1,97 @@
+//! Cost evaluation and convergence tracking.
+
+use crate::prior::Prior;
+use ct_core::hu::rmse_hu;
+use ct_core::image::Image;
+use ct_core::sinogram::Sinogram;
+use serde::{Deserialize, Serialize};
+
+/// The MAP cost `1/2 sum w e^2 + prior(x)` given the maintained error
+/// sinogram (ICD keeps `e = y - A x`, so no projection is needed).
+pub fn cost<P: Prior>(image: &Image, error: &Sinogram, weights: &Sinogram, prior: &P) -> f64 {
+    let data: f64 = error
+        .data()
+        .iter()
+        .zip(weights.data())
+        .map(|(&e, &w)| 0.5 * (w as f64) * (e as f64) * (e as f64))
+        .sum();
+    data + prior.cost(image)
+}
+
+/// One sample of a convergence trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Equits of work completed when the sample was taken.
+    pub equits: f64,
+    /// Modeled (or measured) elapsed seconds.
+    pub seconds: f64,
+    /// RMSE against the golden image, in Hounsfield units.
+    pub rmse_hu: f32,
+}
+
+/// RMSE-vs-work/time samples for one reconstruction run (the data
+/// behind the paper's Fig. 5).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConvergenceTrace {
+    /// Samples in the order they were recorded.
+    pub points: Vec<TracePoint>,
+}
+
+impl ConvergenceTrace {
+    /// Record a sample.
+    pub fn record(&mut self, equits: f64, seconds: f64, image: &Image, golden: &Image) {
+        self.points.push(TracePoint { equits, seconds, rmse_hu: rmse_hu(image, golden) });
+    }
+
+    /// First sample at which RMSE dropped below `threshold_hu`, if any.
+    pub fn crossing(&self, threshold_hu: f32) -> Option<TracePoint> {
+        self.points.iter().copied().find(|p| p.rmse_hu < threshold_hu)
+    }
+
+    /// Final sample, if any.
+    pub fn last(&self) -> Option<TracePoint> {
+        self.points.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prior::QuadraticPrior;
+    use ct_core::geometry::{Geometry, ImageGrid};
+
+    #[test]
+    fn cost_of_zero_state_is_zero() {
+        let g = Geometry::tiny_scale();
+        let img = Image::zeros(g.grid);
+        let e = Sinogram::zeros(&g);
+        let w = Sinogram::filled(&g, 1.0);
+        assert_eq!(cost(&img, &e, &w, &QuadraticPrior { sigma: 1.0 }), 0.0);
+    }
+
+    #[test]
+    fn cost_counts_weighted_error() {
+        let g = Geometry::tiny_scale();
+        let img = Image::zeros(g.grid);
+        let e = Sinogram::filled(&g, 2.0);
+        let w = Sinogram::filled(&g, 0.5);
+        let n = (g.num_views * g.num_channels) as f64;
+        let c = cost(&img, &e, &w, &QuadraticPrior { sigma: 1.0 });
+        assert!((c - 0.5 * 0.5 * 4.0 * n).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_crossing() {
+        let grid = ImageGrid::square(4, 1.0);
+        let golden = Image::zeros(grid);
+        let mut t = ConvergenceTrace::default();
+        let far = Image::from_vec(grid, vec![0.02; 16]); // 1000 HU off
+        let near = Image::from_vec(grid, vec![0.0001; 16]); // 5 HU off
+        t.record(1.0, 0.1, &far, &golden);
+        t.record(2.0, 0.2, &near, &golden);
+        let c = t.crossing(10.0).expect("should cross");
+        assert_eq!(c.equits, 2.0);
+        assert!(t.crossing(1.0).is_none());
+        assert_eq!(t.last().unwrap().equits, 2.0);
+    }
+}

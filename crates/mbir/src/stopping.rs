@@ -1,0 +1,148 @@
+//! Golden-free stopping criteria.
+//!
+//! The paper's evaluation measures convergence against a 40-equit
+//! golden image — fine for benchmarking, useless in production (the
+//! golden costs more than the reconstruction). This module provides
+//! the practical criteria real MBIR deployments stop on:
+//!
+//! - [`StopRule::MeanUpdate`]: stop when the mean |voxel update| of a
+//!   pass falls below a threshold (in HU) — the reference MBIR code's
+//!   default;
+//! - [`StopRule::CostPlateau`]: stop when the relative MAP-cost
+//!   decrease per pass falls below a tolerance;
+//! - [`StopRule::MaxEquits`]: a work budget.
+//!
+//! [`StopState`] tracks the signals incrementally so drivers can feed
+//! it per-pass statistics without recomputing anything.
+
+use crate::sequential::IcdStats;
+
+/// When to stop iterating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopRule {
+    /// Mean |update| per visited voxel below this many HU.
+    MeanUpdate {
+        /// Threshold in Hounsfield units.
+        hu: f32,
+    },
+    /// Relative cost decrease per pass below `tol`.
+    CostPlateau {
+        /// Relative tolerance, e.g. `1e-4`.
+        tol: f64,
+    },
+    /// Hard work budget in equits.
+    MaxEquits {
+        /// Budget.
+        equits: f64,
+    },
+}
+
+/// Incremental evaluator for a [`StopRule`].
+#[derive(Debug, Clone)]
+pub struct StopState {
+    rule: StopRule,
+    last_cost: Option<f64>,
+    satisfied: bool,
+}
+
+impl StopState {
+    /// Fresh evaluator.
+    pub fn new(rule: StopRule) -> Self {
+        StopState { rule, last_cost: None, satisfied: false }
+    }
+
+    /// Feed one pass's outcome. `pass_stats` are the *pass's own*
+    /// counters, `total` the cumulative ones, `cost` the current MAP
+    /// cost (only needed for [`StopRule::CostPlateau`]; pass the same
+    /// value otherwise), `nvox` the voxel count.
+    pub fn observe(&mut self, pass_stats: &IcdStats, total: &IcdStats, cost: f64, nvox: usize) {
+        match self.rule {
+            StopRule::MeanUpdate { hu } => {
+                if pass_stats.updates > 0 {
+                    let mean_mu = pass_stats.total_abs_delta / pass_stats.updates as f64;
+                    let mean_hu = mean_mu * 1000.0 / ct_core::phantom::MU_WATER as f64;
+                    if mean_hu < hu as f64 {
+                        self.satisfied = true;
+                    }
+                } else {
+                    // A pass that updated nothing is as converged as it
+                    // gets.
+                    self.satisfied = true;
+                }
+            }
+            StopRule::CostPlateau { tol } => {
+                if let Some(prev) = self.last_cost {
+                    let denom = prev.abs().max(1e-30);
+                    if (prev - cost) / denom < tol {
+                        self.satisfied = true;
+                    }
+                }
+                self.last_cost = Some(cost);
+            }
+            StopRule::MaxEquits { equits } => {
+                if total.equits(nvox) >= equits {
+                    self.satisfied = true;
+                }
+            }
+        }
+    }
+
+    /// Whether the rule has fired.
+    pub fn should_stop(&self) -> bool {
+        self.satisfied
+    }
+
+    /// The rule being evaluated.
+    pub fn rule(&self) -> StopRule {
+        self.rule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(updates: u64, total_abs_delta: f64) -> IcdStats {
+        IcdStats { updates, skipped: 0, total_abs_delta }
+    }
+
+    #[test]
+    fn mean_update_fires_below_threshold() {
+        let mut s = StopState::new(StopRule::MeanUpdate { hu: 1.0 });
+        // 0.0001 mu per update = 5 HU: keep going.
+        s.observe(&stats(100, 0.01), &stats(100, 0.01), 0.0, 1000);
+        assert!(!s.should_stop());
+        // 0.4 HU mean: stop.
+        s.observe(&stats(100, 0.0008), &stats(200, 0.0108), 0.0, 1000);
+        assert!(s.should_stop());
+    }
+
+    #[test]
+    fn mean_update_fires_on_empty_pass() {
+        let mut s = StopState::new(StopRule::MeanUpdate { hu: 1.0 });
+        s.observe(&stats(0, 0.0), &stats(0, 0.0), 0.0, 1000);
+        assert!(s.should_stop());
+    }
+
+    #[test]
+    fn cost_plateau_needs_two_observations() {
+        let mut s = StopState::new(StopRule::CostPlateau { tol: 1e-3 });
+        s.observe(&stats(1, 1.0), &stats(1, 1.0), 100.0, 10);
+        assert!(!s.should_stop());
+        // 10% drop: keep going.
+        s.observe(&stats(1, 1.0), &stats(2, 2.0), 90.0, 10);
+        assert!(!s.should_stop());
+        // 0.01% drop: plateau.
+        s.observe(&stats(1, 1.0), &stats(3, 3.0), 89.995, 10);
+        assert!(s.should_stop());
+    }
+
+    #[test]
+    fn max_equits_budget() {
+        let mut s = StopState::new(StopRule::MaxEquits { equits: 2.0 });
+        s.observe(&stats(10, 0.0), &stats(10, 0.0), 0.0, 10);
+        assert!(!s.should_stop()); // 1 equit
+        s.observe(&stats(10, 0.0), &stats(20, 0.0), 0.0, 10);
+        assert!(s.should_stop()); // 2 equits
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for priors and the voxel update.
+
+use mbir::prior::{Prior, QggmrfPrior, QuadraticPrior};
+use proptest::prelude::*;
+
+fn qg(sigma: f32) -> QggmrfPrior {
+    QggmrfPrior::standard(sigma)
+}
+
+proptest! {
+    /// rho is even, nonnegative, zero at zero, for any sigma.
+    #[test]
+    fn rho_is_even_nonneg(u in -1.0f32..1.0, sigma in 0.0005f32..0.1) {
+        let p = qg(sigma);
+        prop_assert!(p.rho(u) >= 0.0);
+        prop_assert!((p.rho(u) - p.rho(-u)).abs() < 1e-6 + p.rho(u) * 1e-4);
+        prop_assert_eq!(p.rho(0.0), 0.0);
+    }
+
+    /// The surrogate curvature is positive and finite everywhere.
+    #[test]
+    fn btilde_positive_finite(u in -2.0f32..2.0, sigma in 0.0005f32..0.1) {
+        let p = qg(sigma);
+        let b = p.btilde(u);
+        prop_assert!(b.is_finite());
+        prop_assert!(b > 0.0);
+    }
+
+    /// btilde decreases with |u| (edge preservation: large differences
+    /// are penalized at a lower marginal rate).
+    #[test]
+    fn btilde_decreases_with_distance(u in 0.001f32..1.0, sigma in 0.001f32..0.05) {
+        let p = qg(sigma);
+        prop_assert!(p.btilde(u * 2.0) <= p.btilde(u) * 1.0001);
+    }
+
+    /// The symmetric-bound surrogate
+    /// `q(v) = btilde(u0) (v^2 - u0^2) + rho(u0)` touches `rho` at the
+    /// expansion point and majorizes it everywhere else (the MM
+    /// property the voxel update relies on).
+    #[test]
+    fn surrogate_majorizes(
+        u0 in 0.0005f32..0.5,
+        v in -1.0f32..1.0,
+        sigma in 0.001f32..0.05,
+    ) {
+        let p = qg(sigma);
+        let b = p.btilde(u0);
+        let q = |x: f32| b * (x * x - u0 * u0) + p.rho(u0);
+        // Touch at the expansion point.
+        prop_assert!((q(u0) - p.rho(u0)).abs() <= p.rho(u0).abs() * 1e-5 + 1e-7);
+        // Majorize everywhere (small tolerance for f32 rounding).
+        let slack = 1e-5 * (1.0 + p.rho(v).abs());
+        prop_assert!(q(v) + slack >= p.rho(v), "q({v}) = {} < rho = {}", q(v), p.rho(v));
+    }
+
+    /// The step never increases the 1-D objective, for random thetas
+    /// and neighbourhoods (the MM guarantee, both priors).
+    #[test]
+    fn step_decreases_objective(
+        v in 0.0f32..0.05,
+        theta1 in -50.0f32..50.0,
+        theta2 in 1.0f32..5000.0,
+        n1 in 0.0f32..0.05,
+        n2 in 0.0f32..0.05,
+        quad in prop::bool::ANY,
+    ) {
+        let neigh = [(n1, 0.1464f32), (n2, 0.1036), (0.0, 0.1464)];
+        let check = |p: &dyn Prior| {
+            let g = |d: f32| -> f32 {
+                theta1 * d + theta2 * d * d / 2.0
+                    + neigh.iter().map(|&(xn, b)| b * p.rho(v + d - xn)).sum::<f32>()
+            };
+            let d = p.step(v, theta1, theta2, &mut neigh.iter().copied());
+            let before = g(0.0);
+            let after = g(d);
+            after <= before + before.abs().max(1e-3) * 1e-4
+        };
+        let ok = if quad { check(&QuadraticPrior { sigma: 0.01 }) } else { check(&qg(0.002)) };
+        prop_assert!(ok, "step increased the 1-D objective");
+    }
+
+    /// The quadratic step is the exact stationary point.
+    #[test]
+    fn quadratic_step_stationary(
+        v in -0.05f32..0.05,
+        theta1 in -20.0f32..20.0,
+        theta2 in 10.0f32..2000.0,
+        n1 in -0.05f32..0.05,
+    ) {
+        let p = QuadraticPrior { sigma: 0.01 };
+        let neigh = [(n1, 0.25f32)];
+        let d = p.step(v, theta1, theta2, &mut neigh.iter().copied());
+        // g'(d) = theta1 + theta2 d + 2 b btilde (v + d - n1) == 0
+        let slope = theta1 + theta2 * d + 2.0 * 0.25 * p.btilde(0.0) * (v + d - n1);
+        prop_assert!(slope.abs() < (theta2 + 1000.0) * 1e-4, "slope {slope}");
+    }
+}

@@ -1,0 +1,121 @@
+//! A reconstruction image shared across worker threads.
+//!
+//! Concurrent SVs write disjoint voxel sets (the checkerboard
+//! guarantees it), but the MRF prior reads neighbour voxels that may
+//! sit just across an SV boundary. Plain `&mut` aliasing is therefore
+//! impossible to express safely; instead every cell is an `AtomicU32`
+//! holding an f32 bit pattern, accessed with relaxed ordering — exactly
+//! the error-resilient semantics the ICD literature relies on.
+
+use ct_core::geometry::ImageGrid;
+use ct_core::image::Image;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A 2-D image of atomic f32 cells.
+pub struct AtomicImage {
+    grid: ImageGrid,
+    data: Vec<AtomicU32>,
+}
+
+impl AtomicImage {
+    /// Copy a plain image into atomic storage.
+    pub fn from_image(img: &Image) -> Self {
+        let data = img.data().iter().map(|&v| AtomicU32::new(v.to_bits())).collect();
+        AtomicImage { grid: img.grid(), data }
+    }
+
+    /// The grid.
+    pub fn grid(&self) -> ImageGrid {
+        self.grid
+    }
+
+    /// Load voxel `j`.
+    #[inline]
+    pub fn get(&self, j: usize) -> f32 {
+        f32::from_bits(self.data[j].load(Ordering::Relaxed))
+    }
+
+    /// Store voxel `j`.
+    #[inline]
+    pub fn set(&self, j: usize, v: f32) {
+        self.data[j].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Copy back into a plain image.
+    pub fn to_image(&self) -> Image {
+        let data = self.data.iter().map(|a| f32::from_bits(a.load(Ordering::Relaxed))).collect();
+        Image::from_vec(self.grid, data)
+    }
+
+    /// Whether voxel `j` and its whole neighbourhood are zero
+    /// (zero-skipping test against the shared image).
+    pub fn zero_skippable(&self, j: usize) -> bool {
+        if self.get(j) != 0.0 {
+            return false;
+        }
+        let (row, col) = self.grid.row_col(j);
+        for dr in -1i32..=1 {
+            for dc in -1i32..=1 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let r = row as i32 + dr;
+                let c = col as i32 + dc;
+                if r < 0 || c < 0 || r as usize >= self.grid.ny || c as usize >= self.grid.nx {
+                    continue;
+                }
+                if self.get(self.grid.index(r as usize, c as usize)) != 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let grid = ImageGrid::square(4, 1.0);
+        let img = Image::from_vec(grid, (0..16).map(|i| i as f32 * 0.5).collect());
+        let a = AtomicImage::from_image(&img);
+        assert_eq!(a.to_image(), img);
+        a.set(3, -2.25);
+        assert_eq!(a.get(3), -2.25);
+        assert!(a.to_image() != img);
+    }
+
+    #[test]
+    fn zero_skip_matches_plain_impl() {
+        let grid = ImageGrid::square(8, 1.0);
+        let mut img = Image::zeros(grid);
+        img.set(grid.index(3, 3), 1.0);
+        let a = AtomicImage::from_image(&img);
+        for j in 0..64 {
+            assert_eq!(a.zero_skippable(j), mbir::update::zero_skippable(&img, j), "voxel {j}");
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        let grid = ImageGrid::square(32, 1.0);
+        let a = AtomicImage::from_image(&Image::zeros(grid));
+        crossbeam::scope(|s| {
+            for t in 0..4usize {
+                let a = &a;
+                s.spawn(move |_| {
+                    for j in (t..1024).step_by(4) {
+                        a.set(j, j as f32);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for j in 0..1024 {
+            assert_eq!(a.get(j), j as f32);
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The PSV-ICD algorithm (paper Algorithm 2), with real threads.
+
+use crate::atomic_image::AtomicImage;
+use crate::cpu_model::{CpuModel, SvWork};
+use ct_core::hu::rmse_hu;
+use ct_core::image::{Image, Neighbors8};
+use ct_core::sinogram::Sinogram;
+use ct_core::sysmat::{ColumnView, SystemMatrix};
+use mbir::convergence::ConvergenceTrace;
+use mbir::prior::{clique_weight, Prior};
+use mbir::sequential::{IcdConfig, IcdStats};
+use mbir::update::{apply_delta, compute_thetas};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use supervoxel::checkerboard::checkerboard_groups;
+use supervoxel::selection::{select_svs, Selection};
+use supervoxel::svb::{Svb, SvbLayout, SvbShape};
+use supervoxel::tiling::Tiling;
+
+/// PSV-ICD configuration (paper Table 1 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsvConfig {
+    /// SuperVoxel side (the paper tunes 13 for the CPU).
+    pub sv_side: usize,
+    /// Fraction of SVs updated per iteration after the first (20%).
+    pub fraction: f32,
+    /// Real worker threads used for the functional execution (the
+    /// *modeled* platform is [`CpuModel`]'s 16 cores).
+    pub threads: usize,
+    /// Shared ICD knobs.
+    pub icd: IcdConfig,
+}
+
+impl Default for PsvConfig {
+    fn default() -> Self {
+        PsvConfig { sv_side: 13, fraction: 0.20, threads: 4, icd: IcdConfig::default() }
+    }
+}
+
+/// What one outer iteration did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsvIterationReport {
+    /// 1-based iteration number.
+    pub iter: u64,
+    /// Selection policy used.
+    pub selection: Selection,
+    /// SVs visited.
+    pub svs_updated: usize,
+    /// Voxel updates performed.
+    pub updates: u64,
+    /// Voxel visits zero-skipped.
+    pub skipped: u64,
+    /// Sum of |delta| over this iteration's updates.
+    pub abs_delta: f64,
+    /// Modeled 16-core seconds for this iteration.
+    pub modeled_seconds: f64,
+}
+
+/// Per-SV visit bookkeeping shared between worker threads.
+#[derive(Debug, Default, Clone, Copy)]
+struct SvVisit {
+    updates: u64,
+    skipped: u64,
+    abs_delta: f64,
+    entries: f64,
+}
+
+/// The PSV-ICD reconstruction state.
+pub struct PsvIcd<'a, P: Prior> {
+    a: &'a SystemMatrix,
+    weights: &'a Sinogram,
+    prior: &'a P,
+    config: PsvConfig,
+    tiling: Tiling,
+    shapes: Vec<SvbShape>,
+    image: AtomicImage,
+    error: Sinogram,
+    update_amount: Vec<f64>,
+    iter: u64,
+    stats: IcdStats,
+    model: CpuModel,
+    modeled_seconds: f64,
+}
+
+impl<'a, P: Prior> PsvIcd<'a, P> {
+    /// Initialize from a measurement and starting image; builds the SV
+    /// tiling and per-SV buffer shapes ("Create SVs", Alg. 2 line 1).
+    pub fn new(
+        a: &'a SystemMatrix,
+        y: &Sinogram,
+        weights: &'a Sinogram,
+        prior: &'a P,
+        init: Image,
+        config: PsvConfig,
+    ) -> Self {
+        assert!(config.threads >= 1);
+        let tiling = Tiling::new(init.grid(), config.sv_side);
+        let shapes = SvbShape::compute_all(a, &tiling);
+        let ax = a.forward(&init);
+        let mut error = y.clone();
+        for (e, axv) in error.data_mut().iter_mut().zip(ax.data()) {
+            *e -= axv;
+        }
+        let n = tiling.len();
+        PsvIcd {
+            a,
+            weights,
+            prior,
+            config,
+            tiling,
+            shapes,
+            image: AtomicImage::from_image(&init),
+            error,
+            update_amount: vec![0.0; n],
+            iter: 0,
+            stats: IcdStats::default(),
+            model: CpuModel::paper_baseline(),
+            modeled_seconds: 0.0,
+        }
+    }
+
+    /// The SV tiling in use.
+    pub fn tiling(&self) -> &Tiling {
+        &self.tiling
+    }
+
+    /// One outer iteration of Algorithm 2: select SVs, then for each
+    /// (in checkerboard groups, parallel within a group) gather SVBs,
+    /// update voxels, and merge the error delta back.
+    pub fn iteration(&mut self) -> PsvIterationReport {
+        self.iter += 1;
+        let mut rng = StdRng::seed_from_u64(self.config.icd.seed ^ (0xc0ffee ^ self.iter).wrapping_mul(0x9e3779b97f4a7c15));
+        let (selection, ids) = select_svs(self.iter, self.config.fraction, &self.update_amount, &mut rng);
+        let groups = checkerboard_groups(&self.tiling, &ids);
+
+        let allow_skip = self.config.icd.zero_skip && self.iter > 1;
+        let mut report = PsvIterationReport {
+            iter: self.iter,
+            selection,
+            svs_updated: ids.len(),
+            updates: 0,
+            skipped: 0,
+            abs_delta: 0.0,
+            modeled_seconds: 0.0,
+        };
+        let mut works: Vec<SvWork> = Vec::with_capacity(ids.len());
+
+        for group in &groups {
+            if group.is_empty() {
+                continue;
+            }
+            // Gather all buffers for the group from the current error
+            // sinogram (deterministic snapshot).
+            let origs: Vec<Svb<'_>> = group
+                .iter()
+                .map(|&sv| Svb::gather(&self.shapes[sv], SvbLayout::SensorMajor, &self.error, self.weights))
+                .collect();
+            let svbs: Vec<Mutex<Svb<'_>>> = origs.iter().cloned().map(Mutex::new).collect();
+            let visits: Vec<Mutex<SvVisit>> = group.iter().map(|_| Mutex::new(SvVisit::default())).collect();
+
+            // Parallel SV updates within the group.
+            let next = AtomicUsize::new(0);
+            let image = &self.image;
+            let a = self.a;
+            let prior = self.prior;
+            let tiling = &self.tiling;
+            let seed = self.config.icd.seed;
+            let iter = self.iter;
+            let randomize = self.config.icd.randomize;
+            let positivity = self.config.icd.positivity;
+            crossbeam::scope(|s| {
+                for _ in 0..self.config.threads {
+                    s.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= group.len() {
+                            break;
+                        }
+                        let sv = group[i];
+                        let mut svb = svbs[i].lock();
+                        let mut visit = SvVisit::default();
+                        let mut order: Vec<usize> = tiling.voxels(sv).collect();
+                        if randomize {
+                            let mut r = StdRng::seed_from_u64(
+                                seed ^ iter.wrapping_mul(31) ^ (sv as u64).wrapping_mul(0x9e3779b9),
+                            );
+                            order.shuffle(&mut r);
+                        }
+                        for j in order {
+                            if allow_skip && image.zero_skippable(j) {
+                                visit.skipped += 1;
+                                continue;
+                            }
+                            let col = a.column(j);
+                            let delta =
+                                update_voxel_shared(j, image, &col, &mut svb, prior, positivity);
+                            visit.updates += 1;
+                            visit.abs_delta += delta.abs() as f64;
+                            visit.entries += col.nnz() as f64;
+                        }
+                        *visits[i].lock() = visit;
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+
+            // Sequential, ordered merge of the deltas (Alg. 2 lock()).
+            for (i, &sv) in group.iter().enumerate() {
+                let svb = svbs[i].lock();
+                svb.scatter_delta(&origs[i], &mut self.error);
+                let visit = *visits[i].lock();
+                self.update_amount[sv] = visit.abs_delta;
+                report.updates += visit.updates;
+                report.skipped += visit.skipped;
+                report.abs_delta += visit.abs_delta;
+                works.push(SvWork {
+                    entries: visit.entries,
+                    // e+w gathered, e scattered back: 3 packed copies.
+                    svb_bytes: 3.0 * self.shapes[sv].bytes(SvbLayout::SensorMajor) as f64,
+                });
+            }
+        }
+
+        report.modeled_seconds = self.model.iteration_time(&works);
+        self.modeled_seconds += report.modeled_seconds;
+        self.stats.updates += report.updates;
+        self.stats.skipped += report.skipped;
+        self.stats.total_abs_delta += report.abs_delta;
+        report
+    }
+
+    /// Iterate until RMSE against `golden` drops below `threshold_hu`,
+    /// recording a convergence trace in modeled seconds. Stops after
+    /// `max_iters` regardless.
+    pub fn run_to_rmse(&mut self, golden: &Image, threshold_hu: f32, max_iters: usize) -> ConvergenceTrace {
+        let mut trace = ConvergenceTrace::default();
+        let img = self.image.to_image();
+        trace.record(self.equits(), self.modeled_seconds, &img, golden);
+        for _ in 0..max_iters {
+            if rmse_hu(&self.image.to_image(), golden) < threshold_hu {
+                break;
+            }
+            self.iteration();
+            let img = self.image.to_image();
+            trace.record(self.equits(), self.modeled_seconds, &img, golden);
+        }
+        trace
+    }
+
+    /// Current reconstruction (copied out of the shared image).
+    pub fn image(&self) -> Image {
+        self.image.to_image()
+    }
+
+    /// Current error sinogram.
+    pub fn error(&self) -> &Sinogram {
+        &self.error
+    }
+
+    /// Equits of work done so far.
+    pub fn equits(&self) -> f64 {
+        self.stats.equits(self.image.grid().num_voxels())
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> IcdStats {
+        self.stats
+    }
+
+    /// Total modeled 16-core seconds so far.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.modeled_seconds
+    }
+}
+
+/// The single-voxel update against a shared image and a private SVB —
+/// Algorithm 1 with the image reads/writes going through atomics.
+fn update_voxel_shared<P: Prior>(
+    j: usize,
+    image: &AtomicImage,
+    col: &ColumnView<'_>,
+    svb: &mut Svb<'_>,
+    prior: &P,
+    positivity: bool,
+) -> f32 {
+    let v = image.get(j);
+    let th = compute_thetas(col, svb);
+    let nb = Neighbors8::of_grid(image.grid(), j);
+    let mut neigh = nb.iter().map(|(k, edge)| (image.get(k), clique_weight(edge)));
+    let mut delta = prior.step(v, th.theta1, th.theta2, &mut neigh);
+    drop(neigh);
+    if positivity && v + delta < 0.0 {
+        delta = -v;
+    }
+    if delta != 0.0 {
+        image.set(j, v + delta);
+        apply_delta(col, svb, delta);
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::fbp;
+    use ct_core::geometry::Geometry;
+    use ct_core::phantom::Phantom;
+    use ct_core::project::{scan, NoiseModel, Scan};
+    use mbir::prior::QggmrfPrior;
+    use mbir::sequential::golden_image;
+
+    fn setup() -> (Geometry, SystemMatrix, Scan) {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        let truth = Phantom::water_cylinder(0.55).render(g.grid, 2);
+        let s = scan(&a, &truth, Some(NoiseModel { i0: 1.0e5 }), 7);
+        (g, a, s)
+    }
+
+    fn config() -> PsvConfig {
+        PsvConfig { sv_side: 6, threads: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn converges_to_sequential_golden() {
+        let (g, a, s) = setup();
+        let prior = QggmrfPrior::standard(0.002);
+        let init = fbp::reconstruct(&g, &s.y);
+        let golden = golden_image(&a, &s.y, &s.weights, &prior, init.clone(), 40.0);
+        let mut psv = PsvIcd::new(&a, &s.y, &s.weights, &prior, init, config());
+        let trace = psv.run_to_rmse(&golden, 10.0, 60);
+        let last = trace.last().unwrap();
+        assert!(last.rmse_hu < 10.0, "rmse {} after {} iters", last.rmse_hu, trace.points.len());
+        assert!(psv.modeled_seconds() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (g, a, s) = setup();
+        let prior = QggmrfPrior::standard(0.002);
+        let init = fbp::reconstruct(&g, &s.y);
+        let run = |threads: usize| {
+            let mut psv = PsvIcd::new(
+                &a,
+                &s.y,
+                &s.weights,
+                &prior,
+                init.clone(),
+                PsvConfig { sv_side: 6, threads, ..Default::default() },
+            );
+            for _ in 0..4 {
+                psv.iteration();
+            }
+            psv.image()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn first_iteration_visits_all_svs() {
+        let (g, a, s) = setup();
+        let prior = QggmrfPrior::standard(0.002);
+        let mut psv =
+            PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
+        let r = psv.iteration();
+        assert_eq!(r.selection, Selection::All);
+        assert_eq!(r.svs_updated, psv.tiling().len());
+        // Boundary voxels are visited by up to 4 tiles, so updates
+        // exceed the voxel count but stay below 2x.
+        let nvox = g.grid.num_voxels() as u64;
+        assert!(r.updates >= nvox);
+        assert!(r.updates < 2 * nvox);
+    }
+
+    #[test]
+    fn later_iterations_visit_fraction() {
+        let (g, a, s) = setup();
+        let prior = QggmrfPrior::standard(0.002);
+        let mut psv =
+            PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
+        psv.iteration();
+        let r2 = psv.iteration();
+        assert_eq!(r2.selection, Selection::Top);
+        let expect = ((psv.tiling().len() as f32) * 0.20).ceil() as usize;
+        assert_eq!(r2.svs_updated, expect);
+        let r3 = psv.iteration();
+        assert_eq!(r3.selection, Selection::Random);
+        assert_eq!(r3.svs_updated, expect);
+    }
+
+    #[test]
+    fn error_sinogram_invariant_after_iterations() {
+        let (_, a, s) = setup();
+        let prior = QggmrfPrior::standard(0.002);
+        let g = Geometry::tiny_scale();
+        let mut psv =
+            PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
+        for _ in 0..3 {
+            psv.iteration();
+        }
+        let img = psv.image();
+        let ax = a.forward(&img);
+        for i in 0..s.y.data().len() {
+            let expect = s.y.data()[i] - ax.data()[i];
+            assert!(
+                (psv.error().data()[i] - expect).abs() < 2e-3,
+                "i={i}: {} vs {}",
+                psv.error().data()[i],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_time_accumulates() {
+        let (g, a, s) = setup();
+        let prior = QggmrfPrior::standard(0.002);
+        let mut psv =
+            PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
+        let r1 = psv.iteration();
+        let after1 = psv.modeled_seconds();
+        let r2 = psv.iteration();
+        assert!((after1 - r1.modeled_seconds).abs() < 1e-12);
+        assert!((psv.modeled_seconds() - r1.modeled_seconds - r2.modeled_seconds).abs() < 1e-12);
+        // Iteration 2 visits 20% of SVs: cheaper than iteration 1.
+        assert!(r2.modeled_seconds < r1.modeled_seconds);
+    }
+}

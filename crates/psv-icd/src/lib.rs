@@ -1,0 +1,33 @@
+//! PSV-ICD — the state-of-the-art multi-core CPU MBIR algorithm
+//! (PPoPP 2016), the baseline the paper's GPU-ICD is compared against
+//! (its Algorithm 2).
+//!
+//! Per outer iteration, a fraction of SuperVoxels is selected
+//! (all / top-20% by update amount / random 20%), each selected SV's
+//! sinogram band is copied into a private SuperVoxel buffer, the SV's
+//! voxels are updated sequentially against the buffer, and the buffer
+//! delta is merged back into the global error sinogram under a lock.
+//!
+//! - [`driver`]: the algorithm, executed with real threads
+//!   (crossbeam scoped threads + a work-stealing index). One deliberate
+//!   deviation from the 2016 paper, documented in DESIGN.md: SVs run in
+//!   checkerboard groups so concurrently updated SVs never share
+//!   boundary voxels — Rust's aliasing rules reject PSV-ICD's "rare
+//!   benign race" on boundary voxels, and the paper itself calls the
+//!   collision probability negligible at CPU concurrency levels.
+//! - [`atomic_image`]: the shared reconstruction image with atomic
+//!   f32 cells (disjoint writers, racing readers are the prior's
+//!   neighbour reads).
+//! - [`cpu_model`]: the analytic 16-core Xeon timing model used to
+//!   report paper-comparable execution times (this machine has one
+//!   core; see DESIGN.md's substitution table).
+
+#![warn(missing_docs)]
+
+pub mod atomic_image;
+pub mod cpu_model;
+pub mod driver;
+
+pub use atomic_image::AtomicImage;
+pub use cpu_model::{CpuModel, CpuSpec, SvWork};
+pub use driver::{PsvConfig, PsvIcd, PsvIterationReport};

@@ -1,0 +1,86 @@
+//! The 4-group checkerboard partition (paper Fig. 3).
+//!
+//! GPU-ICD updates many SVs concurrently *with* intra-SV parallelism,
+//! so simultaneous updates of boundary voxels shared by neighbouring
+//! SVs would corrupt the voxel/error-sinogram correspondence. SVs are
+//! therefore partitioned by the parity of their SV-grid coordinates
+//! into four groups; members of one group are never 8-adjacent and can
+//! run concurrently.
+
+use crate::tiling::Tiling;
+
+/// Partition (a subset of) SVs into the four checkerboard groups.
+/// Group index is `(sv_row % 2) * 2 + (sv_col % 2)`.
+pub fn checkerboard_groups(tiling: &Tiling, ids: &[usize]) -> [Vec<usize>; 4] {
+    let mut groups: [Vec<usize>; 4] = Default::default();
+    for &id in ids {
+        let sv = tiling.svs()[id];
+        let g = (sv.sv_row % 2) * 2 + (sv.sv_col % 2);
+        groups[g].push(id);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::geometry::ImageGrid;
+
+    fn tiling() -> Tiling {
+        Tiling::new(ImageGrid::square(64, 1.0), 9)
+    }
+
+    #[test]
+    fn groups_partition_input() {
+        let t = tiling();
+        let all: Vec<usize> = (0..t.len()).collect();
+        let groups = checkerboard_groups(&t, &all);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, t.len());
+        let mut seen = vec![false; t.len()];
+        for g in &groups {
+            for &id in g {
+                assert!(!seen[id], "SV {id} in two groups");
+                seen[id] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn no_adjacent_pair_within_group() {
+        let t = tiling();
+        let all: Vec<usize> = (0..t.len()).collect();
+        for group in &checkerboard_groups(&t, &all) {
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    assert!(!t.adjacent(a, b), "SVs {a} and {b} adjacent within a group");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_shared_voxels_within_group() {
+        // Stronger than grid adjacency: actual voxel sets are disjoint.
+        let t = tiling();
+        let all: Vec<usize> = (0..t.len()).collect();
+        for group in &checkerboard_groups(&t, &all) {
+            let mut owner = vec![usize::MAX; 64 * 64];
+            for &id in group {
+                for j in t.voxels(id) {
+                    assert_eq!(owner[j], usize::MAX, "voxel {j} shared inside a group");
+                    owner[j] = id;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn respects_subset() {
+        let t = tiling();
+        let subset = [0usize, 3, 5, 11];
+        let groups = checkerboard_groups(&t, &subset);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, subset.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! SuperVoxel machinery (PPoPP 2016's PSV-ICD data structures, plus the
+//! GPU-oriented transformations of the PPoPP 2017 paper's Section 4).
+//!
+//! - [`tiling`]: partition the image into square SuperVoxels (SVs) with
+//!   shared boundary voxels, and map voxels to SVs.
+//! - [`svb`]: SuperVoxel buffers (SVBs) — per-SV copies of the error
+//!   and weight sinogram bands, in the original sensor-major layout or
+//!   the transposed/zero-padded layout of paper Fig. 4b, with
+//!   gather/scatter against the global sinogram.
+//! - [`chunks`]: the per-voxel chunk decomposition of the transformed
+//!   layout (rectangular `(views x chunk_width)` blocks with zero-padded
+//!   A-matrix chunks) that produces coalesced accesses.
+//! - [`quant`]: the paper's Section 4.3.1 A-matrix compression to
+//!   `u8` with a per-voxel normalization scale.
+//! - [`checkerboard`]: the 4-group checkerboard partition that keeps
+//!   concurrently updated SVs from sharing boundary voxels.
+//! - [`selection`]: the per-iteration SV working-set policies (all /
+//!   top-f% by update amount / random f%).
+
+#![warn(missing_docs)]
+
+pub mod checkerboard;
+pub mod chunks;
+pub mod quant;
+pub mod selection;
+pub mod svb;
+pub mod tiling;
+
+pub use checkerboard::checkerboard_groups;
+pub use chunks::{chunk_column, Chunk, PaddedColumn};
+pub use quant::QuantizedColumn;
+pub use selection::{select_svs, Selection};
+pub use svb::{Svb, SvbLayout, SvbShape};
+pub use tiling::{SuperVoxel, Tiling};

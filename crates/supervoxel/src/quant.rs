@@ -1,0 +1,159 @@
+//! A-matrix compression to `unsigned char` (paper Section 4.3.1).
+//!
+//! Each entry is normalized by the voxel column's maximum and mapped to
+//! 8 bits with rounding:
+//!
+//! ```text
+//! code = (u8)((A / max_A_of_voxel) * 255 + 0.5)
+//! ```
+//!
+//! The per-voxel maximum is stored alongside and multiplied back before
+//! use. This quarters the A-matrix stream (the dominant memory traffic)
+//! at a quantization error bounded by `max_A / 510` per entry.
+
+use ct_core::sysmat::ColumnView;
+
+/// One voxel's column quantized to bytes.
+#[derive(Debug, Clone)]
+pub struct QuantizedColumn {
+    /// The per-voxel normalization maximum.
+    pub scale: f32,
+    /// Quantization levels (`2^bits - 1`; 255 for the paper's u8).
+    pub levels: f32,
+    /// Quantized codes, in the same flat order as
+    /// [`ColumnView::values_flat`].
+    pub codes: Vec<u8>,
+}
+
+impl QuantizedColumn {
+    /// Quantize a column to 8 bits (the paper's scheme).
+    pub fn quantize(col: &ColumnView<'_>) -> QuantizedColumn {
+        Self::quantize_bits(col, 8)
+    }
+
+    /// Quantize a column to `bits` in `1..=8` (levels stored in a byte;
+    /// used by the bit-width ablation to show 8 bits is enough).
+    pub fn quantize_bits(col: &ColumnView<'_>, bits: u32) -> QuantizedColumn {
+        assert!((1..=8).contains(&bits));
+        let levels = ((1u32 << bits) - 1) as f32;
+        let scale = col.max_value();
+        let codes = if scale > 0.0 {
+            col.values_flat().iter().map(|&a| ((a / scale) * levels + 0.5) as u8).collect()
+        } else {
+            vec![0u8; col.nnz()]
+        };
+        QuantizedColumn { scale, levels, codes }
+    }
+
+    /// Dequantize entry `k` back to a float A value.
+    #[inline]
+    pub fn dequant(&self, k: usize) -> f32 {
+        self.codes[k] as f32 * self.scale / self.levels
+    }
+
+    /// Dequantize the whole column.
+    pub fn dequantize_all(&self) -> Vec<f32> {
+        (0..self.codes.len()).map(|k| self.dequant(k)).collect()
+    }
+
+    /// Worst-case absolute error of this quantization (half a step).
+    pub fn error_bound(&self) -> f32 {
+        self.scale / (2.0 * self.levels)
+    }
+
+    /// Bytes of the quantized representation (codes + scale).
+    pub fn bytes(&self) -> usize {
+        self.codes.len() + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_core::geometry::Geometry;
+    use ct_core::sysmat::SystemMatrix;
+
+    #[test]
+    fn roundtrip_error_within_bound() {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        for j in (0..g.grid.num_voxels()).step_by(53) {
+            let col = a.column(j);
+            let q = QuantizedColumn::quantize(&col);
+            let bound = q.error_bound() + 1e-7;
+            for (k, &orig) in col.values_flat().iter().enumerate() {
+                let err = (q.dequant(k) - orig).abs();
+                assert!(err <= bound, "voxel {j} entry {k}: err {err} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_maps_to_255() {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        let col = a.column(g.grid.num_voxels() / 2);
+        let q = QuantizedColumn::quantize(&col);
+        assert_eq!(*q.codes.iter().max().unwrap(), 255);
+    }
+
+    #[test]
+    fn compression_is_4x_minus_scale() {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        let col = a.column(10);
+        let q = QuantizedColumn::quantize(&col);
+        assert_eq!(q.bytes(), col.nnz() + 4);
+        assert!(q.bytes() * 3 < col.nnz() * 4);
+    }
+
+    #[test]
+    fn zero_column_is_safe() {
+        // A detector-clipped voxel with an all-zero column must not
+        // divide by zero.
+        let q = QuantizedColumn { scale: 0.0, levels: 255.0, codes: vec![0; 4] };
+        assert_eq!(q.dequant(2), 0.0);
+    }
+
+    #[test]
+    fn fewer_bits_mean_larger_error() {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        let col = a.column(g.grid.num_voxels() / 2);
+        let mut prev_bound = 0.0f32;
+        for bits in (2..=8).rev() {
+            let q = QuantizedColumn::quantize_bits(&col, bits);
+            let bound = q.error_bound() + 1e-7;
+            assert!(bound > prev_bound, "bound must grow as bits shrink");
+            prev_bound = q.error_bound();
+            for (k, &orig) in col.values_flat().iter().enumerate() {
+                assert!((q.dequant(k) - orig).abs() <= bound, "bits {bits} entry {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_code_matches_bit_width() {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        let col = a.column(g.grid.num_voxels() / 2);
+        for bits in [2u32, 4, 6, 8] {
+            let q = QuantizedColumn::quantize_bits(&col, bits);
+            assert_eq!(*q.codes.iter().max().unwrap() as u32, (1 << bits) - 1);
+        }
+    }
+
+    #[test]
+    fn relative_error_small_for_large_entries() {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        let col = a.column(g.grid.num_voxels() / 2 + 3);
+        let q = QuantizedColumn::quantize(&col);
+        for (k, &orig) in col.values_flat().iter().enumerate() {
+            if orig > 0.5 * q.scale {
+                let rel = (q.dequant(k) - orig).abs() / orig;
+                assert!(rel < 0.005, "rel err {rel}");
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-iteration SuperVoxel working-set selection.
+//!
+//! Both parallel algorithms update only a fraction of SVs per outer
+//! iteration (non-homogeneous ICD): iteration 1 updates all SVs; even
+//! iterations take the top fraction by the previous update amount;
+//! odd iterations take a random fraction. PSV-ICD uses 20%, GPU-ICD
+//! raises it to 25% to keep the four checkerboard groups populated.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which policy produced a working set (useful for logging/tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// Iteration 1: everything.
+    All,
+    /// Even iterations: largest recent update amounts.
+    Top,
+    /// Odd iterations: uniform random subset.
+    Random,
+}
+
+/// Select the SVs to update in iteration `iter` (1-based, matching
+/// Algorithms 2 and 3). `update_amount[sv]` is the sum of `|delta|`
+/// from each SV's most recent visit.
+pub fn select_svs<R: Rng>(
+    iter: u64,
+    fraction: f32,
+    update_amount: &[f64],
+    rng: &mut R,
+) -> (Selection, Vec<usize>) {
+    let n = update_amount.len();
+    if iter <= 1 {
+        return (Selection::All, (0..n).collect());
+    }
+    let count = ((n as f32 * fraction).ceil() as usize).clamp(1, n);
+    if iter.is_multiple_of(2) {
+        // Top `count` by update amount.
+        let mut ids: Vec<usize> = (0..n).collect();
+        ids.sort_by(|&a, &b| {
+            update_amount[b].partial_cmp(&update_amount[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ids.truncate(count);
+        (Selection::Top, ids)
+    } else {
+        let mut ids: Vec<usize> = (0..n).collect();
+        ids.shuffle(rng);
+        ids.truncate(count);
+        ids.sort_unstable();
+        (Selection::Random, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn first_iteration_selects_all() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let amounts = vec![0.0; 10];
+        let (sel, ids) = select_svs(1, 0.25, &amounts, &mut rng);
+        assert_eq!(sel, Selection::All);
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn even_iterations_take_top() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let amounts: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let (sel, ids) = select_svs(2, 0.25, &amounts, &mut rng);
+        assert_eq!(sel, Selection::Top);
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&7) && ids.contains(&6));
+    }
+
+    #[test]
+    fn odd_iterations_take_random_subset() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let amounts = vec![1.0; 20];
+        let (sel, ids) = select_svs(3, 0.25, &amounts, &mut rng);
+        assert_eq!(sel, Selection::Random);
+        assert_eq!(ids.len(), 5);
+        let mut unique = ids.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 5);
+        assert!(ids.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn fraction_rounds_up_and_clamps() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let amounts = vec![1.0; 3];
+        let (_, ids) = select_svs(2, 0.25, &amounts, &mut rng);
+        assert_eq!(ids.len(), 1); // ceil(0.75) = 1
+        let (_, all) = select_svs(2, 2.0, &amounts, &mut rng);
+        assert_eq!(all.len(), 3); // clamped to n
+    }
+
+    #[test]
+    fn random_selection_varies_by_iteration() {
+        let amounts = vec![1.0; 40];
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, a) = select_svs(3, 0.25, &amounts, &mut rng);
+        let (_, b) = select_svs(5, 0.25, &amounts, &mut rng);
+        assert_ne!(a, b);
+    }
+}

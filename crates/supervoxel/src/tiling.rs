@@ -1,0 +1,210 @@
+//! Partitioning the image into SuperVoxels.
+//!
+//! SuperVoxels are square tiles of side `sv_side`. Following both
+//! papers, adjacent SVs *share boundary voxels* (each tile extends one
+//! voxel into its right/bottom neighbours) which speeds convergence:
+//! boundary voxels get refreshed by whichever neighbouring SV runs
+//! last.
+
+use ct_core::geometry::ImageGrid;
+
+/// One SuperVoxel: a rectangular tile of voxels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuperVoxel {
+    /// Index within the tiling's SV list.
+    pub id: usize,
+    /// Position in the SV grid (row of tiles, column of tiles).
+    pub sv_row: usize,
+    /// See `sv_row`.
+    pub sv_col: usize,
+    /// First image row covered.
+    pub row0: usize,
+    /// First image column covered.
+    pub col0: usize,
+    /// Rows covered (tile side, +1 shared boundary, clipped at edges).
+    pub rows: usize,
+    /// Columns covered.
+    pub cols: usize,
+}
+
+impl SuperVoxel {
+    /// Number of voxels in this SV.
+    pub fn num_voxels(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// A complete SV tiling of an image grid.
+#[derive(Debug, Clone)]
+pub struct Tiling {
+    grid: ImageGrid,
+    sv_side: usize,
+    sv_rows: usize,
+    sv_cols: usize,
+    svs: Vec<SuperVoxel>,
+}
+
+impl Tiling {
+    /// Tile `grid` with SVs of side `sv_side`, sharing one boundary
+    /// row/column between adjacent tiles.
+    pub fn new(grid: ImageGrid, sv_side: usize) -> Self {
+        assert!(sv_side >= 2, "sv_side must be at least 2");
+        let sv_rows = grid.ny.div_ceil(sv_side);
+        let sv_cols = grid.nx.div_ceil(sv_side);
+        let mut svs = Vec::with_capacity(sv_rows * sv_cols);
+        for sr in 0..sv_rows {
+            for sc in 0..sv_cols {
+                let row0 = sr * sv_side;
+                let col0 = sc * sv_side;
+                // +1 shared boundary voxel toward the next tile.
+                let rows = (sv_side + 1).min(grid.ny - row0);
+                let cols = (sv_side + 1).min(grid.nx - col0);
+                svs.push(SuperVoxel { id: svs.len(), sv_row: sr, sv_col: sc, row0, col0, rows, cols });
+            }
+        }
+        Tiling { grid, sv_side, sv_rows, sv_cols, svs }
+    }
+
+    /// The tiled grid.
+    pub fn grid(&self) -> ImageGrid {
+        self.grid
+    }
+
+    /// The tile side used.
+    pub fn sv_side(&self) -> usize {
+        self.sv_side
+    }
+
+    /// SV grid shape `(rows of tiles, cols of tiles)`.
+    pub fn sv_grid(&self) -> (usize, usize) {
+        (self.sv_rows, self.sv_cols)
+    }
+
+    /// All SVs, in row-major SV-grid order.
+    pub fn svs(&self) -> &[SuperVoxel] {
+        &self.svs
+    }
+
+    /// Number of SVs.
+    pub fn len(&self) -> usize {
+        self.svs.len()
+    }
+
+    /// Whether the tiling is empty (never, for valid grids).
+    pub fn is_empty(&self) -> bool {
+        self.svs.is_empty()
+    }
+
+    /// Linear voxel indices covered by SV `id`, row-major.
+    pub fn voxels(&self, id: usize) -> impl Iterator<Item = usize> + '_ {
+        let sv = self.svs[id];
+        let nx = self.grid.nx;
+        (0..sv.rows).flat_map(move |r| {
+            let base = (sv.row0 + r) * nx + sv.col0;
+            base..base + sv.cols
+        })
+    }
+
+    /// The SV that *owns* a voxel (ignoring boundary sharing): the tile
+    /// whose non-shared region contains it.
+    pub fn owner_of(&self, voxel: usize) -> usize {
+        let row = voxel / self.grid.nx;
+        let col = voxel % self.grid.nx;
+        let sr = (row / self.sv_side).min(self.sv_rows - 1);
+        let sc = (col / self.sv_side).min(self.sv_cols - 1);
+        sr * self.sv_cols + sc
+    }
+
+    /// Whether two SVs touch (share voxels or are 8-adjacent in the SV
+    /// grid) — such SVs must not be updated concurrently.
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let sa = self.svs[a];
+        let sb = self.svs[b];
+        sa.sv_row.abs_diff(sb.sv_row) <= 1 && sa.sv_col.abs_diff(sb.sv_col) <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> ImageGrid {
+        ImageGrid::square(64, 1.0)
+    }
+
+    #[test]
+    fn covers_all_voxels() {
+        let t = Tiling::new(grid(), 13);
+        let mut seen = vec![false; 64 * 64];
+        for id in 0..t.len() {
+            for j in t.voxels(id) {
+                seen[j] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sv_grid_shape() {
+        let t = Tiling::new(grid(), 16);
+        assert_eq!(t.sv_grid(), (4, 4));
+        assert_eq!(t.len(), 16);
+        // Paper example: 512x512 with side 30 gives 18x18 = 324 tiles
+        // ("~289 SVs" for side 30 in the paper's rounding).
+        let t2 = Tiling::new(ImageGrid::square(512, 1.0), 30);
+        assert_eq!(t2.len(), 18 * 18);
+    }
+
+    #[test]
+    fn boundary_voxels_are_shared() {
+        let t = Tiling::new(grid(), 16);
+        // Voxel at the seam column 16 belongs to tile col 1's region and
+        // is also covered by tile col 0 (its +1 boundary).
+        let seam = 5 * 64 + 16;
+        let covering: Vec<usize> =
+            (0..t.len()).filter(|&id| t.voxels(id).any(|j| j == seam)).collect();
+        assert_eq!(covering.len(), 2);
+        assert_eq!(t.owner_of(seam), covering[1]);
+    }
+
+    #[test]
+    fn interior_voxels_unshared() {
+        let t = Tiling::new(grid(), 16);
+        let interior = 5 * 64 + 5;
+        let covering = (0..t.len()).filter(|&id| t.voxels(id).any(|j| j == interior)).count();
+        assert_eq!(covering, 1);
+    }
+
+    #[test]
+    fn owner_is_consistent() {
+        let t = Tiling::new(grid(), 13);
+        for j in (0..64 * 64).step_by(101) {
+            let o = t.owner_of(j);
+            assert!(t.voxels(o).any(|v| v == j), "owner {o} does not cover voxel {j}");
+        }
+    }
+
+    #[test]
+    fn adjacency() {
+        let t = Tiling::new(grid(), 16);
+        // (0,0) touches (0,1), (1,0), (1,1) but not (0,2) or (2,2).
+        assert!(t.adjacent(0, 1));
+        assert!(t.adjacent(0, 4));
+        assert!(t.adjacent(0, 5));
+        assert!(!t.adjacent(0, 2));
+        assert!(!t.adjacent(0, 10));
+        assert!(!t.adjacent(3, 3));
+    }
+
+    #[test]
+    fn ragged_edges_clip() {
+        let t = Tiling::new(grid(), 30); // 64 = 30 + 30 + 4
+        assert_eq!(t.sv_grid(), (3, 3));
+        let last = t.svs()[8];
+        assert_eq!(last.row0, 60);
+        assert_eq!(last.rows, 4);
+    }
+}

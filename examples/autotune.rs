@@ -1,0 +1,69 @@
+//! The paper's future work (Section 8): "build a model that
+//! automatically selects input-specific high performing parameter
+//! values". The simulated GPU makes this cheap: grid-search the tuning
+//! space on the timing model for a specific input and report the best
+//! configuration.
+//!
+//! ```text
+//! cargo run --release --example autotune [seed]
+//! ```
+
+use ct_core::fbp;
+use ct_core::geometry::Geometry;
+use ct_core::phantom::Phantom;
+use ct_core::project::{scan, NoiseModel};
+use ct_core::sysmat::SystemMatrix;
+use gpu_icd::{GpuIcd, GpuOptions};
+use mbir::prior::QggmrfPrior;
+use mbir::sequential::golden_image;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let geom = Geometry::test_scale();
+    let a = SystemMatrix::compute(&geom);
+    let truth = Phantom::baggage(seed).render(geom.grid, 2);
+    let s = scan(&a, &truth, Some(NoiseModel::default_dose()), seed);
+    let prior = QggmrfPrior::standard(0.002);
+    let init = fbp::reconstruct(&geom, &s.y);
+    let golden = golden_image(&a, &s.y, &s.weights, &prior, init.clone(), 40.0);
+
+    let mut best: Option<(f64, GpuOptions)> = None;
+    let mut tried = 0usize;
+    println!("grid-searching (sv_side, tb/SV, svs/batch) on the simulated Titan X...");
+    for sv_side in [6usize, 8, 12, 16] {
+        for tb in [4u32, 8, 12, 24] {
+            for batch in [8usize, 16, 32] {
+                let opts = GpuOptions {
+                    sv_side,
+                    threadblocks_per_sv: tb,
+                    svs_per_batch: batch,
+                    ..Default::default()
+                };
+                let mut gpu =
+                    GpuIcd::new(&a, &s.y, &s.weights, &prior, init.clone(), opts);
+                let trace = gpu.run_to_rmse(&golden, 10.0, 150);
+                tried += 1;
+                if trace.last().map(|p| p.rmse_hu < 10.0).unwrap_or(false) {
+                    let t = gpu.modeled_seconds();
+                    if best.as_ref().map(|(bt, _)| t < *bt).unwrap_or(true) {
+                        println!(
+                            "  new best: side {sv_side:>2}, tb {tb:>2}, batch {batch:>2} -> {:.3} ms ({:.1} equits)",
+                            t * 1e3,
+                            gpu.equits()
+                        );
+                        best = Some((t, opts));
+                    }
+                }
+            }
+        }
+    }
+    let (t, opts) = best.expect("at least one configuration converged");
+    println!(
+        "\nsearched {tried} configs; winner for baggage-{seed}: sv_side={}, tb/SV={}, svs/batch={} at {:.3} ms",
+        opts.sv_side,
+        opts.threadblocks_per_sv,
+        opts.svs_per_batch,
+        t * 1e3
+    );
+    println!("(the paper notes best values differ per image - exactly what this reproduces)");
+}

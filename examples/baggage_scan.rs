@@ -1,0 +1,58 @@
+//! Security-scan scenario: the paper's motivating domain (DHS ALERT
+//! explosive-detection systems). Reconstructs a synthetic baggage
+//! slice with all three algorithms and compares modeled wall-clock —
+//! the "is MBIR fast enough for a checkpoint?" question.
+//!
+//! ```text
+//! cargo run --release --example baggage_scan [seed]
+//! ```
+
+use ct_core::fbp;
+use ct_core::geometry::Geometry;
+use ct_core::hu::{hu_from_mu, rmse_hu};
+use ct_core::phantom::Phantom;
+use ct_core::project::{scan, NoiseModel};
+use ct_core::sysmat::SystemMatrix;
+use gpu_icd::{GpuIcd, GpuOptions};
+use mbir::prior::QggmrfPrior;
+use mbir::sequential::{golden_image, IcdConfig, SequentialIcd};
+use psv_icd::{PsvConfig, PsvIcd};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let geom = Geometry::test_scale();
+    let bag = Phantom::baggage(seed);
+    let truth = bag.render(geom.grid, 2);
+    println!("scanning '{}' ({} shapes, {:.0}% air)", bag.name(), bag.shapes().len(), truth.zero_fraction() * 100.0);
+
+    let a = SystemMatrix::compute(&geom);
+    let s = scan(&a, &truth, Some(NoiseModel::default_dose()), seed);
+    let prior = QggmrfPrior::standard(0.002);
+    let init = fbp::reconstruct(&geom, &s.y);
+    let golden = golden_image(&a, &s.y, &s.weights, &prior, init.clone(), 40.0);
+
+    // Sequential ICD (single core).
+    let mut seq = SequentialIcd::new(&a, &s.y, &s.weights, &prior, init.clone(), IcdConfig::default());
+    seq.run_to_rmse(&golden, 10.0, 40);
+    let seq_entries = seq.stats().updates as f64 * a.nnz() as f64 / geom.grid.num_voxels() as f64;
+    let seq_time = psv_icd::CpuModel::paper_baseline().sequential_time(seq_entries);
+
+    // PSV-ICD (16-core model).
+    let mut psv = PsvIcd::new(&a, &s.y, &s.weights, &prior, init.clone(), PsvConfig { sv_side: 6, threads: 2, ..Default::default() });
+    psv.run_to_rmse(&golden, 10.0, 200);
+
+    // GPU-ICD (simulated Titan X).
+    let opts = GpuOptions { sv_side: 8, threadblocks_per_sv: 12, svs_per_batch: 16, ..Default::default() };
+    let mut gpu = GpuIcd::new(&a, &s.y, &s.weights, &prior, init, opts);
+    gpu.run_to_rmse(&golden, 10.0, 300);
+
+    println!("\n{:<16} {:>14} {:>10} {:>14}", "algorithm", "modeled time", "equits", "RMSE vs golden");
+    println!("{:<16} {:>12.1}ms {:>10.1} {:>11.2} HU", "sequential", seq_time * 1e3, seq.equits(), rmse_hu(seq.image(), &golden));
+    println!("{:<16} {:>12.2}ms {:>10.1} {:>11.2} HU", "psv-icd (16c)", psv.modeled_seconds() * 1e3, psv.equits(), rmse_hu(&psv.image(), &golden));
+    println!("{:<16} {:>12.2}ms {:>10.1} {:>11.2} HU", "gpu-icd", gpu.modeled_seconds() * 1e3, gpu.equits(), rmse_hu(gpu.image(), &golden));
+    println!("\nGPU speedup: {:.0}X over sequential, {:.2}X over 16-core CPU", seq_time / gpu.modeled_seconds(), psv.modeled_seconds() / gpu.modeled_seconds());
+
+    // Threat-like density report: anything above 2x water.
+    let dense_voxels = gpu.image().data().iter().filter(|&&v| hu_from_mu(v) > 1000.0).count();
+    println!("voxels above +1000 HU (dense objects): {dense_voxels}");
+}

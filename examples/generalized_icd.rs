@@ -1,0 +1,65 @@
+//! The paper's Section 6 generalization: GPU-ICD as a parallel update
+//! framework for any `min ||y - Ax||^2_Lambda` problem. Solves a
+//! sparse weighted least-squares system with plain ICD and with the
+//! grouped-parallel (GPU-style) schedule, and verifies both reach the
+//! same solution.
+//!
+//! ```text
+//! cargo run --release --example generalized_icd
+//! ```
+
+use icd_opt::{correlation_groups, IcdSolver, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // A sparse random regression problem: 400 rows, 120 columns,
+    // ~6 nonzeros per column, known ground truth.
+    let mut rng = StdRng::seed_from_u64(99);
+    let (rows, cols) = (400usize, 120usize);
+    let mut triplets = Vec::new();
+    for c in 0..cols {
+        for _ in 0..6 {
+            triplets.push((rng.random_range(0..rows), c, rng.random_range(-1.0f32..1.0)));
+        }
+    }
+    let a = SparseMatrix::from_triplets(rows, cols, &triplets);
+    let x_true: Vec<f32> = (0..cols).map(|_| rng.random_range(-2.0f32..2.0)).collect();
+    let mut y = a.mul(&x_true);
+    for v in &mut y {
+        *v += 0.01 * rng.random_range(-1.0f32..1.0); // measurement noise
+    }
+
+    // Plain (sequential) ICD.
+    let mut seq = IcdSolver::new(a.clone(), y.clone());
+    let sweeps = seq.solve(1e-6, 500);
+    let err_seq = rmse(seq.x(), &x_true);
+    println!("sequential ICD:       {sweeps} sweeps, cost {:.6}, rmse vs truth {err_seq:.4}", seq.cost());
+
+    // Grouped-parallel ICD (the GPU-ICD schedule): 4 low-correlation
+    // groups ("checkerboard"), 8 concurrent coordinates per round
+    // ("intra-SV parallelism").
+    let mut par = IcdSolver::new(a.clone(), y.clone());
+    let mut rounds = 0usize;
+    while par.cost() > seq.cost() * 1.0001 && rounds < 500 {
+        par.sweep_grouped(4, 8);
+        rounds += 1;
+    }
+    let err_par = rmse(par.x(), &x_true);
+    println!("grouped-parallel ICD: {rounds} sweeps, cost {:.6}, rmse vs truth {err_par:.4}", par.cost());
+
+    // The grouping quality: correlated columns land in different groups.
+    let parts = correlation_groups(&a, 4);
+    let within = icd_opt::grouping::within_group_correlation(&a, &parts);
+    println!("within-group correlation after partitioning: {within:.3}");
+
+    let agree = rmse(seq.x(), par.x());
+    println!("solution agreement (rmse between solvers): {agree:.5}");
+    assert!(agree < 0.05, "parallel schedule must reach the same optimum");
+    println!("\nboth schedules minimize the same cost - ICD parallelizes exactly as the paper claims");
+}
+
+fn rmse(a: &[f32], b: &[f32]) -> f32 {
+    let ss: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (ss / a.len() as f32).sqrt()
+}

@@ -1,0 +1,45 @@
+//! Medical-imaging scenario: reconstruct the Shepp-Logan head phantom
+//! and compare image quality of FBP vs MBIR at a reduced dose — the
+//! "MBIR produces better images than FBP" claim of the paper's
+//! introduction, with GPU-ICD making it fast.
+//!
+//! ```text
+//! cargo run --release --example medical_slice
+//! ```
+
+use ct_core::fbp;
+use ct_core::geometry::Geometry;
+use ct_core::hu::rmse_hu;
+use ct_core::phantom::Phantom;
+use ct_core::project::{scan, NoiseModel};
+use ct_core::sysmat::SystemMatrix;
+use gpu_icd::{GpuIcd, GpuOptions};
+use mbir::prior::QggmrfPrior;
+
+fn main() {
+    let geom = Geometry::test_scale();
+    let a = SystemMatrix::compute(&geom);
+    let truth = Phantom::shepp_logan().render(geom.grid, 2);
+
+    println!("{:<12} {:>16} {:>16} {:>14}", "dose (I0)", "FBP RMSE (HU)", "MBIR RMSE (HU)", "MBIR time");
+    for i0 in [5.0e2f32, 2.0e3, 2.0e4, 2.0e5] {
+        let s = scan(&a, &truth, Some(NoiseModel { i0 }), 11);
+        let fbp_img = fbp::reconstruct(&geom, &s.y);
+
+        let prior = QggmrfPrior::standard(0.002);
+        let opts = GpuOptions { sv_side: 8, threadblocks_per_sv: 12, svs_per_batch: 16, ..Default::default() };
+        let mut gpu = GpuIcd::new(&a, &s.y, &s.weights, &prior, fbp_img.clone(), opts);
+        for _ in 0..20 {
+            gpu.iteration();
+        }
+
+        println!(
+            "{i0:<12.0} {:>16.1} {:>16.1} {:>11.2} ms",
+            rmse_hu(&fbp_img, &truth),
+            rmse_hu(gpu.image(), &truth),
+            gpu.modeled_seconds() * 1e3
+        );
+    }
+    println!("\nMBIR's statistical weighting suppresses noise that FBP passes straight");
+    println!("through — the gap widens as dose drops (paper Section 1's motivation).");
+}

@@ -1,0 +1,67 @@
+//! 3-D multi-slice reconstruction: the full MBIR setting the paper's
+//! 2-D slices come from. Five axial slices of a varying phantom are
+//! scanned independently and reconstructed jointly — the qGGMRF prior
+//! couples them through the 26-neighbourhood, and the slice-slab
+//! checkerboard parallelizes the passes.
+//!
+//! ```text
+//! cargo run --release --example volume_recon
+//! ```
+
+use ct_core::fbp;
+use ct_core::geometry::Geometry;
+use ct_core::phantom::Phantom;
+use ct_core::project::{scan, NoiseModel};
+use ct_core::sysmat::SystemMatrix;
+use ct_core::volume::Volume;
+use mbir::prior::QggmrfPrior;
+use mbir::volume_icd::VolumeIcd;
+
+fn main() {
+    let geom = Geometry::tiny_scale();
+    let a = SystemMatrix::compute(&geom);
+
+    // A "bottle" along z: radius grows then shrinks.
+    let radii = [0.3f32, 0.45, 0.6, 0.45, 0.3];
+    let truth_slices: Vec<_> =
+        radii.iter().map(|&r| Phantom::water_cylinder(r).render(geom.grid, 2)).collect();
+    let truth = Volume::from_slices(&truth_slices);
+    println!("scanning {} slices ({}x{} each)...", truth.nz(), geom.grid.nx, geom.grid.ny);
+
+    let mut ys = Vec::new();
+    let mut ws = Vec::new();
+    for (z, s) in truth_slices.iter().enumerate() {
+        let sc = scan(&a, s, Some(NoiseModel::default_dose()), 500 + z as u64);
+        ys.push(sc.y);
+        ws.push(sc.weights);
+    }
+
+    let prior = QggmrfPrior::standard(0.002);
+    let init =
+        Volume::from_slices(&ys.iter().map(|y| fbp::reconstruct(&geom, y)).collect::<Vec<_>>());
+    let to_hu = 1000.0 / ct_core::phantom::MU_WATER;
+    println!("FBP init RMSE: {:.1} HU", init.rmse(&truth) * to_hu);
+
+    let mut icd = VolumeIcd::new(&a, &ys, &ws, &prior, init);
+    for pass in 0..8 {
+        icd.pass_slice_parallel(2);
+        println!(
+            "pass {pass}: volume RMSE vs truth {:.1} HU ({:.1} equits)",
+            icd.volume().rmse(&truth) * to_hu,
+            icd.equits()
+        );
+    }
+
+    // Per-slice profile along z at the center: the reconstructed radii
+    // follow the bottle.
+    println!("\ncenter-voxel value per slice (attenuation, 1/mm):");
+    let center = geom.grid.index(geom.grid.ny / 2, geom.grid.nx / 2);
+    for z in 0..truth.nz() {
+        println!(
+            "  z = {z}: reconstructed {:.4}  truth {:.4}",
+            icd.volume().get(z, center),
+            truth.get(z, center)
+        );
+    }
+    println!("\nthe 3-D prior regularizes across slices without washing out the profile");
+}

@@ -1,0 +1,31 @@
+//! Umbrella crate for the PPoPP 2017 GPU-ICD MBIR reproduction.
+//!
+//! Re-exports the public APIs of the member crates so the examples and
+//! integration tests can use a single import root. See the individual
+//! crates for the substance:
+//!
+//! - [`ct_core`]: CT substrate (geometry, system matrix, sinograms,
+//!   phantoms, forward projection, FBP).
+//! - [`mbir`]: the MBIR core (priors, the single-voxel ICD update of the
+//!   paper's Algorithm 1, the sequential ICD baseline).
+//! - [`supervoxel`]: SuperVoxels, SuperVoxel buffers, layout transforms,
+//!   A-matrix quantization, checkerboard grouping.
+//! - [`psv_icd`]: the multi-core CPU baseline (paper's Algorithm 2,
+//!   PPoPP 2016) with a 16-core timing model.
+//! - [`gpu_sim`]: the simulated Maxwell-class GPU (occupancy, coalescing,
+//!   caches, timing).
+//! - [`gpu_icd`]: the paper's contribution — GPU-ICD (Algorithm 3).
+//! - [`icd_opt`]: the generalized weighted-least-squares ICD solver of
+//!   the paper's Section 6.
+
+#![warn(missing_docs)]
+
+pub mod recon;
+
+pub use ct_core;
+pub use gpu_icd;
+pub use gpu_sim;
+pub use icd_opt;
+pub use mbir;
+pub use psv_icd;
+pub use supervoxel;

@@ -1,0 +1,100 @@
+//! Integration tests for the high-level facade and the golden-free
+//! stopping rules.
+
+use ct_core::geometry::Geometry;
+use ct_core::hu::rmse_hu;
+use ct_core::phantom::Phantom;
+use ct_core::project::{scan, NoiseModel};
+use ct_core::sysmat::SystemMatrix;
+use mbir::stopping::StopRule;
+use mbir_gpu_repro::recon::{Algorithm, Reconstructor};
+
+fn measurement() -> (Geometry, ct_core::sinogram::Sinogram, ct_core::image::Image) {
+    let geom = Geometry::tiny_scale();
+    let a = SystemMatrix::compute(&geom);
+    let truth = Phantom::water_cylinder(0.55).render(geom.grid, 2);
+    let s = scan(&a, &truth, Some(NoiseModel::default_dose()), 3);
+    (geom, s.y, truth)
+}
+
+#[test]
+fn facade_runs_every_algorithm() {
+    let (geom, y, truth) = measurement();
+    let mut results = Vec::new();
+    for algo in [Algorithm::Fbp, Algorithm::SequentialIcd, Algorithm::PsvIcd, Algorithm::GpuIcd] {
+        let r = Reconstructor::new(geom).algorithm(algo).max_passes(40).run(&y);
+        let err = rmse_hu(&r.image, &truth);
+        assert!(err < 600.0, "{algo:?} rmse {err}");
+        results.push((algo, err, r));
+    }
+    // Every MBIR variant beats FBP on this noisy scan.
+    let fbp_err = results[0].1;
+    for (algo, err, _) in &results[1..] {
+        assert!(*err < fbp_err, "{algo:?} ({err}) should beat FBP ({fbp_err})");
+    }
+    // MBIR variants agree among themselves.
+    let seq = &results[1].2.image;
+    for (algo, _, r) in &results[2..] {
+        let d = rmse_hu(seq, &r.image);
+        assert!(d < 25.0, "{algo:?} differs from sequential by {d} HU");
+    }
+}
+
+#[test]
+fn mean_update_rule_stops_early_and_converged() {
+    let (geom, y, _) = measurement();
+    let tight = Reconstructor::new(geom)
+        .algorithm(Algorithm::SequentialIcd)
+        .stop(StopRule::MeanUpdate { hu: 0.05 })
+        .max_passes(60)
+        .run(&y);
+    let loose = Reconstructor::new(geom)
+        .algorithm(Algorithm::SequentialIcd)
+        .stop(StopRule::MeanUpdate { hu: 5.0 })
+        .max_passes(60)
+        .run(&y);
+    assert!(loose.equits < tight.equits, "loose {} tight {}", loose.equits, tight.equits);
+    // The tight rule's endpoint is close to the loose one's continuation.
+    let d = rmse_hu(&tight.image, &loose.image);
+    assert!(d < 40.0, "stopping rules diverged by {d} HU");
+}
+
+#[test]
+fn max_equits_budget_is_respected() {
+    let (geom, y, _) = measurement();
+    let r = Reconstructor::new(geom)
+        .algorithm(Algorithm::GpuIcd)
+        .stop(StopRule::MaxEquits { equits: 3.0 })
+        .max_passes(500)
+        .run(&y);
+    assert!(r.equits >= 3.0, "budget not reached: {}", r.equits);
+    assert!(r.equits < 5.0, "budget badly overshot: {}", r.equits);
+}
+
+#[test]
+fn cost_plateau_rule_terminates() {
+    let (geom, y, _) = measurement();
+    let r = Reconstructor::new(geom)
+        .algorithm(Algorithm::SequentialIcd)
+        .stop(StopRule::CostPlateau { tol: 1e-4 })
+        .max_passes(100)
+        .run(&y);
+    assert!(r.equits > 1.0 && r.equits < 60.0, "equits {}", r.equits);
+}
+
+#[test]
+fn gpu_options_override_applies() {
+    let (geom, y, _) = measurement();
+    let opts = gpu_icd::GpuOptions {
+        sv_side: 6,
+        threadblocks_per_sv: 2,
+        svs_per_batch: 4,
+        ..Default::default()
+    };
+    let r = Reconstructor::new(geom)
+        .algorithm(Algorithm::GpuIcd)
+        .gpu_options(opts)
+        .max_passes(40)
+        .run(&y);
+    assert!(r.modeled_seconds > 0.0);
+}
