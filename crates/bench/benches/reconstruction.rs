@@ -95,7 +95,16 @@ fn bench_reconstruction(c: &mut Criterion) {
     group.bench_function("nhicd_cycle_64", |b| {
         use mbir::nhicd::{NhConfig, NhIcd};
         b.iter_batched(
-            || NhIcd::new(&su.a, &su.s.y, &su.s.weights, &prior, su.init.clone(), NhConfig::default()),
+            || {
+                NhIcd::new(
+                    &su.a,
+                    &su.s.y,
+                    &su.s.weights,
+                    &prior,
+                    su.init.clone(),
+                    NhConfig::default(),
+                )
+            },
             |mut nh| {
                 nh.cycle();
                 black_box(nh.equits())
@@ -128,5 +137,37 @@ fn bench_reconstruction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reconstruction);
+/// One GPU-ICD iteration at 1 vs. N host worker threads. The outputs
+/// are bitwise identical (see tests/determinism_threads.rs); only
+/// wall-clock changes, and only when the host actually has cores to
+/// spare.
+fn bench_host_parallel(c: &mut Criterion) {
+    let su = setup();
+    let prior = QggmrfPrior::standard(0.002);
+    let mut group = c.benchmark_group("host_parallel");
+    group.sample_size(10);
+
+    for threads in [1usize, mbir_parallel::available().max(2)] {
+        let opts = GpuOptions {
+            sv_side: 8,
+            threadblocks_per_sv: 12,
+            svs_per_batch: 16,
+            threads,
+            ..Default::default()
+        };
+        group.bench_function(&format!("gpu_icd_iteration_64_threads{threads}"), |b| {
+            b.iter_batched(
+                || GpuIcd::new(&su.a, &su.s.y, &su.s.weights, &prior, su.init.clone(), opts),
+                |mut gpu| black_box(gpu.iteration()),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(&format!("system_matrix_build_64_threads{threads}"), |b| {
+            b.iter(|| black_box(SystemMatrix::compute_parallel(&su.g, threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconstruction, bench_host_parallel);
 criterion_main!(benches);

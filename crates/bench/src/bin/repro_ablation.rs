@@ -49,7 +49,10 @@ fn main() {
         });
     };
 
-    println!("{:<22} {:<18} {:>11} {:>10} {:>12}", "study", "setting", "time", "equits", "final rmse");
+    println!(
+        "{:<22} {:<18} {:>11} {:>10} {:>12}",
+        "study", "setting", "time", "equits", "final rmse"
+    );
     println!("{:-<80}", "");
 
     // 1. Checkerboard partition.

@@ -47,9 +47,16 @@ fn main() {
     }
     let psv_cross = psv.trace.crossing(10.0);
     let gpu_cross = gpu.trace.crossing(10.0);
-    println!("\n10 HU crossing: PSV at {:?}s, GPU at {:?}s", psv_cross.map(|c| c.seconds), gpu_cross.map(|c| c.seconds));
+    println!(
+        "\n10 HU crossing: PSV at {:?}s, GPU at {:?}s",
+        psv_cross.map(|c| c.seconds),
+        gpu_cross.map(|c| c.seconds)
+    );
     if let (Some(pc), Some(gc)) = (psv_cross, gpu_cross) {
-        println!("GPU reaches convergence {:.1}X sooner (paper: 'much more rapidly')", pc.seconds / gc.seconds);
+        println!(
+            "GPU reaches convergence {:.1}X sooner (paper: 'much more rapidly')",
+            pc.seconds / gc.seconds
+        );
     }
 
     let series = vec![

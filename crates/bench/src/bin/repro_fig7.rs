@@ -56,8 +56,18 @@ fn main() {
         };
         for &side in sides {
             let (s, e, l2, ok) = run(&p, GpuOptions { sv_side: side, ..no_thresh });
-            println!("{side:>8} {s:>12.5} {e:>8.1} {l2:>14.0}{}", if ok { "" } else { "  (did not converge)" });
-            points.push(Point { panel: 'a', x: side as u64, seconds: s, equits: e, l2_gbps: l2, converged: ok });
+            println!(
+                "{side:>8} {s:>12.5} {e:>8.1} {l2:>14.0}{}",
+                if ok { "" } else { "  (did not converge)" }
+            );
+            points.push(Point {
+                panel: 'a',
+                x: side as u64,
+                seconds: s,
+                equits: e,
+                l2_gbps: l2,
+                converged: ok,
+            });
         }
     }
 
@@ -67,7 +77,14 @@ fn main() {
         for &tb in &[1u32, 2, 4, 8, 16, 32, 40, 64] {
             let (s, e, l2, ok) = run(&p, GpuOptions { threadblocks_per_sv: tb, ..base });
             println!("{tb:>8} {s:>12.5} {e:>8.1}{}", if ok { "" } else { "  (did not converge)" });
-            points.push(Point { panel: 'b', x: tb as u64, seconds: s, equits: e, l2_gbps: l2, converged: ok });
+            points.push(Point {
+                panel: 'b',
+                x: tb as u64,
+                seconds: s,
+                equits: e,
+                l2_gbps: l2,
+                converged: ok,
+            });
         }
     }
 
@@ -77,7 +94,14 @@ fn main() {
         for &t in &[64u32, 128, 192, 256, 384, 512] {
             let (s, e, l2, ok) = run(&p, GpuOptions { threads_per_block: t, ..base });
             println!("{t:>8} {s:>12.5} {e:>8.1}{}", if ok { "" } else { "  (did not converge)" });
-            points.push(Point { panel: 'c', x: t as u64, seconds: s, equits: e, l2_gbps: l2, converged: ok });
+            points.push(Point {
+                panel: 'c',
+                x: t as u64,
+                seconds: s,
+                equits: e,
+                l2_gbps: l2,
+                converged: ok,
+            });
         }
     }
 
@@ -92,7 +116,14 @@ fn main() {
         for &b in batches {
             let (s, e, l2, ok) = run(&p, GpuOptions { svs_per_batch: b, ..no_thresh });
             println!("{b:>8} {s:>12.5} {e:>8.1}{}", if ok { "" } else { "  (did not converge)" });
-            points.push(Point { panel: 'd', x: b as u64, seconds: s, equits: e, l2_gbps: l2, converged: ok });
+            points.push(Point {
+                panel: 'd',
+                x: b as u64,
+                seconds: s,
+                equits: e,
+                l2_gbps: l2,
+                converged: ok,
+            });
         }
     }
 

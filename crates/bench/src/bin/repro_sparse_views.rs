@@ -55,10 +55,7 @@ fn main() {
 
         let fbp_err = rmse_hu(&fbp_img, &truth);
         let mbir_err = rmse_hu(gpu.image(), &truth);
-        println!(
-            "{views:>8} {fbp_err:>12.1} {mbir_err:>12.1} {:>15.2}x",
-            fbp_err / mbir_err
-        );
+        println!("{views:>8} {fbp_err:>12.1} {mbir_err:>12.1} {:>15.2}x", fbp_err / mbir_err);
         rows.push(Row {
             views,
             fbp_rmse_hu: fbp_err,

@@ -9,7 +9,7 @@
 
 use ct_core::phantom::Phantom;
 use mbir_bench::{
-    gpu_options_for, geo_mean, mean, run_gpu, run_psv, run_sequential, std_dev, Args, Pipeline,
+    geo_mean, gpu_options_for, mean, run_gpu, run_psv, run_sequential, std_dev, Args, Pipeline,
 };
 use serde::Serialize;
 
@@ -62,10 +62,8 @@ fn main() {
 
     let psv_times: Vec<f64> = records.iter().map(|r| r.psv_seconds).collect();
     let gpu_times: Vec<f64> = records.iter().map(|r| r.gpu_seconds).collect();
-    let psv_speedups: Vec<f64> =
-        records.iter().map(|r| r.seq_seconds / r.psv_seconds).collect();
-    let gpu_speedups: Vec<f64> =
-        records.iter().map(|r| r.seq_seconds / r.gpu_seconds).collect();
+    let psv_speedups: Vec<f64> = records.iter().map(|r| r.seq_seconds / r.psv_seconds).collect();
+    let gpu_speedups: Vec<f64> = records.iter().map(|r| r.seq_seconds / r.gpu_seconds).collect();
     let psv_equits = mean(&records.iter().map(|r| r.psv_equits).collect::<Vec<_>>());
     let gpu_equits = mean(&records.iter().map(|r| r.gpu_equits).collect::<Vec<_>>());
     let psv_tpe = mean(&psv_times) / psv_equits;
@@ -101,10 +99,7 @@ fn main() {
         "\nGPU-ICD speedup over PSV-ICD (geomean): {:.2}X   (paper: 4.43X)",
         geo_mean(&records.iter().map(|r| r.psv_seconds / r.gpu_seconds).collect::<Vec<_>>())
     );
-    println!(
-        "PSV time/equit over GPU time/equit: {:.2}X   (paper: 5.86X)",
-        psv_tpe / gpu_tpe
-    );
+    println!("PSV time/equit over GPU time/equit: {:.2}X   (paper: 5.86X)", psv_tpe / gpu_tpe);
     println!(
         "Other GPU parameters: chunk width 32, {} threadblocks/SV, {} SVs/batch",
         gpu_opts.threadblocks_per_sv, gpu_opts.svs_per_batch

@@ -48,10 +48,24 @@ fn main() {
         } else {
             0.0
         };
-        let texs = if mode.uses_texture() { format!("{tex:>22.0}") } else { format!("{:>22}", "-") };
-        let hits = if mode.uses_texture() { format!("{hit:>12.2}") } else { format!("{:>12}", "-") };
-        println!("{:<20} {:>12.5} {} {}", format!("({mem}, {ty})"), gpu.modeled_seconds(), texs, hits);
-        rows.push(Row { memory: mem, dtype: ty, seconds: gpu.modeled_seconds(), tex_gbps: tex, tex_hit_pct: hit });
+        let texs =
+            if mode.uses_texture() { format!("{tex:>22.0}") } else { format!("{:>22}", "-") };
+        let hits =
+            if mode.uses_texture() { format!("{hit:>12.2}") } else { format!("{:>12}", "-") };
+        println!(
+            "{:<20} {:>12.5} {} {}",
+            format!("({mem}, {ty})"),
+            gpu.modeled_seconds(),
+            texs,
+            hits
+        );
+        rows.push(Row {
+            memory: mem,
+            dtype: ty,
+            seconds: gpu.modeled_seconds(),
+            tex_gbps: tex,
+            tex_hit_pct: hit,
+        });
     }
     println!(
         "\nSpeedup (Texture,char) over (Global,float): {:.2}X   (paper: 0.48/0.41 = 1.17X)",

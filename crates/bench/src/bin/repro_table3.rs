@@ -39,16 +39,8 @@ fn main() {
             GpuOptions { registers: RegisterMode::Regs44, ..base_opts },
             1.124,
         ),
-        (
-            "Exploiting Intra-SV Parallelism",
-            GpuOptions { intra_sv: false, ..base_opts },
-            6.251,
-        ),
-        (
-            "Dynamic voxel distribution",
-            GpuOptions { dynamic_voxels: false, ..base_opts },
-            1.064,
-        ),
+        ("Exploiting Intra-SV Parallelism", GpuOptions { intra_sv: false, ..base_opts }, 6.251),
+        ("Dynamic voxel distribution", GpuOptions { dynamic_voxels: false, ..base_opts }, 1.064),
         (
             "Setting threshold for batch sizes",
             GpuOptions { batch_threshold: false, ..base_opts },
@@ -58,7 +50,10 @@ fn main() {
 
     println!("Table 3: Impact of GPU-specific optimizations (turned off one at a time)");
     println!("{:-<86}", "");
-    println!("{:<42} {:>14} {:>12} {:>12}", "Optimization Turned Off", "slowdown", "paper", "time (s)");
+    println!(
+        "{:<42} {:>14} {:>12} {:>12}",
+        "Optimization Turned Off", "slowdown", "paper", "time (s)"
+    );
     let mut rows = Vec::new();
     for (name, opts, paper) in variants {
         let r = run_gpu(&p, opts, 400);

@@ -90,7 +90,12 @@ pub struct Pipeline {
 impl Pipeline {
     /// Build a pipeline for one phantom. The system matrix can be
     /// shared across cases of the same geometry via `reuse`.
-    pub fn build(scale: Scale, phantom: &Phantom, seed: u64, reuse: Option<SystemMatrix>) -> Pipeline {
+    pub fn build(
+        scale: Scale,
+        phantom: &Phantom,
+        seed: u64,
+        reuse: Option<SystemMatrix>,
+    ) -> Pipeline {
         let geom = scale.geometry();
         let a = reuse.unwrap_or_else(|| SystemMatrix::compute(&geom));
         let truth = phantom.render(geom.grid, 2);
@@ -210,7 +215,7 @@ pub fn gpu_options_for(scale: Scale) -> GpuOptions {
     };
     let threadblocks_per_sv = match scale {
         Scale::Tiny => 8,
-        Scale::Test => 12,
+        Scale::Test => 24,
         _ => 40,
     };
     GpuOptions { sv_side: gpu_side, svs_per_batch, threadblocks_per_sv, ..Default::default() }
@@ -260,7 +265,11 @@ impl Args {
     /// Value of `--name`, if present.
     pub fn get(&self, name: &str) -> Option<&str> {
         let key = format!("--{name}");
-        self.args.iter().position(|a| a == &key).and_then(|i| self.args.get(i + 1)).map(|s| s.as_str())
+        self.args
+            .iter()
+            .position(|a| a == &key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
     }
 
     /// Parse `--name` as `T` with a default.

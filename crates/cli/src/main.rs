@@ -28,6 +28,10 @@ fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let cmd = argv.next().unwrap_or_default();
     let args = Args::capture_offset(1);
+    // Host worker threads for all parallel loops (system-matrix build,
+    // projections, per-SV batches). 0 = auto-detect; every path is
+    // deterministic, so the value changes wall-clock time only.
+    mbir_parallel::set_threads(args.get_or("threads", 0usize));
     let result = match cmd.as_str() {
         "scan" => cmd_scan(&args),
         "reconstruct" => cmd_reconstruct(&args),
@@ -35,7 +39,7 @@ fn main() -> ExitCode {
         "volume" => cmd_volume(&args),
         "info" => cmd_info(&args),
         _ => {
-            eprintln!("usage: mbirctl <scan|reconstruct|fan-demo|info> [--scale tiny|test|harness|paper] ...");
+            eprintln!("usage: mbirctl <scan|reconstruct|fan-demo|info> [--scale tiny|test|harness|paper] [--threads N] ...");
             eprintln!("  scan        --phantom shepp-logan|water|baggage:<seed> --out <sino.csv> [--truth <t.pgm>] [--i0 <dose>]");
             eprintln!("  reconstruct --sino <sino.csv> --algo fbp|sequential|psv|gpu --out <img.pgm> [--csv <img.csv>]");
             eprintln!("  fan-demo    (fan acquisition -> rebin -> reconstruction demo)");
@@ -73,12 +77,20 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
     let out = PathBuf::from(args.get("out").ok_or("scan requires --out <sino.csv>")?);
     let i0: f32 = args.get_or("i0", 2.0e4f32);
 
-    eprintln!("computing system matrix ({}x{}, {} views)...", geom.grid.nx, geom.grid.ny, geom.num_views);
-    let a = SystemMatrix::compute(&geom);
+    eprintln!(
+        "computing system matrix ({}x{}, {} views)...",
+        geom.grid.nx, geom.grid.ny, geom.num_views
+    );
+    let a = SystemMatrix::compute_parallel(&geom, 0);
     let truth = phantom.render(geom.grid, 2);
     let s = scan(&a, &truth, Some(NoiseModel { i0 }), args.get_or("seed", 0u64));
     io::write_sinogram_csv(&out, &s.y).map_err(|e| e.to_string())?;
-    eprintln!("wrote {} ({} views x {} channels)", out.display(), s.y.num_views(), s.y.num_channels());
+    eprintln!(
+        "wrote {} ({} views x {} channels)",
+        out.display(),
+        s.y.num_views(),
+        s.y.num_channels()
+    );
     if let Some(t) = args.get("truth") {
         let path = PathBuf::from(t);
         io::write_pgm(&path, &truth, mu_from_hu(-1000.0), mu_from_hu(1500.0))
@@ -91,7 +103,8 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
 fn cmd_reconstruct(args: &Args) -> Result<(), String> {
     let scale = args.scale();
     let geom = scale.geometry();
-    let sino_path = PathBuf::from(args.get("sino").ok_or("reconstruct requires --sino <sino.csv>")?);
+    let sino_path =
+        PathBuf::from(args.get("sino").ok_or("reconstruct requires --sino <sino.csv>")?);
     let out = PathBuf::from(args.get("out").ok_or("reconstruct requires --out <img.pgm>")?);
     let algo = args.get("algo").unwrap_or("gpu");
 
@@ -108,7 +121,8 @@ fn cmd_reconstruct(args: &Args) -> Result<(), String> {
     }
 
     let (img, note) = reconstruct(&geom, &y, algo, args)?;
-    io::write_pgm(&out, &img, mu_from_hu(-1000.0), mu_from_hu(1500.0)).map_err(|e| e.to_string())?;
+    io::write_pgm(&out, &img, mu_from_hu(-1000.0), mu_from_hu(1500.0))
+        .map_err(|e| e.to_string())?;
     eprintln!("wrote {} — {note}", out.display());
     if let Some(csv) = args.get("csv") {
         io::write_image_csv(&PathBuf::from(csv), &img).map_err(|e| e.to_string())?;
@@ -129,7 +143,7 @@ fn reconstruct(
         return Ok((fbp::reconstruct(geom, y), "FBP (direct method)".into()));
     }
     eprintln!("computing system matrix...");
-    let a = SystemMatrix::compute(geom);
+    let a = SystemMatrix::compute_parallel(geom, 0);
     // Approximate the statistical weights from the measurement itself
     // (w = I0 exp(-y); the usual move when raw counts are unavailable).
     let i0: f32 = args.get_or("i0", 2.0e4f32);
@@ -160,7 +174,7 @@ fn reconstruct(
                 &w,
                 &prior,
                 init,
-                PsvConfig { sv_side: cpu_side, threads: 2, ..Default::default() },
+                PsvConfig { sv_side: cpu_side, threads: 0, ..Default::default() },
             );
             psv.run_to_rmse(&golden, 10.0, max_iters);
             let note = format!(
@@ -216,7 +230,7 @@ fn cmd_volume(args: &Args) -> Result<(), String> {
     let geom = scale.geometry();
     let nz: usize = args.get_or("slices", 5);
     eprintln!("scanning {nz} slices of a varying cylinder at {scale:?}...");
-    let a = SystemMatrix::compute(&geom);
+    let a = SystemMatrix::compute_parallel(&geom, 0);
     let radii: Vec<f32> =
         (0..nz).map(|z| 0.3 + 0.3 * (z as f32 * std::f32::consts::PI / nz as f32).sin()).collect();
     let slices: Vec<Image> =
@@ -230,9 +244,8 @@ fn cmd_volume(args: &Args) -> Result<(), String> {
         ws.push(sc.weights);
     }
     let prior = QggmrfPrior::standard(args.get_or("sigma", 0.002f32));
-    let init = Volume::from_slices(
-        &ys.iter().map(|y| fbp::reconstruct(&geom, y)).collect::<Vec<_>>(),
-    );
+    let init =
+        Volume::from_slices(&ys.iter().map(|y| fbp::reconstruct(&geom, y)).collect::<Vec<_>>());
     let mut icd = VolumeIcd::new(&a, &ys, &ws, &prior, init);
     let to_hu = 1000.0 / ct_core::phantom::MU_WATER;
     for pass in 0..args.get_or("passes", 6usize) {
@@ -256,8 +269,13 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     println!("scale {:?}", scale);
     println!("  image: {} x {} voxels of {} mm", geom.grid.nx, geom.grid.ny, geom.grid.pixel_size);
     println!("  views: {} over 180 deg; channels: {}", geom.num_views, geom.num_channels);
-    let a = SystemMatrix::compute(&geom);
-    println!("  system matrix: {} nonzeros, {:.1} MB, {:.2} channels/voxel/view", a.nnz(), a.bytes() as f64 / 1e6, a.mean_channels_per_view());
+    let a = SystemMatrix::compute_parallel(&geom, 0);
+    println!(
+        "  system matrix: {} nonzeros, {:.1} MB, {:.2} channels/voxel/view",
+        a.nnz(),
+        a.bytes() as f64 / 1e6,
+        a.mean_channels_per_view()
+    );
     let (cpu_side, gpu_side) = scale.sv_sides();
     println!("  tuned SV sides: CPU {cpu_side}, GPU {gpu_side}");
     Ok(())

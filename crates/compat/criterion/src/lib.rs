@@ -1,0 +1,215 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the authoring surface of criterion 0.5 (`Criterion`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `BatchSize`,
+//! `criterion_group!`/`criterion_main!`) but measures plainly with
+//! `std::time::Instant`: per benchmark it runs a warm-up invocation
+//! then `sample_size` timed invocations and prints min/mean/median.
+//! When invoked with `--test` (as `cargo test --benches` does) each
+//! benchmark runs exactly once, as a smoke test.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// How per-sample setup cost relates to the routine (API
+/// compatibility; the facade times every sample individually, so the
+/// variants behave identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode, default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(id, self.default_samples, self.test_mode, f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), samples: self.default_samples, criterion: self }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.samples, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnOnce(&mut Bencher)>(id: &str, samples: usize, test_mode: bool, f: F) {
+    let mut b = Bencher {
+        samples: if test_mode { 1 } else { samples },
+        warmup: !test_mode,
+        durations: Vec::new(),
+    };
+    f(&mut b);
+    report(id, &mut b.durations);
+}
+
+fn report(id: &str, durations: &mut [Duration]) {
+    if durations.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    durations.sort_unstable();
+    let min = durations[0];
+    let median = durations[durations.len() / 2];
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    println!(
+        "{id:<40} min {:>12} | mean {:>12} | median {:>12} | n={}",
+        fmt_dur(min),
+        fmt_dur(mean),
+        fmt_dur(median),
+        durations.len(),
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Handed to the benchmark closure; records timed samples.
+pub struct Bencher {
+    samples: usize,
+    warmup: bool,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` directly, once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.warmup {
+            black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.durations.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.warmup {
+            let input = setup();
+            black_box(routine(input));
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.durations.push(t0.elapsed());
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runner, mirroring criterion's
+/// simple `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher { samples: 3, warmup: false, durations: Vec::new() };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(b.durations.len(), 3);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher { samples: 4, warmup: true, durations: Vec::new() };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |v| v * 2,
+            BatchSize::SmallInput,
+        );
+        // One warm-up setup plus four timed ones.
+        assert_eq!(setups, 5);
+        assert_eq!(b.durations.len(), 4);
+    }
+}

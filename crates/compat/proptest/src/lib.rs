@@ -1,0 +1,330 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Upstream proptest does shrinking and persistence; this facade keeps
+//! the same test-authoring surface (`proptest!`, `prop_assert*`,
+//! numeric-range strategies, `prop::collection::vec`,
+//! `prop::bool::ANY`, `prop::sample::select`,
+//! `ProptestConfig::with_cases`) but samples deterministically: case
+//! `k` of test `t` always sees the same inputs, derived from a hash of
+//! the test's module path and name. Failures print the case number so
+//! a reproduction is just re-running the test.
+
+pub mod test_runner {
+    /// Deterministic per-case generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The generator for case `case` of the named test.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h = 0xcbf29ce484222325u64;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h ^ ((case as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)) }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            if bound.is_power_of_two() {
+                return self.next_u64() & (bound - 1);
+            }
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runner configuration — only the case count is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of sampled values. Unlike upstream there is no value
+    /// tree or shrinking — `sample_with` directly yields a value.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample_with(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample_with(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_with(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn sample_with(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty strategy range");
+            let v = self.start + (self.end - self.start) * rng.unit_f64() as f32;
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample_with(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let v = self.start + (self.end - self.start) * rng.unit_f64();
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+}
+
+/// The `prop::*` strategy constructors.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// `Vec` strategy with element strategy `element` and a length
+        /// drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample_with(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.sample_with(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy yielding both booleans.
+        pub struct Any;
+
+        /// Uniform boolean.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample_with(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    /// Sampling from explicit value sets.
+    pub mod sample {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Uniformly pick one of `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select from empty set");
+            Select { options }
+        }
+
+        /// See [`select`].
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample_with(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property; failure reports the sampled case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` looping over deterministically sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::sample_with(&($strat), &mut __rng);)*
+                let __run = || -> () { $body };
+                __run();
+            }
+        }
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3u32..10,
+            f in -1.0f32..1.0,
+            n in prop::collection::vec(0usize..5, 1..8),
+            b in prop::bool::ANY,
+            pick in prop::sample::select(vec![2u64, 4, 8]),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(!n.is_empty() && n.len() < 8);
+            prop_assert!(n.iter().all(|&v| v < 5));
+            let _ = b;
+            prop_assert!(pick == 2 || pick == 4 || pick == 8);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        for _ in 0..32 {
+            assert_eq!((0u64..100).sample_with(&mut a), (0u64..100).sample_with(&mut b));
+        }
+        let mut c = TestRng::for_case("t", 4);
+        let differs = (0..32).any(|_| {
+            (0u64..1_000_000).sample_with(&mut TestRng::for_case("t", 3))
+                != (0u64..1_000_000).sample_with(&mut c)
+        });
+        assert!(differs);
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this local
+//! crate provides the (small) subset of the rand 0.9 API the workspace
+//! actually uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_range`] over primitive ranges, and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ seeded
+//! through SplitMix64 — deterministic, seedable, and high quality; the
+//! exact stream differs from upstream rand's StdRng (ChaCha12), which
+//! is fine because every consumer in this workspace only relies on
+//! *seed-determinism*, never on a specific stream.
+
+/// Low-level entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive ranges
+    /// over the primitive numeric types).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// A uniform sample of a whole type (`bool` and the primitive
+    /// integers).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction from seeds. Only `seed_from_u64` is provided — the
+/// single constructor this workspace uses.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step, used to expand seeds into full generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // Avoid the all-zero state (unreachable via SplitMix64, but
+            // cheap to guard).
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e3779b97f4a7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Range types [`Rng::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types [`Rng::random`] can produce.
+pub trait Standard: Sized {
+    /// Draw one sample covering the whole type.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// Uniform f32 in [0, 1) with 24 bits of resolution.
+#[inline]
+fn unit_f32<R: RngCore>(rng: &mut R) -> f32 {
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// Uniform f64 in [0, 1) with 53 bits of resolution.
+#[inline]
+fn unit_f64<R: RngCore>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    #[inline]
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + (self.end - self.start) * unit_f32(rng);
+        // Guard the degenerate rounding case v == end.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng);
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+/// Unbiased integer sample in [0, bound) by rejection.
+#[inline]
+fn below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! int_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Whole-domain u64-sized range.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Slice helpers.
+pub mod seq {
+    use super::{below, Rng};
+
+    /// In-place slice randomization.
+    pub trait SliceRandom {
+        /// Fisher-Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..100).all(|_| {
+            StdRng::seed_from_u64(42).random_range(0.0f64..1.0) == c.random_range(0.0f64..1.0)
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-3.0f32..2.5);
+            assert!((-3.0..2.5).contains(&v));
+            let i = rng.random_range(3..=9);
+            assert!((3..=9).contains(&i));
+            let u = rng.random_range(0usize..17);
+            assert!(u < 17);
+        }
+    }
+
+    #[test]
+    fn float_samples_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f32 = (0..n).map(|_| rng.random_range(0.0f32..1.0)).sum::<f32>() / n as f32;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice untouched");
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of the upstream visitor architecture, [`Serialize`] renders
+//! a value into an owned [`json::Value`] tree; `serde_json` then
+//! formats that tree. This covers what the workspace needs — deriving
+//! `Serialize`/`Deserialize` on report structs and writing
+//! pretty-printed JSON — without any crates.io dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory JSON tree produced by [`Serialize::to_value`].
+pub mod json {
+    /// One JSON value. `Object` keeps insertion order (field order of
+    /// the deriving struct), matching upstream serde's struct output.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        I64(i64),
+        U64(u64),
+        F64(f64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+}
+
+/// Conversion into the JSON value tree.
+pub trait Serialize {
+    /// Render `self` as a [`json::Value`].
+    fn to_value(&self) -> json::Value;
+}
+
+/// Marker for types that could be deserialized. The offline facade
+/// does not implement parsing; the derive exists so `#[derive(...)]`
+/// lines and trait bounds from the upstream API keep compiling.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value { json::Value::I64(*self as i64) }
+        }
+    )*};
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value { json::Value::U64(*self as u64) }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64, isize);
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> json::Value {
+        json::Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> json::Value {
+        json::Value::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> json::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_value(&self) -> json::Value {
+        self.clone()
+    }
+}

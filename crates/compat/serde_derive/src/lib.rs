@@ -1,0 +1,250 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container has no crates.io access, so `syn`/`quote` are not
+//! available; these derives parse the item's token stream by hand.
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields (honoring `#[serde(skip)]`),
+//! * enums with unit variants and named-field (struct) variants,
+//!   serialized externally tagged like upstream serde.
+//!
+//! `Serialize` emits an `impl` building a `serde::json::Value` tree;
+//! `Deserialize` emits the marker impl the facade trait requires.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn is_skip_attr(group: &proc_macro::Group) -> bool {
+    let text = group.to_string();
+    text.contains("serde") && text.contains("skip")
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut skip = false;
+        // Leading attributes.
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.next() {
+                if is_skip_attr(&g) {
+                    skip = true;
+                }
+            }
+        }
+        // Optional visibility.
+        if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            toks.next();
+            if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                toks.next();
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("unexpected token in field list: {other}"),
+            None => break,
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{name}`, got {other:?}"),
+        }
+        // Consume the type: commas nested in angle brackets are not
+        // separators; bracket/paren/brace groups arrive as single
+        // opaque tokens.
+        let mut depth = 0i32;
+        while let Some(t) = toks.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {}
+            }
+            toks.next();
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            toks.next();
+            toks.next();
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("unexpected token in enum body: {other}"),
+            None => break,
+        };
+        let mut fields = None;
+        match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_fields(g.stream()));
+                toks.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple enum variants are not supported by the offline serde derive (variant `{name}`)")
+            }
+            _ => {}
+        }
+        // Optional explicit discriminant.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while let Some(t) = toks.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                toks.next();
+            }
+        }
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next();
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                let is_struct = id.to_string() == "struct";
+                let name = match toks.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("expected item name, got {other:?}"),
+                };
+                // Skip anything (e.g. generics would land here) up to
+                // the brace-delimited body.
+                let body_stream = loop {
+                    match toks.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            break g.stream()
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                            panic!("unit/tuple structs are not supported by the offline serde derive (`{name}`)")
+                        }
+                        Some(_) => continue,
+                        None => panic!("missing body for `{name}`"),
+                    }
+                };
+                let body = if is_struct {
+                    Body::Struct(parse_fields(body_stream))
+                } else {
+                    Body::Enum(parse_variants(body_stream))
+                };
+                return Item { name, body };
+            }
+            Some(_) => continue,
+            None => panic!("no struct or enum found in derive input"),
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (offline facade flavor).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::json::Value {{\n"
+    ));
+    match &item.body {
+        Body::Struct(fields) => {
+            out.push_str(
+                "        let mut fields: Vec<(String, serde::json::Value)> = Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                out.push_str(&format!(
+                    "        fields.push((\"{fname}\".to_string(), serde::Serialize::to_value(&self.{fname})));\n"
+                ));
+            }
+            out.push_str("        serde::json::Value::Object(fields)\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => out.push_str(&format!(
+                        "            {name}::{vname} => serde::json::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        out.push_str(&format!(
+                            "            {name}::{vname} {{ {} }} => {{\n",
+                            binds.join(", ")
+                        ));
+                        out.push_str(
+                            "                let mut inner: Vec<(String, serde::json::Value)> = Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let fname = &f.name;
+                            out.push_str(&format!(
+                                "                inner.push((\"{fname}\".to_string(), serde::Serialize::to_value({fname})));\n"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "                serde::json::Value::Object(vec![(\"{vname}\".to_string(), serde::json::Value::Object(inner))])\n            }}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out.parse().expect("generated Serialize impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (offline facade flavor — marker only).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}\n")
+        .parse()
+        .expect("generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for `serde_json`: formats the facade's
+//! [`serde::json::Value`] tree as JSON text. Only serialization is
+//! provided — nothing in this workspace parses JSON back.
+
+use serde::json::Value;
+use serde::Serialize;
+use std::fmt;
+
+pub use serde::json::Value as JsonValue;
+
+/// Serialization error. The value-tree design cannot actually fail,
+/// but the upstream-compatible `Result` return types keep callers'
+/// `?`/`unwrap` code unchanged.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact one-line JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Pretty-printed JSON with 2-space indentation (upstream style).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            indent,
+            level,
+            items.len(),
+            |out, i, lvl| write_value(out, &items[i], indent, lvl),
+            '[',
+            ']',
+        ),
+        Value::Object(fields) => write_seq(
+            out,
+            indent,
+            level,
+            fields.len(),
+            |out, i, lvl| {
+                let (k, val) = &fields[i];
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, lvl);
+            },
+            '{',
+            '}',
+        ),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<&str>,
+    level: usize,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+    open: char,
+    close: char,
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=level {
+                out.push_str(pad);
+            }
+        }
+        item(out, i, level + 1);
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..level {
+            out.push_str(pad);
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Inf; upstream serde_json errors here, the
+        // facade degrades to null so report writing never aborts.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_format_like_upstream() {
+        assert_eq!(to_string(&1u32).unwrap(), "1");
+        assert_eq!(to_string(&-5i64).unwrap(), "-5");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.25f32).unwrap(), "0.25");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn pretty_nests_with_two_spaces() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::U64(1)),
+            ("b".to_string(), Value::Array(vec![Value::U64(2), Value::U64(3)])),
+        ]);
+        let expect = "{\n  \"a\": 1,\n  \"b\": [\n    2,\n    3\n  ]\n}";
+        assert_eq!(to_string_pretty(&v).unwrap(), expect);
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        assert_eq!(to_string_pretty(&Vec::<u32>::new()).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+}

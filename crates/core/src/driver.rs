@@ -18,14 +18,14 @@ use crate::model::{BatchTiming, GpuWorkModel};
 use crate::opts::{GpuOptions, Layout};
 use crate::tally::{BatchTally, SvTally};
 use ct_core::hu::rmse_hu;
-use ct_core::image::Image;
+use ct_core::image::{Image, SharedImage};
 use ct_core::sinogram::Sinogram;
 use ct_core::sysmat::{ColumnView, SystemMatrix};
 use gpu_sim::timing::KernelTiming;
 use mbir::convergence::ConvergenceTrace;
 use mbir::prior::{clique_weight, Prior};
 use mbir::sequential::IcdStats;
-use mbir::update::{zero_skippable, WeightedError};
+use mbir::update::WeightedError;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -84,22 +84,38 @@ impl KernelAgg {
 
     /// Time-averaged achieved L2 bandwidth, GB/s.
     pub fn l2_gbps(&self) -> f64 {
-        if self.seconds > 0.0 { self.l2_bytes / self.seconds / 1e9 } else { 0.0 }
+        if self.seconds > 0.0 {
+            self.l2_bytes / self.seconds / 1e9
+        } else {
+            0.0
+        }
     }
 
     /// Time-averaged achieved texture-path bandwidth, GB/s.
     pub fn tex_gbps(&self) -> f64 {
-        if self.seconds > 0.0 { self.tex_bytes / self.seconds / 1e9 } else { 0.0 }
+        if self.seconds > 0.0 {
+            self.tex_bytes / self.seconds / 1e9
+        } else {
+            0.0
+        }
     }
 
     /// Time-averaged achieved DRAM bandwidth, GB/s.
     pub fn dram_gbps(&self) -> f64 {
-        if self.seconds > 0.0 { self.dram_bytes / self.seconds / 1e9 } else { 0.0 }
+        if self.seconds > 0.0 {
+            self.dram_bytes / self.seconds / 1e9
+        } else {
+            0.0
+        }
     }
 
     /// Time-averaged achieved shared-memory bandwidth, GB/s.
     pub fn shared_gbps(&self) -> f64 {
-        if self.seconds > 0.0 { self.shared_bytes / self.seconds / 1e9 } else { 0.0 }
+        if self.seconds > 0.0 {
+            self.shared_bytes / self.seconds / 1e9
+        } else {
+            0.0
+        }
     }
 }
 
@@ -140,7 +156,7 @@ pub struct GpuIcd<'a, P: Prior> {
     run_stats: GpuRunStats,
 }
 
-impl<'a, P: Prior> GpuIcd<'a, P> {
+impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
     /// Initialize from a measurement and starting image.
     pub fn new(
         a: &'a SystemMatrix,
@@ -255,12 +271,9 @@ impl<'a, P: Prior> GpuIcd<'a, P> {
                 total_abs_delta: report.abs_delta,
             };
             let cost = match rule {
-                mbir::stopping::StopRule::CostPlateau { .. } => mbir::convergence::cost(
-                    &self.image,
-                    &self.error,
-                    self.weights,
-                    self.prior,
-                ),
+                mbir::stopping::StopRule::CostPlateau { .. } => {
+                    mbir::convergence::cost(&self.image, &self.error, self.weights, self.prior)
+                }
                 _ => 0.0,
             };
             state.observe(&pass_stats, &self.stats, cost, nvox);
@@ -286,23 +299,36 @@ impl<'a, P: Prior> GpuIcd<'a, P> {
             .iter()
             .map(|&sv| Svb::gather(&self.shapes[sv], layout, &self.error, self.weights))
             .collect();
-        let mut svbs: Vec<Svb<'_>> = origs.clone();
 
-        // Kernel 2 (functional): per-SV voxel updates in rounds.
+        // Kernel 2 (functional): per-SV voxel updates in rounds, run
+        // across host worker threads. SVs of one batch belong to the
+        // same checkerboard group, so their write sets are disjoint and
+        // every cross-SV neighbour read lands in an SV frozen for the
+        // whole batch — any thread count produces bitwise-identical
+        // results. The ablation without the checkerboard loses that
+        // guarantee and runs on one thread to keep its (sequential)
+        // semantics reproducible.
+        let a = self.a;
+        let prior = self.prior;
+        let opts = &self.opts;
+        let tiling = &self.tiling;
+        let iter = self.iter;
+        let workers = if opts.checkerboard { opts.threads } else { 1 };
+        let shared = self.image.as_shared();
+        let results: Vec<(Svb<'_>, SvTally)> = mbir_parallel::par_map(workers, batch.len(), |bi| {
+            let sv = batch[bi];
+            let mut svb = origs[bi].clone();
+            let t =
+                update_sv(a, &shared, prior, opts, tiling, iter, sv, &mut svb, rounds, allow_skip);
+            (svb, t)
+        });
+
+        // Commit tallies and deltas sequentially in batch (SV) order —
+        // the fixed-order reduction that keeps reports and the error
+        // sinogram independent of thread scheduling.
         let mut tally = BatchTally::default();
         for (bi, &sv) in batch.iter().enumerate() {
-            let t = update_sv(
-                self.a,
-                &mut self.image,
-                self.prior,
-                &self.opts,
-                &self.tiling,
-                self.iter,
-                sv,
-                &mut svbs[bi],
-                rounds,
-                allow_skip,
-            );
+            let t = results[bi].1;
             report.updates += t.updates;
             report.skipped += t.skipped;
             report.abs_delta += t.abs_delta;
@@ -310,9 +336,9 @@ impl<'a, P: Prior> GpuIcd<'a, P> {
             tally.svs.push(t);
         }
 
-        // Kernel 3 (functional): scatter every delta.
-        for (bi, &_sv) in batch.iter().enumerate() {
-            svbs[bi].scatter_delta(&origs[bi], &mut self.error);
+        // Kernel 3 (functional): scatter every delta, in batch order.
+        for (bi, (svb, _)) in results.iter().enumerate() {
+            svb.scatter_delta(&origs[bi], &mut self.error);
         }
 
         self.model.batch(&tally, &self.opts, self.a.geometry().num_channels)
@@ -320,7 +346,12 @@ impl<'a, P: Prior> GpuIcd<'a, P> {
 
     /// Iterate until RMSE against `golden` drops below `threshold_hu`,
     /// recording the trace in modeled GPU seconds.
-    pub fn run_to_rmse(&mut self, golden: &Image, threshold_hu: f32, max_iters: usize) -> ConvergenceTrace {
+    pub fn run_to_rmse(
+        &mut self,
+        golden: &Image,
+        threshold_hu: f32,
+        max_iters: usize,
+    ) -> ConvergenceTrace {
         let mut trace = ConvergenceTrace::default();
         trace.record(self.equits(), self.modeled_seconds, &self.image, golden);
         for _ in 0..max_iters {
@@ -365,11 +396,12 @@ impl<'a, P: Prior> GpuIcd<'a, P> {
 }
 
 /// Update one SV's voxels in rounds of `rounds` concurrent updates
-/// (free function so the driver can split its field borrows).
+/// (free function so the driver can split its field borrows; takes the
+/// shared image view so batch SVs can run on worker threads).
 #[allow(clippy::too_many_arguments)]
 fn update_sv<P: Prior>(
     a: &SystemMatrix,
-    image: &mut Image,
+    image: &SharedImage<'_>,
     prior: &P,
     opts: &GpuOptions,
     tiling: &Tiling,
@@ -426,20 +458,20 @@ fn update_sv<P: Prior>(
     // extreme block-to-voxel ratios that the hardware self-limits.
     let window = (rounds / 2).clamp(1, (order.len() / 16).max(1));
     let mut fifo: std::collections::VecDeque<(usize, f32)> = std::collections::VecDeque::new();
-    let commit = |image: &mut Image, svb: &mut Svb<'_>, j: usize, delta: f32| {
+    let commit = |svb: &mut Svb<'_>, j: usize, delta: f32| {
         if delta != 0.0 {
             image.set(j, image.get(j) + delta);
             apply_delta_quant(a, j, svb, delta, quantized);
         }
     };
     for (pos, &j) in order.iter().enumerate() {
-        if allow_skip && zero_skippable(image, j) {
+        if allow_skip && image.zero_skippable(j) {
             t.skipped += 1;
             continue;
         }
         if fifo.len() >= window {
             let (jj, d) = fifo.pop_front().expect("window >= 1");
-            commit(image, svb, jj, d);
+            commit(svb, jj, d);
         }
         let col = a.column(j);
         let delta = compute_delta(image, prior, opts, j, &col, svb, quantized);
@@ -458,7 +490,7 @@ fn update_sv<P: Prior>(
         fifo.push_back((j, delta));
     }
     for (jj, d) in fifo {
-        commit(image, svb, jj, d);
+        commit(svb, jj, d);
     }
 
     if t.updates > 0 {
@@ -471,7 +503,7 @@ fn update_sv<P: Prior>(
 /// Compute a voxel's step without committing it (thetas against the
 /// current SVB state, prior against the current image).
 fn compute_delta<P: Prior>(
-    image: &Image,
+    image: &SharedImage<'_>,
     prior: &P,
     opts: &GpuOptions,
     j: usize,
@@ -512,7 +544,13 @@ fn compute_delta<P: Prior>(
 
 /// Commit a voxel's error update into the SVB (atomic adds on the real
 /// hardware), with the same quantized A used for the thetas.
-fn apply_delta_quant(a: &SystemMatrix, j: usize, svb: &mut Svb<'_>, delta: f32, quantized: Option<u32>) {
+fn apply_delta_quant(
+    a: &SystemMatrix,
+    j: usize,
+    svb: &mut Svb<'_>,
+    delta: f32,
+    quantized: Option<u32>,
+) {
     let col = a.column(j);
     if let Some(bits) = quantized {
         let q = QuantizedColumn::quantize_bits(&col, bits);
@@ -549,12 +587,7 @@ mod tests {
     }
 
     fn opts() -> GpuOptions {
-        GpuOptions {
-            sv_side: 6,
-            threadblocks_per_sv: 4,
-            svs_per_batch: 4,
-            ..Default::default()
-        }
+        GpuOptions { sv_side: 6, threadblocks_per_sv: 4, svs_per_batch: 4, ..Default::default() }
     }
 
     #[test]
@@ -574,8 +607,7 @@ mod tests {
     fn error_sinogram_invariant() {
         let (g, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
-        let mut gpu =
-            GpuIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), opts());
+        let mut gpu = GpuIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), opts());
         for _ in 0..3 {
             gpu.iteration();
         }
@@ -596,8 +628,7 @@ mod tests {
         let (g, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
         let run = || {
-            let mut gpu =
-                GpuIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), opts());
+            let mut gpu = GpuIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), opts());
             for _ in 0..4 {
                 gpu.iteration();
             }
@@ -627,11 +658,7 @@ mod tests {
         let init = fbp::reconstruct(&g, &s.y);
         let golden = golden_image(&a, &s.y, &s.weights, &prior, init.clone(), 40.0);
         let run = |blocks: u32| {
-            let o = GpuOptions {
-                threadblocks_per_sv: blocks,
-                intra_sv: blocks > 1,
-                ..opts()
-            };
+            let o = GpuOptions { threadblocks_per_sv: blocks, intra_sv: blocks > 1, ..opts() };
             let mut gpu = GpuIcd::new(&a, &s.y, &s.weights, &prior, init.clone(), o);
             gpu.run_to_rmse(&golden, 10.0, 120);
             gpu.equits()
@@ -641,10 +668,7 @@ mod tests {
         // The staleness window caps at 1/16 of the SV's voxels, so on
         // tiny SVs the drag is mild; parallel must stay in the same
         // ballpark and never *beat* serial by a meaningful margin.
-        assert!(
-            parallel >= serial * 0.75,
-            "parallel {parallel} equits vs serial {serial}"
-        );
+        assert!(parallel >= serial * 0.75, "parallel {parallel} equits vs serial {serial}");
     }
 
     #[test]
@@ -687,8 +711,7 @@ mod tests {
     fn first_iteration_visits_everything() {
         let (g, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
-        let mut gpu =
-            GpuIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), opts());
+        let mut gpu = GpuIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), opts());
         let r = gpu.iteration();
         assert_eq!(r.selection, Selection::All);
         assert_eq!(r.svs_updated, gpu.tiling().len());
@@ -700,8 +723,7 @@ mod tests {
     fn run_stats_accumulate() {
         let (g, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
-        let mut gpu =
-            GpuIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), opts());
+        let mut gpu = GpuIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), opts());
         gpu.iteration();
         let rs = gpu.run_stats();
         assert!(rs.mbir.seconds > 0.0);

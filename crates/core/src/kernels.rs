@@ -205,17 +205,28 @@ pub fn naive_voxel_program(
         let e_addrs: Vec<u64> = warp_entries
             .iter()
             .map(|&(v, ch)| {
-                mem.e_base
-                    + (shape.row_offset[v] as u64 + (ch as u32 - shape.first[v]) as u64) * 4
+                mem.e_base + (shape.row_offset[v] as u64 + (ch as u32 - shape.first[v]) as u64) * 4
             })
             .collect();
         let w_addrs: Vec<u64> = e_addrs.iter().map(|a| a - mem.e_base + mem.w_base).collect();
-        prog.push(Op::Load { space: Space::Global, addrs: AddrPattern::Explicit(e_addrs), bytes: 4 });
-        prog.push(Op::Load { space: Space::Global, addrs: AddrPattern::Explicit(w_addrs), bytes: 4 });
+        prog.push(Op::Load {
+            space: Space::Global,
+            addrs: AddrPattern::Explicit(e_addrs),
+            bytes: 4,
+        });
+        prog.push(Op::Load {
+            space: Space::Global,
+            addrs: AddrPattern::Explicit(w_addrs),
+            bytes: 4,
+        });
         // A is contiguous per voxel even in the naive layout.
         prog.push(Op::Load {
             space: a_space,
-            addrs: AddrPattern::Affine { base: a_off, stride: a_bpe, lanes: warp_entries.len() as u32 },
+            addrs: AddrPattern::Affine {
+                base: a_off,
+                stride: a_bpe,
+                lanes: warp_entries.len() as u32,
+            },
             bytes: a_bpe,
         });
         prog.push(Op::Arith { flops_per_lane: 5.0, active_lanes: warp_entries.len() as u32 });
@@ -283,7 +294,12 @@ mod validation {
 
         // SVB bytes: trace counts sectors; analytic counts dense*8.
         let ratio = trace.l2_bytes / analytic.l2_bytes;
-        assert!((0.3..3.0).contains(&ratio), "l2 bytes ratio {ratio}: trace {} analytic {}", trace.l2_bytes, analytic.l2_bytes);
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "l2 bytes ratio {ratio}: trace {} analytic {}",
+            trace.l2_bytes,
+            analytic.l2_bytes
+        );
         // A traffic: both count ~2x dense x 1B; the analytic profile
         // includes the second (write-back) A pass, the trace program
         // here is the theta pass only -> expect roughly half.
@@ -307,9 +323,15 @@ mod validation {
         let naive_opts = GpuOptions { layout: Layout::Naive, ..GpuOptions::default() };
 
         let mut ex = TraceExecutor::default();
-        let naive = ex.run_block(&naive_voxel_program(&col, &shape, &naive_opts, KernelLayout::default()));
+        let naive =
+            ex.run_block(&naive_voxel_program(&col, &shape, &naive_opts, KernelLayout::default()));
         ex.reset();
-        let chunked = ex.run_block(&chunked_voxel_program(&col, &shape, &chunked_opts, KernelLayout::default()));
+        let chunked = ex.run_block(&chunked_voxel_program(
+            &col,
+            &shape,
+            &chunked_opts,
+            KernelLayout::default(),
+        ));
 
         // The coalescing claim, measured from explicit addresses: the
         // naive layout pays a near-full 32-byte sector per accessed
@@ -352,9 +374,9 @@ mod validation {
             let col = a.column(j);
             let shape = SvbShape::compute(&a, &t, t.owner_of(j));
             let mut ex = TraceExecutor::default();
-            let mut work =
-                ex.run_block(&chunked_voxel_program(&col, &shape, &opts, KernelLayout::default()))
-                    .to_block_work();
+            let mut work = ex
+                .run_block(&chunked_voxel_program(&col, &shape, &opts, KernelLayout::default()))
+                .to_block_work();
             let wb = ex
                 .run_block(&chunked_writeback_program(&col, &shape, &opts, KernelLayout::default()))
                 .to_block_work();
@@ -393,7 +415,8 @@ mod validation {
         let shape = SvbShape::compute(&a, &t, t.owner_of(j));
         let opts = GpuOptions::default();
         let mut ex = TraceExecutor::default();
-        let r = ex.run_block(&chunked_writeback_program(&col, &shape, &opts, KernelLayout::default()));
+        let r =
+            ex.run_block(&chunked_writeback_program(&col, &shape, &opts, KernelLayout::default()));
         assert_eq!(r.atomics as usize, col.nnz());
         let w = r.to_block_work();
         assert!((w.atomic_conflict - 1.0).abs() < 1e-9, "conflict {}", w.atomic_conflict);

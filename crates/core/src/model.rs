@@ -96,8 +96,18 @@ pub struct GpuWorkModel {
 impl GpuWorkModel {
     /// Model for the given machine.
     pub fn new(spec: GpuSpec) -> Self {
+        let mut timing = TimingModel::new(spec);
+        // The MBIR kernel's warps stall on dependent descriptor and
+        // address chains, so the issue pipe only saturates with deep
+        // warp-level parallelism — near the same occupancy that hides
+        // memory latency. (The gpu-sim default of 0.25 describes
+        // ILP-rich streaming kernels; with it, a half-empty launch
+        // would enjoy 3x the per-block issue rate while L2 bandwidth
+        // stays flat, which the paper's small-batch measurements do
+        // not show.)
+        timing.compute_occupancy_sat = 0.6;
         GpuWorkModel {
-            timing: TimingModel::new(spec),
+            timing,
             flops_per_entry: 8.0,
             naive_warp_efficiency: 0.085,
             naive_mem_efficiency: 0.25,
@@ -106,11 +116,11 @@ impl GpuWorkModel {
             spill_l1_hit: 0.30,
             spill_bytes_per_entry: 4.0,
             reduction_bytes_per_thread: 16.0,
-            conflict_coeff: 0.5,
+            conflict_coeff: 0.25,
             mean_run: 2.7,
             row_instructions: 12.0,
             chunk_instructions: 400.0,
-            update_instructions: 100.0,
+            update_instructions: 75.0,
             naive_entry_instructions: 0.6,
         }
     }
@@ -253,7 +263,8 @@ impl GpuWorkModel {
             let desc_bytes = sv.descriptors * 16.0;
 
             let mut w = BlockWork::default();
-            w.flops = elems * self.flops_per_entry + sv.updates as f64 * opts.threads_per_block as f64;
+            w.flops =
+                elems * self.flops_per_entry + sv.updates as f64 * opts.threads_per_block as f64;
             // Warp-instruction issue: the pipe that actually binds this
             // latency-heavy kernel on small widths. Chunked: a handful
             // of instructions per 32-wide row slice (3 loads, FMAs,
@@ -294,8 +305,8 @@ impl GpuWorkModel {
             // narrow band (paper Fig. 7a: small SVs contend more).
             w.atomics = sv.nnz;
             w.atomic_conflict = 1.0
-                + self.conflict_coeff * (opts.blocks_per_sv() as f64 * self.mean_run
-                    / sv.band_width.max(1.0));
+                + self.conflict_coeff
+                    * (opts.blocks_per_sv() as f64 * self.mean_run / sv.band_width.max(1.0));
 
             // Split the SV's work over its blocks.
             let even = 1.0 / b as f64;
@@ -330,10 +341,11 @@ impl GpuWorkModel {
             name: "mbir_update".into(),
             resources,
             blocks,
-            l2_width_factor: l2f * match opts.l2_read {
-                crate::opts::L2ReadWidth::Double => 1.0,
-                crate::opts::L2ReadWidth::Float => 0.5,
-            },
+            l2_width_factor: l2f
+                * match opts.l2_read {
+                    crate::opts::L2ReadWidth::Double => 1.0,
+                    crate::opts::L2ReadWidth::Float => 0.5,
+                },
             warp_efficiency: if chunked { 1.0 } else { self.naive_warp_efficiency },
             mem_efficiency: if chunked { 1.0 } else { self.naive_mem_efficiency },
         }

@@ -121,6 +121,11 @@ pub struct GpuOptions {
     pub l2_read: L2ReadWidth,
     /// Register strategy (Table 3 row 2).
     pub registers: RegisterMode,
+    /// Host worker threads for per-SV batch execution (wall-clock
+    /// only — results and modeled GPU seconds are bitwise identical at
+    /// any value). 0 defers to the process-wide setting
+    /// (`mbir_parallel::threads()`).
+    pub threads: usize,
     /// RNG seed (voxel orders, random SV selection).
     pub seed: u64,
     /// Zero-skipping enabled.
@@ -146,6 +151,7 @@ impl Default for GpuOptions {
             amatrix_bits: 8,
             l2_read: L2ReadWidth::Double,
             registers: RegisterMode::SharedMem32,
+            threads: 0,
             seed: 0,
             zero_skip: true,
             positivity: true,

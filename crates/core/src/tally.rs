@@ -76,8 +76,22 @@ mod tests {
     fn batch_sums() {
         let b = BatchTally {
             svs: vec![
-                SvTally { updates: 10, skipped: 2, nnz: 100.0, dense: 400.0, svb_bytes: 64.0, ..Default::default() },
-                SvTally { updates: 5, skipped: 0, nnz: 50.0, dense: 200.0, svb_bytes: 32.0, ..Default::default() },
+                SvTally {
+                    updates: 10,
+                    skipped: 2,
+                    nnz: 100.0,
+                    dense: 400.0,
+                    svb_bytes: 64.0,
+                    ..Default::default()
+                },
+                SvTally {
+                    updates: 5,
+                    skipped: 0,
+                    nnz: 50.0,
+                    dense: 200.0,
+                    svb_bytes: 32.0,
+                    ..Default::default()
+                },
             ],
         };
         assert_eq!(b.updates(), 15);

@@ -203,10 +203,7 @@ mod tests {
         let measured = sino.at(0, center);
         let radius_mm = 0.5 * 12.0; // 0.5 of half-extent (12 mm)
         let expect = 2.0 * radius_mm * crate::phantom::MU_WATER;
-        assert!(
-            (measured - expect).abs() / expect < 0.12,
-            "measured {measured} expect {expect}"
-        );
+        assert!((measured - expect).abs() / expect < 0.12, "measured {measured} expect {expect}");
     }
 
     #[test]
@@ -301,10 +298,7 @@ mod tests {
         }
         let center = x.at(g.grid.ny / 2, g.grid.nx / 2);
         let truth = img.at(g.grid.ny / 2, g.grid.nx / 2);
-        assert!(
-            (center - truth).abs() / truth < 0.25,
-            "center {center} vs truth {truth}"
-        );
+        assert!((center - truth).abs() / truth < 0.25, "center {center} vs truth {truth}");
         let _ = w;
     }
 }

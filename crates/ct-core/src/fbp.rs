@@ -27,10 +27,12 @@ pub fn filter(geom: &Geometry, y: &Sinogram) -> Sinogram {
         let pk = std::f32::consts::PI * k as f32 * dc;
         *hk = -1.0 / (pk * pk);
     }
-    let mut out = Sinogram::zeros(geom);
-    for v in 0..geom.num_views {
+    // Views are independent convolutions: each worker computes whole
+    // output rows, so any thread count yields bitwise-identical
+    // sinograms.
+    let rows: Vec<Vec<f32>> = mbir_parallel::par_map(0, geom.num_views, |v| {
         let row = y.view(v);
-        let orow = out.view_mut(v);
+        let mut orow = vec![0.0f32; c];
         for (i, o) in orow.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for (j, &p) in row.iter().enumerate() {
@@ -42,6 +44,11 @@ pub fn filter(geom: &Geometry, y: &Sinogram) -> Sinogram {
             }
             *o = acc * dc;
         }
+        orow
+    });
+    let mut out = Sinogram::zeros(geom);
+    for (v, row) in rows.iter().enumerate() {
+        out.view_mut(v).copy_from_slice(row);
     }
     out
 }
@@ -56,9 +63,13 @@ pub fn backproject(geom: &Geometry, q: &Sinogram) -> Image {
             (th.cos(), th.sin())
         })
         .collect();
-    for row in 0..geom.grid.ny {
+    // Image rows are independent gathers from the (read-only) filtered
+    // sinogram — bitwise identical at any thread count.
+    let trig = &trig;
+    let rows: Vec<Vec<f32>> = mbir_parallel::par_map(0, geom.grid.ny, |row| {
         let yy = geom.grid.y_of(row);
-        for col in 0..geom.grid.nx {
+        let mut out = vec![0.0f32; geom.grid.nx];
+        for (col, o) in out.iter_mut().enumerate() {
             let xx = geom.grid.x_of(col);
             let mut acc = 0.0f32;
             for (v, &(cv, sv)) in trig.iter().enumerate() {
@@ -74,7 +85,13 @@ pub fn backproject(geom: &Geometry, q: &Sinogram) -> Image {
                 let b = if c0 + 1 < geom.num_channels { row_q[c0 + 1] } else { a };
                 acc += a + frac * (b - a);
             }
-            img.set(geom.grid.index(row, col), acc * scale);
+            *o = acc * scale;
+        }
+        out
+    });
+    for (row, vals) in rows.iter().enumerate() {
+        for (col, &v) in vals.iter().enumerate() {
+            img.set(geom.grid.index(row, col), v);
         }
     }
     img
@@ -94,10 +111,7 @@ mod tests {
         let y = a.forward(&truth);
         let rec = reconstruct(&g, &y);
         let center = rec.at(g.grid.ny / 2, g.grid.nx / 2);
-        assert!(
-            (center - MU_WATER).abs() / MU_WATER < 0.2,
-            "center {center} vs {MU_WATER}"
-        );
+        assert!((center - MU_WATER).abs() / MU_WATER < 0.2, "center {center} vs {MU_WATER}");
         // Air stays near zero (within 10% of water).
         assert!(rec.at(1, 1).abs() < 0.1 * MU_WATER, "corner {}", rec.at(1, 1));
     }

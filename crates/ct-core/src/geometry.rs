@@ -84,7 +84,12 @@ pub struct Geometry {
 impl Geometry {
     /// Build a geometry, checking that the detector covers the grid's
     /// field of view (otherwise reconstructions are truncated).
-    pub fn new(num_views: usize, num_channels: usize, channel_spacing: f32, grid: ImageGrid) -> Self {
+    pub fn new(
+        num_views: usize,
+        num_channels: usize,
+        channel_spacing: f32,
+        grid: ImageGrid,
+    ) -> Self {
         let g = Geometry { num_views, num_channels, channel_spacing, grid };
         assert!(num_views > 0 && num_channels > 0);
         assert!(

@@ -2,6 +2,7 @@
 
 use crate::geometry::ImageGrid;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A reconstruction image: `ny` rows by `nx` columns of linear
 /// attenuation coefficients (1/mm), stored row-major.
@@ -98,6 +99,65 @@ impl Image {
     pub fn zero_fraction(&self) -> f32 {
         let z = self.data.iter().filter(|&&v| v == 0.0).count();
         z as f32 / self.data.len() as f32
+    }
+
+    /// A thread-shareable view of this image's storage (see
+    /// [`SharedImage`]). The view borrows the image mutably, so no
+    /// plain access can race with it.
+    pub fn as_shared(&mut self) -> SharedImage<'_> {
+        let grid = self.grid;
+        let data = &mut self.data[..];
+        // In-place reinterpretation of the f32 buffer as atomic cells:
+        // AtomicU32 has the same size and alignment as f32, and the
+        // exclusive borrow taken here guarantees no plain f32 access
+        // aliases the atomics for the view's lifetime.
+        let cells = unsafe {
+            std::slice::from_raw_parts(data.as_mut_ptr() as *const AtomicU32, data.len())
+        };
+        SharedImage { grid, cells }
+    }
+}
+
+/// A borrowed view of an [`Image`] whose cells are relaxed-atomic f32s,
+/// for concurrent per-SV updates whose write sets are disjoint (the
+/// checkerboard guarantee) while neighbour reads may cross into other
+/// (frozen) SVs.
+#[derive(Clone, Copy)]
+pub struct SharedImage<'a> {
+    grid: ImageGrid,
+    cells: &'a [AtomicU32],
+}
+
+impl SharedImage<'_> {
+    /// The grid this image lives on.
+    #[inline]
+    pub fn grid(&self) -> ImageGrid {
+        self.grid
+    }
+
+    /// Value at linear voxel index.
+    #[inline]
+    pub fn get(&self, idx: usize) -> f32 {
+        f32::from_bits(self.cells[idx].load(Ordering::Relaxed))
+    }
+
+    /// Store value at linear voxel index.
+    #[inline]
+    pub fn set(&self, idx: usize, v: f32) {
+        self.cells[idx].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The 8-connected in-grid neighbours of voxel `idx` (same contract
+    /// as [`Image::neighbors8`]).
+    pub fn neighbors8(&self, idx: usize) -> Neighbors8 {
+        Neighbors8::of_grid(self.grid, idx)
+    }
+
+    /// Whether voxel `idx` and its whole neighbourhood are zero (the
+    /// zero-skipping test of `mbir::update::zero_skippable`, against
+    /// the shared view).
+    pub fn zero_skippable(&self, idx: usize) -> bool {
+        self.get(idx) == 0.0 && self.neighbors8(idx).iter().all(|(k, _)| self.get(k) == 0.0)
     }
 }
 
@@ -204,5 +264,49 @@ mod tests {
         let grid = ImageGrid::square(2, 1.0);
         let img = Image::from_vec(grid, vec![0.0, 1.0, 0.0, 3.0]);
         assert_eq!(img.zero_fraction(), 0.5);
+    }
+
+    #[test]
+    fn shared_view_reads_and_writes_through() {
+        let grid = ImageGrid::square(4, 1.0);
+        let mut img = Image::from_vec(grid, (0..16).map(|i| i as f32 * 0.5).collect());
+        let shared = img.as_shared();
+        assert_eq!(shared.get(7), 3.5);
+        shared.set(7, -1.25);
+        assert_eq!(shared.get(7), -1.25);
+        assert_eq!(img.get(7), -1.25);
+    }
+
+    #[test]
+    fn shared_zero_skip_matches_plain_rule() {
+        let grid = ImageGrid::square(8, 1.0);
+        let mut img = Image::zeros(grid);
+        img.set(grid.index(3, 3), 1.0);
+        let expect: Vec<bool> = (0..64)
+            .map(|j| img.get(j) == 0.0 && img.neighbors8(j).iter().all(|(k, _)| img.get(k) == 0.0))
+            .collect();
+        let shared = img.as_shared();
+        for (j, &e) in expect.iter().enumerate() {
+            assert_eq!(shared.zero_skippable(j), e, "voxel {j}");
+        }
+    }
+
+    #[test]
+    fn shared_concurrent_disjoint_writes() {
+        let grid = ImageGrid::square(8, 1.0);
+        let mut img = Image::zeros(grid);
+        let shared = img.as_shared();
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                s.spawn(move || {
+                    for j in (t..64).step_by(4) {
+                        shared.set(j, j as f32);
+                    }
+                });
+            }
+        });
+        for j in 0..64 {
+            assert_eq!(img.get(j), j as f32);
+        }
     }
 }

@@ -108,8 +108,7 @@ pub fn write_image_csv(path: &Path, img: &Image) -> std::io::Result<()> {
     let f = std::fs::File::create(path)?;
     let mut w = BufWriter::new(f);
     for row in 0..grid.ny {
-        let cells: Vec<String> =
-            (0..grid.nx).map(|col| format!("{}", img.at(row, col))).collect();
+        let cells: Vec<String> = (0..grid.nx).map(|col| format!("{}", img.at(row, col))).collect();
         writeln!(w, "{}", cells.join(","))?;
     }
     w.flush()

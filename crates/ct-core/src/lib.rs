@@ -30,9 +30,9 @@ pub mod fbp;
 pub mod footprint;
 pub mod geometry;
 pub mod hu;
+pub mod image;
 pub mod io;
 pub mod metrics;
-pub mod image;
 pub mod phantom;
 pub mod project;
 pub mod sinogram;
@@ -42,7 +42,7 @@ pub mod volume;
 pub use fanbeam::{fan_forward, rebin_to_parallel, FanGeometry};
 pub use footprint::Trapezoid;
 pub use geometry::{Geometry, ImageGrid};
-pub use image::Image;
+pub use image::{Image, SharedImage};
 pub use phantom::Phantom;
 pub use sinogram::Sinogram;
 pub use sysmat::{ColumnView, SystemMatrix};

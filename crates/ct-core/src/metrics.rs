@@ -84,8 +84,7 @@ pub fn ssim_global(a: &Image, b: &Image) -> f32 {
     // Stabilizers scaled to the attenuation range.
     let c1 = (0.01f64 * 0.04).powi(2);
     let c2 = (0.03f64 * 0.04).powi(2);
-    let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
-        / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+    let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2)) / ((ma * ma + mb * mb + c1) * (va + vb + c2));
     s as f32
 }
 

@@ -178,7 +178,14 @@ impl Phantom {
     /// A centered water cylinder of the given radius fraction.
     pub fn water_cylinder(radius: f32) -> Self {
         let mut p = Phantom::named("water-cylinder");
-        p.push(Shape::Ellipse { cx: 0.0, cy: 0.0, a: radius, b: radius, phi: 0.0, value: MU_WATER });
+        p.push(Shape::Ellipse {
+            cx: 0.0,
+            cy: 0.0,
+            a: radius,
+            b: radius,
+            phi: 0.0,
+            value: MU_WATER,
+        });
         p
     }
 
@@ -187,7 +194,8 @@ impl Phantom {
     /// This is the substitution for an ALERT TO3 security scan; seeds
     /// index the suite deterministically.
     pub fn baggage(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(0x9e3779b97f4a7c15 ^ seed.wrapping_mul(0x2545f4914f6cdd1d));
+        let mut rng =
+            StdRng::seed_from_u64(0x9e3779b97f4a7c15 ^ seed.wrapping_mul(0x2545f4914f6cdd1d));
         let mut p = Phantom::named(format!("baggage-{seed}"));
 
         // Case shell: outer rect minus inner rect (negative value on a
@@ -196,7 +204,7 @@ impl Phantom {
         let hh = rng.random_range(0.35..0.6);
         let phi = rng.random_range(-0.25..0.25f32);
         let wall = 0.035;
-        let shell = rng.random_range(1.2..2.2) * MU_WATER;
+        let shell = rng.random_range(1.2f32..2.2) * MU_WATER;
         p.push(Shape::Rect { cx: 0.0, cy: 0.0, hx: hw, hy: hh, phi, value: shell });
         p.push(Shape::Rect { cx: 0.0, cy: 0.0, hx: hw - wall, hy: hh - wall, phi, value: -shell });
 
@@ -207,10 +215,10 @@ impl Phantom {
             let cy = rng.random_range(-(hh - 0.12)..(hh - 0.12));
             let (cx, cy) = rotate(cx, cy, phi);
             let value = match rng.random_range(0..4) {
-                0 => rng.random_range(0.2..0.6) * MU_WATER,  // clothing/plastic
-                1 => rng.random_range(0.8..1.3) * MU_WATER,  // liquids
-                2 => rng.random_range(1.4..2.5) * MU_WATER,  // dense organics
-                _ => rng.random_range(3.0..6.0) * MU_WATER,  // metal-like
+                0 => rng.random_range(0.2f32..0.6) * MU_WATER, // clothing/plastic
+                1 => rng.random_range(0.8f32..1.3) * MU_WATER, // liquids
+                2 => rng.random_range(1.4f32..2.5) * MU_WATER, // dense organics
+                _ => rng.random_range(3.0f32..6.0) * MU_WATER, // metal-like
             };
             let rot = rng.random_range(0.0..std::f32::consts::PI);
             if rng.random_bool(0.55) {
@@ -371,7 +379,14 @@ mod tests {
 
     #[test]
     fn rotated_rect_membership() {
-        let s = Shape::Rect { cx: 0.0, cy: 0.0, hx: 0.5, hy: 0.1, phi: std::f32::consts::FRAC_PI_2, value: 1.0 };
+        let s = Shape::Rect {
+            cx: 0.0,
+            cy: 0.0,
+            hx: 0.5,
+            hy: 0.1,
+            phi: std::f32::consts::FRAC_PI_2,
+            value: 1.0,
+        };
         // After a 90-degree rotation the long axis is vertical.
         assert_eq!(s.value_at(0.0, 0.4), 1.0);
         assert_eq!(s.value_at(0.4, 0.0), 0.0);

@@ -17,6 +17,12 @@ use crate::sinogram::Sinogram;
 /// Entries below `MIN_ENTRY` (mm) are dropped from the sparse storage.
 const MIN_ENTRY: f32 = 1e-6;
 
+/// Voxel-chunk granularity of the parallel forward projection. Grids
+/// at or below this size (the tiny 24x24 and test 64x64 scales) take
+/// the single-chunk sequential path, preserving the historical
+/// bit-exact sinograms; larger grids reduce fixed chunks in order.
+pub const FORWARD_CHUNK: usize = 4096;
+
 /// Sparse system matrix in per-voxel column format.
 #[derive(Debug, Clone)]
 pub struct SystemMatrix {
@@ -106,8 +112,10 @@ impl SystemMatrix {
     /// [`SystemMatrix::compute`]). At the paper's 512x512/720-view
     /// scale the single-threaded build takes tens of seconds; this
     /// scales nearly linearly.
+    /// `threads == 0` defers to the process-wide setting
+    /// ([`mbir_parallel::threads`]).
     pub fn compute_parallel(geom: &Geometry, threads: usize) -> Self {
-        assert!(threads >= 1);
+        let threads = mbir_parallel::resolve(threads);
         if threads == 1 {
             return Self::compute(geom);
         }
@@ -227,14 +235,51 @@ impl SystemMatrix {
 
     /// Approximate resident bytes of the sparse storage (float values).
     pub fn bytes(&self) -> usize {
-        self.values.len() * 4 + self.first_channel.len() * 2 + self.count.len() * 2 + self.voxel_offset.len() * 8
+        self.values.len() * 4
+            + self.first_channel.len() * 2
+            + self.count.len() * 2
+            + self.voxel_offset.len() * 8
     }
 
     /// Forward projection `y = A x`.
+    ///
+    /// Grids up to [`FORWARD_CHUNK`] voxels (the tiny and test scales)
+    /// run the historical single-pass accumulation. Larger grids split
+    /// into fixed `FORWARD_CHUNK`-voxel chunks whose partial sinograms
+    /// are computed in parallel and reduced in chunk order — the
+    /// partitioning depends only on the grid, never on the worker
+    /// count, so the result is identical for any number of threads.
     pub fn forward(&self, image: &Image) -> Sinogram {
         assert_eq!(image.grid(), self.geom.grid);
+        let nvox = self.geom.grid.num_voxels();
+        if nvox <= FORWARD_CHUNK {
+            let mut y = Sinogram::zeros(&self.geom);
+            self.forward_range(image, 0, nvox, &mut y);
+            return y;
+        }
+        let nchunks = nvox.div_ceil(FORWARD_CHUNK);
+        let parts: Vec<Sinogram> = mbir_parallel::par_map(0, nchunks, |c| {
+            let lo = c * FORWARD_CHUNK;
+            let hi = ((c + 1) * FORWARD_CHUNK).min(nvox);
+            let mut part = Sinogram::zeros(&self.geom);
+            self.forward_range(image, lo, hi, &mut part);
+            part
+        });
+        // Ordered reduction: chunk partials are summed in chunk order,
+        // so floating-point reassociation happens only at the fixed
+        // chunk boundaries.
         let mut y = Sinogram::zeros(&self.geom);
-        for j in 0..self.geom.grid.num_voxels() {
+        for part in &parts {
+            for (o, &p) in y.data_mut().iter_mut().zip(part.data()) {
+                *o += p;
+            }
+        }
+        y
+    }
+
+    /// Scatter the contributions of voxels `lo..hi` into `y`.
+    fn forward_range(&self, image: &Image, lo: usize, hi: usize, y: &mut Sinogram) {
+        for j in lo..hi {
             let xj = image.get(j);
             if xj == 0.0 {
                 continue;
@@ -246,14 +291,15 @@ impl SystemMatrix {
                 }
             }
         }
-        y
     }
 
     /// Back projection `A^T s` (used to verify adjointness and by FBP
-    /// cross-checks).
+    /// cross-checks). Voxels are independent gathers, so the parallel
+    /// map is bitwise identical to the sequential loop at any thread
+    /// count.
     pub fn back(&self, s: &Sinogram) -> Image {
-        let mut img = Image::zeros(self.geom.grid);
-        for j in 0..self.geom.grid.num_voxels() {
+        let nvox = self.geom.grid.num_voxels();
+        let vals: Vec<f32> = mbir_parallel::par_map(0, nvox, |j| {
             let mut acc = 0.0f64;
             for seg in self.column(j).segments() {
                 let row = s.view(seg.view);
@@ -261,9 +307,9 @@ impl SystemMatrix {
                     acc += (a * row[seg.first_channel + k]) as f64;
                 }
             }
-            img.set(j, acc as f32);
-        }
-        img
+            acc as f32
+        });
+        Image::from_vec(self.geom.grid, vals)
     }
 
     /// `sum_i sum_c A[j][i,c]^2` for voxel `j` (unweighted theta2).
@@ -489,6 +535,61 @@ mod tests {
         assert_eq!(par.nnz(), seq.nnz());
         for j in (0..g.grid.num_voxels()).step_by(29) {
             assert_eq!(par.column(j).values_flat(), seq.column(j).values_flat());
+        }
+    }
+
+    #[test]
+    fn forward_chunked_matches_ordered_reduction() {
+        // 72x72 = 5184 voxels exceeds FORWARD_CHUNK, exercising the
+        // parallel chunked path on a cheap 8-view geometry.
+        let g = Geometry::new(8, 110, 1.0, ImageGrid::square(72, 1.0));
+        let a = SystemMatrix::compute(&g);
+        let mut img = Image::zeros(g.grid);
+        for j in 0..g.grid.num_voxels() {
+            img.set(j, ((j * 2654435761) % 101) as f32 / 101.0);
+        }
+        let got = a.forward(&img);
+        // Reference: the same fixed-chunk ordered reduction, run
+        // sequentially — must match bitwise at any worker count.
+        let nvox = g.grid.num_voxels();
+        let mut want = Sinogram::zeros(&g);
+        let mut lo = 0;
+        while lo < nvox {
+            let hi = (lo + FORWARD_CHUNK).min(nvox);
+            let mut part = Sinogram::zeros(&g);
+            a.forward_range(&img, lo, hi, &mut part);
+            for (o, &p) in want.data_mut().iter_mut().zip(part.data()) {
+                *o += p;
+            }
+            lo = hi;
+        }
+        assert_eq!(got.data(), want.data());
+        // And the chunked sum stays numerically close to the unchunked
+        // single pass (reassociation only at chunk boundaries).
+        let mut seq = Sinogram::zeros(&g);
+        a.forward_range(&img, 0, nvox, &mut seq);
+        for (p, q) in got.data().iter().zip(seq.data()) {
+            assert!((p - q).abs() <= 1e-4 * q.abs().max(1.0), "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn back_parallel_matches_sequential_gather() {
+        let (g, a) = small();
+        let mut s = Sinogram::zeros(&g);
+        for i in 0..s.data().len() {
+            s.data_mut()[i] = ((i * 97) % 31) as f32 / 31.0;
+        }
+        let got = a.back(&s);
+        for j in 0..g.grid.num_voxels() {
+            let mut acc = 0.0f64;
+            for seg in a.column(j).segments() {
+                let row = s.view(seg.view);
+                for (k, &v) in seg.values.iter().enumerate() {
+                    acc += (v * row[seg.first_channel + k]) as f64;
+                }
+            }
+            assert_eq!(got.get(j), acc as f32, "voxel {j}");
         }
     }
 

@@ -72,7 +72,11 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.line_bytes.is_power_of_two());
         assert!(config.num_sets() >= 1, "degenerate cache geometry");
-        Cache { config, sets: vec![Vec::new(); config.num_sets() as usize], stats: CacheStats::default() }
+        Cache {
+            config,
+            sets: vec![Vec::new(); config.num_sets() as usize],
+            stats: CacheStats::default(),
+        }
     }
 
     /// The geometry.

@@ -109,9 +109,14 @@ mod tests {
 
     #[test]
     fn affine_matches_exact_for_common_strides() {
-        for &(base, stride, size, n) in
-            &[(0u64, 4u32, 4u32, 32u32), (4, 4, 4, 32), (0, 8, 8, 32), (0, 64, 4, 32), (128, 1, 1, 32), (0, 4, 4, 7)]
-        {
+        for &(base, stride, size, n) in &[
+            (0u64, 4u32, 4u32, 32u32),
+            (4, 4, 4, 32),
+            (0, 8, 8, 32),
+            (0, 64, 4, 32),
+            (128, 1, 1, 32),
+            (0, 4, 4, 7),
+        ] {
             let addrs: Vec<u64> = (0..n as u64).map(|i| base + i * stride as u64).collect();
             assert_eq!(
                 affine_transactions(base, stride, size, n),

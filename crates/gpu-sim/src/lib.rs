@@ -31,9 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod cache;
-pub mod kernel;
 pub mod coalesce;
 pub mod exec;
+pub mod kernel;
 pub mod occupancy;
 pub mod spec;
 pub mod timing;

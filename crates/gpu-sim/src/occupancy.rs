@@ -52,7 +52,8 @@ pub fn occupancy(spec: &GpuSpec, res: BlockResources) -> Occupancy {
 
     let by_threads = spec.max_threads_per_smm / (warps_per_block * spec.warp_size);
     let by_blocks = spec.max_blocks_per_smm;
-    let regs = res.regs_per_thread.max(1).div_ceil(spec.register_granularity) * spec.register_granularity;
+    let regs =
+        res.regs_per_thread.max(1).div_ceil(spec.register_granularity) * spec.register_granularity;
     let regs_per_block = regs * warps_per_block * spec.warp_size;
     let by_regs = spec.registers_per_smm / regs_per_block.max(1);
     let by_smem = if res.shared_mem == 0 {
@@ -93,7 +94,8 @@ mod tests {
     #[test]
     fn full_occupancy_at_32_regs() {
         // The paper's tuned kernel: 256 threads, 32 regs, achieves 100%.
-        let o = occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 32, shared_mem: 0 });
+        let o =
+            occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 32, shared_mem: 0 });
         assert_eq!(o.blocks_per_smm, 8);
         assert_eq!(o.warps_per_smm, 64);
         assert!((o.fraction - 1.0).abs() < 1e-12);
@@ -103,7 +105,8 @@ mod tests {
     fn high_register_count_limits_occupancy() {
         // The paper's initial kernel: 44 regs/thread capped occupancy
         // well below 100% (they report ~50%).
-        let o = occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 44, shared_mem: 0 });
+        let o =
+            occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 44, shared_mem: 0 });
         assert_eq!(o.limiter, Limiter::Registers);
         assert!(o.fraction < 0.75, "fraction {}", o.fraction);
         assert!(o.fraction >= 0.5);
@@ -126,10 +129,14 @@ mod tests {
 
     #[test]
     fn thread_slots_limit_small_blocks() {
-        let o = occupancy(&spec(), BlockResources { threads: 1024, regs_per_thread: 16, shared_mem: 0 });
+        let o = occupancy(
+            &spec(),
+            BlockResources { threads: 1024, regs_per_thread: 16, shared_mem: 0 },
+        );
         assert_eq!(o.blocks_per_smm, 2);
         assert!((o.fraction - 1.0).abs() < 1e-12);
-        let o64 = occupancy(&spec(), BlockResources { threads: 64, regs_per_thread: 16, shared_mem: 0 });
+        let o64 =
+            occupancy(&spec(), BlockResources { threads: 64, regs_per_thread: 16, shared_mem: 0 });
         // 64-thread blocks: block-slot limit (32) binds -> 64 warps? 32
         // blocks x 2 warps = 64 warps = 100%.
         assert_eq!(o64.blocks_per_smm, 32);
@@ -138,8 +145,10 @@ mod tests {
 
     #[test]
     fn register_granularity_rounds_up() {
-        let a = occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 33, shared_mem: 0 });
-        let b = occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 40, shared_mem: 0 });
+        let a =
+            occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 33, shared_mem: 0 });
+        let b =
+            occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 40, shared_mem: 0 });
         assert_eq!(a.blocks_per_smm, b.blocks_per_smm);
     }
 
@@ -147,8 +156,10 @@ mod tests {
     fn occupancy_384_threads_dips() {
         // Paper Fig. 7c: 384 threads/block gives lower occupancy than
         // 256 (3 * 384 = 1152 threads < 2048 ceiling wastes slots).
-        let o384 = occupancy(&spec(), BlockResources { threads: 384, regs_per_thread: 32, shared_mem: 0 });
-        let o256 = occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 32, shared_mem: 0 });
+        let o384 =
+            occupancy(&spec(), BlockResources { threads: 384, regs_per_thread: 32, shared_mem: 0 });
+        let o256 =
+            occupancy(&spec(), BlockResources { threads: 256, regs_per_thread: 32, shared_mem: 0 });
         assert!(o384.fraction < o256.fraction, "{} vs {}", o384.fraction, o256.fraction);
     }
 }

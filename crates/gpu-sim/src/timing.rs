@@ -120,7 +120,12 @@ pub struct TimingModel {
 impl TimingModel {
     /// Model for the given machine with default saturation points.
     pub fn new(spec: GpuSpec) -> Self {
-        TimingModel { spec, mem_occupancy_sat: 0.85, compute_occupancy_sat: 0.25, overlap_leak: 0.3 }
+        TimingModel {
+            spec,
+            mem_occupancy_sat: 0.85,
+            compute_occupancy_sat: 0.25,
+            overlap_leak: 0.3,
+        }
     }
 
     /// Occupancy for a profile's resources.
@@ -147,10 +152,12 @@ impl TimingModel {
 
         let mem_eff = profile.mem_efficiency.clamp(0.01, 1.0);
         let flops_rate =
-            (self.spec.peak_flops() * profile.warp_efficiency.clamp(0.01, 1.0) * eta_cmp / slots).max(1.0);
+            (self.spec.peak_flops() * profile.warp_efficiency.clamp(0.01, 1.0) * eta_cmp / slots)
+                .max(1.0);
         let issue_rate = (self.spec.issue_rate() * eta_cmp / slots).max(1.0);
-        let l2_rate =
-            (self.spec.l2_gbps * 1e9 * profile.l2_width_factor * mem_eff * eta_mem / slots).max(1.0);
+        let l2_rate = (self.spec.l2_gbps * 1e9 * profile.l2_width_factor * mem_eff * eta_mem
+            / slots)
+            .max(1.0);
         let tex_rate = (self.spec.tex_gbps * 1e9 * mem_eff * eta_mem / slots).max(1.0);
         let dram_rate = (self.spec.dram_gbps * 1e9 * mem_eff * eta_mem / slots).max(1.0);
         let shared_rate = (self.spec.shared_gbps * 1e9 * mem_eff * eta_mem / slots).max(1.0);

@@ -116,8 +116,5 @@ fn u8_stream_hits_more_than_f32_stream() {
     };
     let f32_rate = run(4);
     let u8_rate = run(1);
-    assert!(
-        u8_rate > f32_rate,
-        "u8 stream hit rate {u8_rate:.3} should exceed f32 {f32_rate:.3}"
-    );
+    assert!(u8_rate > f32_rate, "u8 stream hit rate {u8_rate:.3} should exceed f32 {f32_rate:.3}");
 }

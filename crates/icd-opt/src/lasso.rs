@@ -200,11 +200,8 @@ mod tests {
             }
         }
         // ...and most true zeros stay exactly zero.
-        let false_pos = x_true
-            .iter()
-            .zip(s.x())
-            .filter(|(&xt, &xs)| xt == 0.0 && xs.abs() > 1e-3)
-            .count();
+        let false_pos =
+            x_true.iter().zip(s.x()).filter(|(&xt, &xs)| xt == 0.0 && xs.abs() > 1e-3).count();
         assert!(false_pos <= 6, "{false_pos} false positives");
         assert!(s.zeros() >= 15, "only {} exact zeros", s.zeros());
     }

@@ -123,7 +123,8 @@ impl IcdSolver {
             let mut i = 0;
             while i < part.len() {
                 let round: Vec<usize> = part[i..(i + width.min(part.len() - i))].to_vec();
-                let steps: Vec<(usize, f32)> = round.iter().map(|&j| (j, self.step_of(j))).collect();
+                let steps: Vec<(usize, f32)> =
+                    round.iter().map(|&j| (j, self.step_of(j))).collect();
                 for (j, d) in steps {
                     if d != 0.0 {
                         self.apply(j, d);
@@ -165,7 +166,9 @@ mod tests {
     /// Dense Gaussian elimination for test oracles.
     fn solve_dense(n: usize, mut m: Vec<f64>, mut b: Vec<f64>) -> Vec<f64> {
         for k in 0..n {
-            let piv = (k..n).max_by(|&i, &j| m[i * n + k].abs().partial_cmp(&m[j * n + k].abs()).unwrap()).unwrap();
+            let piv = (k..n)
+                .max_by(|&i, &j| m[i * n + k].abs().partial_cmp(&m[j * n + k].abs()).unwrap())
+                .unwrap();
             for c in 0..n {
                 m.swap(k * n + c, piv * n + c);
             }
@@ -222,7 +225,8 @@ mod tests {
                         std::cmp::Ordering::Less => p += 1,
                         std::cmp::Ordering::Greater => q += 1,
                         std::cmp::Ordering::Equal => {
-                            acc += (lambda[ri[p] as usize] as f64) * (vi[p] as f64) * (vj[q] as f64);
+                            acc +=
+                                (lambda[ri[p] as usize] as f64) * (vi[p] as f64) * (vj[q] as f64);
                             p += 1;
                             q += 1;
                         }
@@ -308,7 +312,10 @@ mod tests {
                     .map(|r| {
                         let get = |c: usize| -> f64 {
                             let (rows, vals) = a.column(c);
-                            rows.iter().position(|&rr| rr as usize == r).map(|p| vals[p] as f64).unwrap_or(0.0)
+                            rows.iter()
+                                .position(|&rr| rr as usize == r)
+                                .map(|p| vals[p] as f64)
+                                .unwrap_or(0.0)
                         };
                         get(i) * get(j)
                     })

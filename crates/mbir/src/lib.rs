@@ -36,5 +36,7 @@ pub use nhicd::{NhConfig, NhIcd};
 pub use prior::{Prior, QggmrfPrior, QuadraticPrior};
 pub use sequential::{IcdConfig, IcdStats, SequentialIcd};
 pub use stopping::{StopRule, StopState};
-pub use update::{apply_delta, compute_thetas, update_voxel, zero_skippable, SinogramPair, Thetas, WeightedError};
+pub use update::{
+    apply_delta, compute_thetas, update_voxel, zero_skippable, SinogramPair, Thetas, WeightedError,
+};
 pub use volume_icd::VolumeIcd;

@@ -97,7 +97,8 @@ impl<'a, P: Prior> NhIcd<'a, P> {
         self.rounds += 1;
         let n = self.image.grid().num_voxels();
         let mut order: Vec<u32> = (0..n as u32).collect();
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ self.rounds.wrapping_mul(0x9e3779b9));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ self.rounds.wrapping_mul(0x9e3779b9));
         order.shuffle(&mut rng);
         let allow_skip = self.config.zero_skip && self.rounds > 1;
         for &j in &order {
@@ -122,7 +123,8 @@ impl<'a, P: Prior> NhIcd<'a, P> {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         ids.truncate(count);
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ self.rounds.wrapping_mul(0xc2b2ae35));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ self.rounds.wrapping_mul(0xc2b2ae35));
         ids.shuffle(&mut rng);
         for &j in &ids {
             self.visit(j as usize);
@@ -271,14 +273,8 @@ mod tests {
     fn partial_pass_targets_largest_updates() {
         let (g, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
-        let mut nh = NhIcd::new(
-            &a,
-            &s.y,
-            &s.weights,
-            &prior,
-            Image::zeros(g.grid),
-            NhConfig::default(),
-        );
+        let mut nh =
+            NhIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), NhConfig::default());
         nh.full_pass();
         // The threshold VSC of the selected set, from a snapshot taken
         // before the partial pass overwrites `last_delta`.
@@ -308,14 +304,8 @@ mod tests {
         let (_, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
         let g = Geometry::tiny_scale();
-        let mut nh = NhIcd::new(
-            &a,
-            &s.y,
-            &s.weights,
-            &prior,
-            Image::zeros(g.grid),
-            NhConfig::default(),
-        );
+        let mut nh =
+            NhIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), NhConfig::default());
         nh.cycle();
         let ax = a.forward(nh.image());
         for i in 0..s.y.data().len() {

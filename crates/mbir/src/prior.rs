@@ -156,8 +156,8 @@ impl Prior for QggmrfPrior {
         }
         let r = (au / ts).powf(self.q - self.p);
         // rho'(u) = sign(u) |u|^(p-1)/sigma^p * r/(1+r) * (1 + (q-p)/(p (1+r)))
-        let rho_prime_over_u =
-            au.powf(self.p - 2.0) / sp * r / (1.0 + r) * (1.0 + (self.q - self.p) / (self.p * (1.0 + r)));
+        let rho_prime_over_u = au.powf(self.p - 2.0) / sp * r / (1.0 + r)
+            * (1.0 + (self.q - self.p) / (self.p * (1.0 + r)));
         rho_prime_over_u / 2.0
     }
 }

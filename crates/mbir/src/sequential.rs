@@ -83,7 +83,16 @@ impl<'a, P: Prior> SequentialIcd<'a, P> {
         for (e, axv) in error.data_mut().iter_mut().zip(ax.data()) {
             *e -= axv;
         }
-        SequentialIcd { a, prior, weights, config, image: init, error, stats: IcdStats::default(), pass_count: 0 }
+        SequentialIcd {
+            a,
+            prior,
+            weights,
+            config,
+            image: init,
+            error,
+            stats: IcdStats::default(),
+            pass_count: 0,
+        }
     }
 
     /// One pass visiting every voxel once (in randomized order).
@@ -92,7 +101,8 @@ impl<'a, P: Prior> SequentialIcd<'a, P> {
         let nvox = self.image.grid().num_voxels();
         let mut order: Vec<u32> = (0..nvox as u32).collect();
         if self.config.randomize {
-            let mut rng = StdRng::seed_from_u64(self.config.seed ^ self.pass_count.wrapping_mul(0x9e3779b9));
+            let mut rng =
+                StdRng::seed_from_u64(self.config.seed ^ self.pass_count.wrapping_mul(0x9e3779b9));
             order.shuffle(&mut rng);
         }
         self.pass_count += 1;
@@ -109,8 +119,14 @@ impl<'a, P: Prior> SequentialIcd<'a, P> {
             }
             let col = self.a.column(j);
             let mut pair = SinogramPair { e: &mut self.error, w: self.weights };
-            let delta =
-                update_voxel(j, &mut self.image, &col, &mut pair, self.prior, self.config.positivity);
+            let delta = update_voxel(
+                j,
+                &mut self.image,
+                &col,
+                &mut pair,
+                self.prior,
+                self.config.positivity,
+            );
             pass_stats.updates += 1;
             pass_stats.total_abs_delta += delta.abs() as f64;
         }
@@ -211,10 +227,10 @@ pub fn golden_image<P: Prior>(
 
 #[cfg(test)]
 mod tests {
+    use super::golden_image;
     use super::*;
     use crate::convergence::cost;
     use crate::prior::QggmrfPrior;
-    use super::golden_image;
     use ct_core::geometry::Geometry;
     use ct_core::phantom::Phantom;
     use ct_core::project::{scan, NoiseModel};
@@ -231,8 +247,14 @@ mod tests {
     fn cost_decreases_monotonically() {
         let (g, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
-        let mut icd =
-            SequentialIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), IcdConfig::default());
+        let mut icd = SequentialIcd::new(
+            &a,
+            &s.y,
+            &s.weights,
+            &prior,
+            Image::zeros(g.grid),
+            IcdConfig::default(),
+        );
         let mut prev = cost(icd.image(), icd.error(), &s.weights, &prior);
         for _ in 0..4 {
             icd.pass();
@@ -323,8 +345,14 @@ mod tests {
     fn error_sinogram_invariant_after_passes() {
         let (g, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
-        let mut icd =
-            SequentialIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), IcdConfig::default());
+        let mut icd = SequentialIcd::new(
+            &a,
+            &s.y,
+            &s.weights,
+            &prior,
+            Image::zeros(g.grid),
+            IcdConfig::default(),
+        );
         icd.pass();
         icd.pass();
         let ax = a.forward(icd.image());

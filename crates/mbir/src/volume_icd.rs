@@ -23,8 +23,6 @@ use ct_core::volume::Volume;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// 3-D ICD reconstruction state: one error sinogram per slice, one
 /// shared volume.
@@ -126,82 +124,67 @@ impl<'a, P: Prior> VolumeIcd<'a, P> {
     /// One pass with slice-level parallelism: even slices concurrently,
     /// then odd slices. Within a slab, each worker owns whole slices
     /// (its own error sinogram); prior reads into the frozen opposite
-    /// slab are safe.
+    /// slab are safe. `threads == 0` defers to the process-wide setting
+    /// (`mbir_parallel::threads()`); any thread count produces the same
+    /// volume bit for bit.
     pub fn pass_slice_parallel(&mut self, threads: usize) {
-        assert!(threads >= 1);
         self.pass_count += 1;
         let n = self.volume.grid().num_voxels();
         let nz = self.volume.nz();
         for parity in 0..2usize {
             let slab: Vec<usize> = (0..nz).filter(|z| z % 2 == parity).collect();
-            // Take the state apart so workers can own disjoint pieces.
-            let mut slices: Vec<Option<(usize, Image, Sinogram)>> = slab
-                .iter()
-                .map(|&z| Some((z, self.volume.slice(z), self.errors[z].clone())))
-                .collect();
-            let results: Mutex<Vec<(usize, Image, Sinogram, u64)>> = Mutex::new(Vec::new());
-            let next = AtomicUsize::new(0);
             let volume = &self.volume;
+            let errors = &self.errors;
             let a = self.a;
             let prior = self.prior;
             let weights = self.weights;
             let seed = self.seed;
             let pass = self.pass_count;
-            let slices_ref = Mutex::new(&mut slices);
-            crossbeam::scope(|s| {
-                for _ in 0..threads {
-                    s.spawn(|_| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= slab.len() {
-                            break;
-                        }
-                        let (z, mut img, mut err) = {
-                            let mut guard = slices_ref.lock().unwrap();
-                            guard[i].take().expect("slice taken once")
+            let results: Vec<(usize, Image, Sinogram, u64)> =
+                mbir_parallel::par_map(threads, slab.len(), |i| {
+                    let z = slab[i];
+                    let mut img = volume.slice(z);
+                    let mut err = errors[z].clone();
+                    let mut order: Vec<u32> = (0..n as u32).collect();
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ pass.wrapping_mul(97) ^ (z as u64).wrapping_mul(0x9e3779b9),
+                    );
+                    order.shuffle(&mut rng);
+                    let mut updates = 0u64;
+                    for &j in &order {
+                        let j = j as usize;
+                        let v = img.get(j);
+                        let col = a.column(j);
+                        let th = {
+                            let pair = SinogramPair { e: &mut err, w: &weights[z] };
+                            compute_thetas(&col, &pair)
                         };
-                        let mut order: Vec<u32> = (0..n as u32).collect();
-                        let mut rng = StdRng::seed_from_u64(
-                            seed ^ pass.wrapping_mul(97) ^ (z as u64).wrapping_mul(0x9e3779b9),
-                        );
-                        order.shuffle(&mut rng);
-                        let mut updates = 0u64;
-                        for &j in &order {
-                            let j = j as usize;
-                            let v = img.get(j);
-                            let col = a.column(j);
-                            let th = {
-                                let pair = SinogramPair { e: &mut err, w: &weights[z] };
-                                compute_thetas(&col, &pair)
-                            };
-                            // 3-D neighbours: in-slab reads come from
-                            // this worker's own image; cross-slab reads
-                            // from the frozen shared volume.
-                            let neigh: Vec<(f32, f32)> = volume
-                                .neighbors26(z, j)
-                                .into_iter()
-                                .map(|(zz, jj, class)| {
-                                    let val = if zz == z { img.get(jj) } else { volume.get(zz, jj) };
-                                    (val, class.weight())
-                                })
-                                .collect();
-                            let mut it = neigh.iter().copied();
-                            let mut delta = prior.step(v, th.theta1, th.theta2, &mut it);
-                            if v + delta < 0.0 {
-                                delta = -v;
-                            }
-                            if delta != 0.0 {
-                                img.set(j, v + delta);
-                                let mut pair = SinogramPair { e: &mut err, w: &weights[z] };
-                                crate::update::apply_delta(&col, &mut pair, delta);
-                            }
-                            updates += 1;
+                        // 3-D neighbours: in-slab reads come from
+                        // this worker's own image; cross-slab reads
+                        // from the frozen shared volume.
+                        let neigh: Vec<(f32, f32)> = volume
+                            .neighbors26(z, j)
+                            .into_iter()
+                            .map(|(zz, jj, class)| {
+                                let val = if zz == z { img.get(jj) } else { volume.get(zz, jj) };
+                                (val, class.weight())
+                            })
+                            .collect();
+                        let mut it = neigh.iter().copied();
+                        let mut delta = prior.step(v, th.theta1, th.theta2, &mut it);
+                        if v + delta < 0.0 {
+                            delta = -v;
                         }
-                        results.lock().unwrap().push((z, img, err, updates));
-                    });
-                }
-            })
-            .expect("worker panicked");
-            for (z, img, err, updates) in results.into_inner().unwrap() {
+                        if delta != 0.0 {
+                            img.set(j, v + delta);
+                            let mut pair = SinogramPair { e: &mut err, w: &weights[z] };
+                            crate::update::apply_delta(&col, &mut pair, delta);
+                        }
+                        updates += 1;
+                    }
+                    (z, img, err, updates)
+                });
+            for (z, img, err, updates) in results {
                 self.volume.set_slice(z, &img);
                 self.errors[z] = err;
                 self.updates += updates;
@@ -331,8 +314,7 @@ mod tests {
         let (g, a, _, _, _) = setup();
         let bright = Phantom::water_cylinder(0.5).render(g.grid, 1);
         let dark = Image::zeros(g.grid);
-        let ys: Vec<Sinogram> =
-            vec![a.forward(&bright), a.forward(&dark), a.forward(&bright)];
+        let ys: Vec<Sinogram> = vec![a.forward(&bright), a.forward(&dark), a.forward(&bright)];
         let ws = vec![Sinogram::filled(&Geometry::tiny_scale(), 1.0); 3];
         let prior = QggmrfPrior { sigma: 0.02, ..QggmrfPrior::standard(0.02) };
         let mut icd = VolumeIcd::new(&a, &ys, &ws, &prior, Volume::zeros(g.grid, 3));

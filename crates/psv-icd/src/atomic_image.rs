@@ -103,17 +103,16 @@ mod tests {
     fn concurrent_disjoint_writes() {
         let grid = ImageGrid::square(32, 1.0);
         let a = AtomicImage::from_image(&Image::zeros(grid));
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4usize {
                 let a = &a;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for j in (t..1024).step_by(4) {
                         a.set(j, j as f32);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for j in 0..1024 {
             assert_eq!(a.get(j), j as f32);
         }

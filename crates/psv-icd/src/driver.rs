@@ -10,11 +10,9 @@ use mbir::convergence::ConvergenceTrace;
 use mbir::prior::{clique_weight, Prior};
 use mbir::sequential::{IcdConfig, IcdStats};
 use mbir::update::{apply_delta, compute_thetas};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use supervoxel::checkerboard::checkerboard_groups;
 use supervoxel::selection::{select_svs, Selection};
 use supervoxel::svb::{Svb, SvbLayout, SvbShape};
@@ -28,7 +26,8 @@ pub struct PsvConfig {
     /// Fraction of SVs updated per iteration after the first (20%).
     pub fraction: f32,
     /// Real worker threads used for the functional execution (the
-    /// *modeled* platform is [`CpuModel`]'s 16 cores).
+    /// *modeled* platform is [`CpuModel`]'s 16 cores). `0` defers to
+    /// the process-wide setting (`mbir_parallel::threads()`).
     pub threads: usize,
     /// Shared ICD knobs.
     pub icd: IcdConfig,
@@ -36,7 +35,7 @@ pub struct PsvConfig {
 
 impl Default for PsvConfig {
     fn default() -> Self {
-        PsvConfig { sv_side: 13, fraction: 0.20, threads: 4, icd: IcdConfig::default() }
+        PsvConfig { sv_side: 13, fraction: 0.20, threads: 0, icd: IcdConfig::default() }
     }
 }
 
@@ -96,7 +95,6 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
         init: Image,
         config: PsvConfig,
     ) -> Self {
-        assert!(config.threads >= 1);
         let tiling = Tiling::new(init.grid(), config.sv_side);
         let shapes = SvbShape::compute_all(a, &tiling);
         let ax = a.forward(&init);
@@ -132,8 +130,11 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
     /// update voxels, and merge the error delta back.
     pub fn iteration(&mut self) -> PsvIterationReport {
         self.iter += 1;
-        let mut rng = StdRng::seed_from_u64(self.config.icd.seed ^ (0xc0ffee ^ self.iter).wrapping_mul(0x9e3779b97f4a7c15));
-        let (selection, ids) = select_svs(self.iter, self.config.fraction, &self.update_amount, &mut rng);
+        let mut rng = StdRng::seed_from_u64(
+            self.config.icd.seed ^ (0xc0ffee ^ self.iter).wrapping_mul(0x9e3779b97f4a7c15),
+        );
+        let (selection, ids) =
+            select_svs(self.iter, self.config.fraction, &self.update_amount, &mut rng);
         let groups = checkerboard_groups(&self.tiling, &ids);
 
         let allow_skip = self.config.icd.zero_skip && self.iter > 1;
@@ -156,13 +157,15 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
             // sinogram (deterministic snapshot).
             let origs: Vec<Svb<'_>> = group
                 .iter()
-                .map(|&sv| Svb::gather(&self.shapes[sv], SvbLayout::SensorMajor, &self.error, self.weights))
+                .map(|&sv| {
+                    Svb::gather(&self.shapes[sv], SvbLayout::SensorMajor, &self.error, self.weights)
+                })
                 .collect();
-            let svbs: Vec<Mutex<Svb<'_>>> = origs.iter().cloned().map(Mutex::new).collect();
-            let visits: Vec<Mutex<SvVisit>> = group.iter().map(|_| Mutex::new(SvVisit::default())).collect();
 
-            // Parallel SV updates within the group.
-            let next = AtomicUsize::new(0);
+            // Parallel SV updates within the group: SVs of one
+            // checkerboard group never share boundary voxels, so the
+            // shared-image writes and neighbour reads are disjoint and
+            // the result is independent of scheduling.
             let image = &self.image;
             let a = self.a;
             let prior = self.prior;
@@ -171,46 +174,38 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
             let iter = self.iter;
             let randomize = self.config.icd.randomize;
             let positivity = self.config.icd.positivity;
-            crossbeam::scope(|s| {
-                for _ in 0..self.config.threads {
-                    s.spawn(|_| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= group.len() {
-                            break;
+            let results: Vec<(Svb<'_>, SvVisit)> =
+                mbir_parallel::par_map(self.config.threads, group.len(), |i| {
+                    let sv = group[i];
+                    let mut svb = origs[i].clone();
+                    let mut visit = SvVisit::default();
+                    let mut order: Vec<usize> = tiling.voxels(sv).collect();
+                    if randomize {
+                        let mut r = StdRng::seed_from_u64(
+                            seed ^ iter.wrapping_mul(31) ^ (sv as u64).wrapping_mul(0x9e3779b9),
+                        );
+                        order.shuffle(&mut r);
+                    }
+                    for j in order {
+                        if allow_skip && image.zero_skippable(j) {
+                            visit.skipped += 1;
+                            continue;
                         }
-                        let sv = group[i];
-                        let mut svb = svbs[i].lock();
-                        let mut visit = SvVisit::default();
-                        let mut order: Vec<usize> = tiling.voxels(sv).collect();
-                        if randomize {
-                            let mut r = StdRng::seed_from_u64(
-                                seed ^ iter.wrapping_mul(31) ^ (sv as u64).wrapping_mul(0x9e3779b9),
-                            );
-                            order.shuffle(&mut r);
-                        }
-                        for j in order {
-                            if allow_skip && image.zero_skippable(j) {
-                                visit.skipped += 1;
-                                continue;
-                            }
-                            let col = a.column(j);
-                            let delta =
-                                update_voxel_shared(j, image, &col, &mut svb, prior, positivity);
-                            visit.updates += 1;
-                            visit.abs_delta += delta.abs() as f64;
-                            visit.entries += col.nnz() as f64;
-                        }
-                        *visits[i].lock() = visit;
-                    });
-                }
-            })
-            .expect("worker thread panicked");
+                        let col = a.column(j);
+                        let delta =
+                            update_voxel_shared(j, image, &col, &mut svb, prior, positivity);
+                        visit.updates += 1;
+                        visit.abs_delta += delta.abs() as f64;
+                        visit.entries += col.nnz() as f64;
+                    }
+                    (svb, visit)
+                });
 
             // Sequential, ordered merge of the deltas (Alg. 2 lock()).
             for (i, &sv) in group.iter().enumerate() {
-                let svb = svbs[i].lock();
+                let (svb, visit) = &results[i];
                 svb.scatter_delta(&origs[i], &mut self.error);
-                let visit = *visits[i].lock();
+                let visit = *visit;
                 self.update_amount[sv] = visit.abs_delta;
                 report.updates += visit.updates;
                 report.skipped += visit.skipped;
@@ -234,7 +229,12 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
     /// Iterate until RMSE against `golden` drops below `threshold_hu`,
     /// recording a convergence trace in modeled seconds. Stops after
     /// `max_iters` regardless.
-    pub fn run_to_rmse(&mut self, golden: &Image, threshold_hu: f32, max_iters: usize) -> ConvergenceTrace {
+    pub fn run_to_rmse(
+        &mut self,
+        golden: &Image,
+        threshold_hu: f32,
+        max_iters: usize,
+    ) -> ConvergenceTrace {
         let mut trace = ConvergenceTrace::default();
         let img = self.image.to_image();
         trace.record(self.equits(), self.modeled_seconds, &img, golden);
@@ -362,8 +362,7 @@ mod tests {
     fn first_iteration_visits_all_svs() {
         let (g, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
-        let mut psv =
-            PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
+        let mut psv = PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
         let r = psv.iteration();
         assert_eq!(r.selection, Selection::All);
         assert_eq!(r.svs_updated, psv.tiling().len());
@@ -378,8 +377,7 @@ mod tests {
     fn later_iterations_visit_fraction() {
         let (g, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
-        let mut psv =
-            PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
+        let mut psv = PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
         psv.iteration();
         let r2 = psv.iteration();
         assert_eq!(r2.selection, Selection::Top);
@@ -395,8 +393,7 @@ mod tests {
         let (_, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
         let g = Geometry::tiny_scale();
-        let mut psv =
-            PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
+        let mut psv = PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
         for _ in 0..3 {
             psv.iteration();
         }
@@ -417,8 +414,7 @@ mod tests {
     fn modeled_time_accumulates() {
         let (g, a, s) = setup();
         let prior = QggmrfPrior::standard(0.002);
-        let mut psv =
-            PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
+        let mut psv = PsvIcd::new(&a, &s.y, &s.weights, &prior, Image::zeros(g.grid), config());
         let r1 = psv.iteration();
         let after1 = psv.modeled_seconds();
         let r2 = psv.iteration();

@@ -9,7 +9,7 @@
 //! delta is merged back into the global error sinogram under a lock.
 //!
 //! - [`driver`]: the algorithm, executed with real threads
-//!   (crossbeam scoped threads + a work-stealing index). One deliberate
+//!   (`mbir_parallel`'s work-stealing `par_map`). One deliberate
 //!   deviation from the 2016 paper, documented in DESIGN.md: SVs run in
 //!   checkerboard groups so concurrently updated SVs never share
 //!   boundary voxels — Rust's aliasing rules reject PSV-ICD's "rare

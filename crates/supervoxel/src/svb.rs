@@ -346,7 +346,9 @@ mod tests {
         for v in 0..g.num_views {
             for ch in 0..g.num_channels {
                 let d = e.at(v, ch) - y.at(v, ch);
-                if (shape.first[v] as usize..(shape.first[v] + shape.width[v]) as usize).contains(&ch) {
+                if (shape.first[v] as usize..(shape.first[v] + shape.width[v]) as usize)
+                    .contains(&ch)
+                {
                     assert!((d - 1.0).abs() < 1e-6);
                     changed += 1;
                 } else {

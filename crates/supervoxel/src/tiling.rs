@@ -59,7 +59,15 @@ impl Tiling {
                 // +1 shared boundary voxel toward the next tile.
                 let rows = (sv_side + 1).min(grid.ny - row0);
                 let cols = (sv_side + 1).min(grid.nx - col0);
-                svs.push(SuperVoxel { id: svs.len(), sv_row: sr, sv_col: sc, row0, col0, rows, cols });
+                svs.push(SuperVoxel {
+                    id: svs.len(),
+                    sv_row: sr,
+                    sv_col: sc,
+                    row0,
+                    col0,
+                    rows,
+                    cols,
+                });
             }
         }
         Tiling { grid, sv_side, sv_rows, sv_cols, svs }

@@ -39,8 +39,7 @@ fn main() {
                     svs_per_batch: batch,
                     ..Default::default()
                 };
-                let mut gpu =
-                    GpuIcd::new(&a, &s.y, &s.weights, &prior, init.clone(), opts);
+                let mut gpu = GpuIcd::new(&a, &s.y, &s.weights, &prior, init.clone(), opts);
                 let trace = gpu.run_to_rmse(&golden, 10.0, 150);
                 tried += 1;
                 if trace.last().map(|p| p.rmse_hu < 10.0).unwrap_or(false) {

@@ -23,7 +23,12 @@ fn main() {
     let geom = Geometry::test_scale();
     let bag = Phantom::baggage(seed);
     let truth = bag.render(geom.grid, 2);
-    println!("scanning '{}' ({} shapes, {:.0}% air)", bag.name(), bag.shapes().len(), truth.zero_fraction() * 100.0);
+    println!(
+        "scanning '{}' ({} shapes, {:.0}% air)",
+        bag.name(),
+        bag.shapes().len(),
+        truth.zero_fraction() * 100.0
+    );
 
     let a = SystemMatrix::compute(&geom);
     let s = scan(&a, &truth, Some(NoiseModel::default_dose()), seed);
@@ -32,25 +37,59 @@ fn main() {
     let golden = golden_image(&a, &s.y, &s.weights, &prior, init.clone(), 40.0);
 
     // Sequential ICD (single core).
-    let mut seq = SequentialIcd::new(&a, &s.y, &s.weights, &prior, init.clone(), IcdConfig::default());
+    let mut seq =
+        SequentialIcd::new(&a, &s.y, &s.weights, &prior, init.clone(), IcdConfig::default());
     seq.run_to_rmse(&golden, 10.0, 40);
     let seq_entries = seq.stats().updates as f64 * a.nnz() as f64 / geom.grid.num_voxels() as f64;
     let seq_time = psv_icd::CpuModel::paper_baseline().sequential_time(seq_entries);
 
     // PSV-ICD (16-core model).
-    let mut psv = PsvIcd::new(&a, &s.y, &s.weights, &prior, init.clone(), PsvConfig { sv_side: 6, threads: 2, ..Default::default() });
+    let mut psv = PsvIcd::new(
+        &a,
+        &s.y,
+        &s.weights,
+        &prior,
+        init.clone(),
+        PsvConfig { sv_side: 6, threads: 2, ..Default::default() },
+    );
     psv.run_to_rmse(&golden, 10.0, 200);
 
     // GPU-ICD (simulated Titan X).
-    let opts = GpuOptions { sv_side: 8, threadblocks_per_sv: 12, svs_per_batch: 16, ..Default::default() };
+    let opts =
+        GpuOptions { sv_side: 8, threadblocks_per_sv: 12, svs_per_batch: 16, ..Default::default() };
     let mut gpu = GpuIcd::new(&a, &s.y, &s.weights, &prior, init, opts);
     gpu.run_to_rmse(&golden, 10.0, 300);
 
-    println!("\n{:<16} {:>14} {:>10} {:>14}", "algorithm", "modeled time", "equits", "RMSE vs golden");
-    println!("{:<16} {:>12.1}ms {:>10.1} {:>11.2} HU", "sequential", seq_time * 1e3, seq.equits(), rmse_hu(seq.image(), &golden));
-    println!("{:<16} {:>12.2}ms {:>10.1} {:>11.2} HU", "psv-icd (16c)", psv.modeled_seconds() * 1e3, psv.equits(), rmse_hu(&psv.image(), &golden));
-    println!("{:<16} {:>12.2}ms {:>10.1} {:>11.2} HU", "gpu-icd", gpu.modeled_seconds() * 1e3, gpu.equits(), rmse_hu(gpu.image(), &golden));
-    println!("\nGPU speedup: {:.0}X over sequential, {:.2}X over 16-core CPU", seq_time / gpu.modeled_seconds(), psv.modeled_seconds() / gpu.modeled_seconds());
+    println!(
+        "\n{:<16} {:>14} {:>10} {:>14}",
+        "algorithm", "modeled time", "equits", "RMSE vs golden"
+    );
+    println!(
+        "{:<16} {:>12.1}ms {:>10.1} {:>11.2} HU",
+        "sequential",
+        seq_time * 1e3,
+        seq.equits(),
+        rmse_hu(seq.image(), &golden)
+    );
+    println!(
+        "{:<16} {:>12.2}ms {:>10.1} {:>11.2} HU",
+        "psv-icd (16c)",
+        psv.modeled_seconds() * 1e3,
+        psv.equits(),
+        rmse_hu(&psv.image(), &golden)
+    );
+    println!(
+        "{:<16} {:>12.2}ms {:>10.1} {:>11.2} HU",
+        "gpu-icd",
+        gpu.modeled_seconds() * 1e3,
+        gpu.equits(),
+        rmse_hu(gpu.image(), &golden)
+    );
+    println!(
+        "\nGPU speedup: {:.0}X over sequential, {:.2}X over 16-core CPU",
+        seq_time / gpu.modeled_seconds(),
+        psv.modeled_seconds() / gpu.modeled_seconds()
+    );
 
     // Threat-like density report: anything above 2x water.
     let dense_voxels = gpu.image().data().iter().filter(|&&v| hu_from_mu(v) > 1000.0).count();

@@ -34,7 +34,10 @@ fn main() {
     let mut seq = IcdSolver::new(a.clone(), y.clone());
     let sweeps = seq.solve(1e-6, 500);
     let err_seq = rmse(seq.x(), &x_true);
-    println!("sequential ICD:       {sweeps} sweeps, cost {:.6}, rmse vs truth {err_seq:.4}", seq.cost());
+    println!(
+        "sequential ICD:       {sweeps} sweeps, cost {:.6}, rmse vs truth {err_seq:.4}",
+        seq.cost()
+    );
 
     // Grouped-parallel ICD (the GPU-ICD schedule): 4 low-correlation
     // groups ("checkerboard"), 8 concurrent coordinates per round
@@ -46,7 +49,10 @@ fn main() {
         rounds += 1;
     }
     let err_par = rmse(par.x(), &x_true);
-    println!("grouped-parallel ICD: {rounds} sweeps, cost {:.6}, rmse vs truth {err_par:.4}", par.cost());
+    println!(
+        "grouped-parallel ICD: {rounds} sweeps, cost {:.6}, rmse vs truth {err_par:.4}",
+        par.cost()
+    );
 
     // The grouping quality: correlated columns land in different groups.
     let parts = correlation_groups(&a, 4);
@@ -56,7 +62,9 @@ fn main() {
     let agree = rmse(seq.x(), par.x());
     println!("solution agreement (rmse between solvers): {agree:.5}");
     assert!(agree < 0.05, "parallel schedule must reach the same optimum");
-    println!("\nboth schedules minimize the same cost - ICD parallelizes exactly as the paper claims");
+    println!(
+        "\nboth schedules minimize the same cost - ICD parallelizes exactly as the paper claims"
+    );
 }
 
 fn rmse(a: &[f32], b: &[f32]) -> f32 {

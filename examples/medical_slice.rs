@@ -21,13 +21,21 @@ fn main() {
     let a = SystemMatrix::compute(&geom);
     let truth = Phantom::shepp_logan().render(geom.grid, 2);
 
-    println!("{:<12} {:>16} {:>16} {:>14}", "dose (I0)", "FBP RMSE (HU)", "MBIR RMSE (HU)", "MBIR time");
+    println!(
+        "{:<12} {:>16} {:>16} {:>14}",
+        "dose (I0)", "FBP RMSE (HU)", "MBIR RMSE (HU)", "MBIR time"
+    );
     for i0 in [5.0e2f32, 2.0e3, 2.0e4, 2.0e5] {
         let s = scan(&a, &truth, Some(NoiseModel { i0 }), 11);
         let fbp_img = fbp::reconstruct(&geom, &s.y);
 
         let prior = QggmrfPrior::standard(0.002);
-        let opts = GpuOptions { sv_side: 8, threadblocks_per_sv: 12, svs_per_batch: 16, ..Default::default() };
+        let opts = GpuOptions {
+            sv_side: 8,
+            threadblocks_per_sv: 12,
+            svs_per_batch: 16,
+            ..Default::default()
+        };
         let mut gpu = GpuIcd::new(&a, &s.y, &s.weights, &prior, fbp_img.clone(), opts);
         for _ in 0..20 {
             gpu.iteration();

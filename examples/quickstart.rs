@@ -19,7 +19,10 @@ fn main() {
     // 1. Describe the scanner: parallel-beam, 96 views over 180
     //    degrees, 96 detector channels, 64x64 image.
     let geom = Geometry::test_scale();
-    println!("geometry: {} views x {} channels, {}x{} image", geom.num_views, geom.num_channels, geom.grid.nx, geom.grid.ny);
+    println!(
+        "geometry: {} views x {} channels, {}x{} image",
+        geom.num_views, geom.num_channels, geom.grid.nx, geom.grid.ny
+    );
 
     // 2. Precompute the system matrix A (the scanner model).
     let a = SystemMatrix::compute(&geom);
@@ -33,7 +36,8 @@ fn main() {
     //    GPU-ICD using the paper's tuned options (scaled to this grid).
     let prior = QggmrfPrior::standard(0.002);
     let init = fbp::reconstruct(&geom, &s.y);
-    let opts = GpuOptions { sv_side: 8, threadblocks_per_sv: 12, svs_per_batch: 16, ..Default::default() };
+    let opts =
+        GpuOptions { sv_side: 8, threadblocks_per_sv: 12, svs_per_batch: 16, ..Default::default() };
     let mut gpu = GpuIcd::new(&a, &s.y, &s.weights, &prior, init.clone(), opts);
 
     // Converge to the paper's criterion: RMSE < 10 HU against a
@@ -42,7 +46,11 @@ fn main() {
     let trace = gpu.run_to_rmse(&golden, 10.0, 200);
 
     println!("FBP init RMSE vs truth: {:.1} HU", rmse_hu(&fbp::reconstruct(&geom, &s.y), &truth));
-    println!("GPU-ICD RMSE vs golden: {:.2} HU after {:.1} equits", trace.last().unwrap().rmse_hu, gpu.equits());
+    println!(
+        "GPU-ICD RMSE vs golden: {:.2} HU after {:.1} equits",
+        trace.last().unwrap().rmse_hu,
+        gpu.equits()
+    );
     println!("GPU-ICD RMSE vs truth:  {:.1} HU", rmse_hu(gpu.image(), &truth));
     println!("modeled Titan X time:   {:.2} ms", gpu.modeled_seconds() * 1e3);
     let rs = gpu.run_stats();

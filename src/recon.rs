@@ -152,8 +152,7 @@ impl Reconstructor {
         match self.algorithm {
             Algorithm::Fbp => unreachable!(),
             Algorithm::SequentialIcd => {
-                let mut icd =
-                    SequentialIcd::new(&a, y, &w, &prior, init, IcdConfig::default());
+                let mut icd = SequentialIcd::new(&a, y, &w, &prior, init, IcdConfig::default());
                 icd.run_until(self.stop, self.max_passes);
                 let equits = icd.equits();
                 ReconResult { image: icd.into_image(), equits, modeled_seconds: 0.0 }

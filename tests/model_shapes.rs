@@ -21,12 +21,7 @@ fn headline_ordering_gpu_beats_cpu_beats_sequential() {
     let psv = run_psv(p, 6, 200);
     let gpu = run_gpu(p, gpu_options_for(Scale::Test), 300);
     assert!(seq.converged && psv.converged && gpu.converged);
-    assert!(
-        gpu.seconds < psv.seconds,
-        "gpu {} should beat psv {}",
-        gpu.seconds,
-        psv.seconds
-    );
+    assert!(gpu.seconds < psv.seconds, "gpu {} should beat psv {}", gpu.seconds, psv.seconds);
     assert!(psv.seconds < seq.seconds);
     // Speedups in plausible ranges (paper at full scale: 611X / 4.43X).
     let gpu_over_seq = seq.seconds / gpu.seconds;

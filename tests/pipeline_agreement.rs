@@ -64,14 +64,8 @@ fn all_three_algorithms_converge_and_agree() {
     let psv_rmse = rmse_hu(&psv.image(), &s.golden);
     assert!(psv_rmse < 10.0, "psv rmse {psv_rmse}");
 
-    let mut gpu = GpuIcd::new(
-        &s.a,
-        &s.scan.y,
-        &s.scan.weights,
-        &s.prior,
-        s.init.clone(),
-        gpu_opts(),
-    );
+    let mut gpu =
+        GpuIcd::new(&s.a, &s.scan.y, &s.scan.weights, &s.prior, s.init.clone(), gpu_opts());
     gpu.run_to_rmse(&s.golden, 10.0, 120);
     let gpu_rmse = rmse_hu(gpu.image(), &s.golden);
     assert!(gpu_rmse < 10.0, "gpu rmse {gpu_rmse}");
@@ -103,14 +97,8 @@ fn error_sinogram_invariants_hold_across_algorithms() {
         assert!((psv.error().data()[i] - expect).abs() < 5e-3, "psv e drift at {i}");
     }
 
-    let mut gpu = GpuIcd::new(
-        &s.a,
-        &s.scan.y,
-        &s.scan.weights,
-        &s.prior,
-        s.init.clone(),
-        gpu_opts(),
-    );
+    let mut gpu =
+        GpuIcd::new(&s.a, &s.scan.y, &s.scan.weights, &s.prior, s.init.clone(), gpu_opts());
     for _ in 0..3 {
         gpu.iteration();
     }
@@ -143,14 +131,8 @@ fn mbir_beats_fbp_on_noisy_baggage() {
 fn reconstruction_is_deterministic_end_to_end() {
     let run = || {
         let s = setup(Phantom::baggage(1), 4);
-        let mut gpu = GpuIcd::new(
-            &s.a,
-            &s.scan.y,
-            &s.scan.weights,
-            &s.prior,
-            s.init.clone(),
-            gpu_opts(),
-        );
+        let mut gpu =
+            GpuIcd::new(&s.a, &s.scan.y, &s.scan.weights, &s.prior, s.init.clone(), gpu_opts());
         for _ in 0..5 {
             gpu.iteration();
         }
@@ -166,14 +148,8 @@ fn reconstruction_is_deterministic_end_to_end() {
 #[test]
 fn positivity_holds_in_all_reconstructions() {
     let s = setup(Phantom::baggage(8), 11);
-    let mut gpu = GpuIcd::new(
-        &s.a,
-        &s.scan.y,
-        &s.scan.weights,
-        &s.prior,
-        s.init.clone(),
-        gpu_opts(),
-    );
+    let mut gpu =
+        GpuIcd::new(&s.a, &s.scan.y, &s.scan.weights, &s.prior, s.init.clone(), gpu_opts());
     for _ in 0..8 {
         gpu.iteration();
     }
