@@ -14,7 +14,7 @@
 //! - SVs of one checkerboard group never share boundary voxels, so the
 //!   emulation order within a batch cannot change results.
 
-use crate::model::{BatchTiming, GpuWorkModel};
+use crate::model::{BatchTiming, GpuWorkModel, ProfileSkeleton};
 use crate::opts::{GpuOptions, Layout};
 use crate::tally::{BatchTally, SvTally};
 use ct_core::hu::rmse_hu;
@@ -29,12 +29,39 @@ use mbir::update::WeightedError;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 use supervoxel::checkerboard::checkerboard_groups;
 use supervoxel::chunks::chunk_column;
+use supervoxel::plan::{PlanConfig, SvPlan, SvPlanSet, VoxelPlan};
 use supervoxel::quant::QuantizedColumn;
 use supervoxel::selection::{select_svs, Selection};
-use supervoxel::svb::{Svb, SvbLayout, SvbShape};
+use supervoxel::svb::{Svb, SvbLayout};
 use supervoxel::tiling::Tiling;
+
+/// The [`PlanConfig`] implied by a set of GPU options.
+///
+/// With `plan_cache` on, the plan carries everything iterations reuse
+/// (chunk tallies, quantized columns). With it off, the plan degrades
+/// to the band shapes alone, so the uncached baseline pays no plan
+/// build cost beyond what the old driver already did at setup.
+pub fn plan_config(opts: &GpuOptions) -> PlanConfig {
+    let layout = match opts.layout {
+        Layout::Naive => SvbLayout::SensorMajor,
+        Layout::Chunked { .. } => SvbLayout::Transposed,
+    };
+    if opts.plan_cache {
+        PlanConfig {
+            chunk_width: match opts.layout {
+                Layout::Chunked { width } => Some(width as usize),
+                Layout::Naive => None,
+            },
+            quant_bits: if opts.amatrix.quantized() { Some(opts.amatrix_bits) } else { None },
+            layout,
+        }
+    } else {
+        PlanConfig { chunk_width: None, quant_bits: None, layout }
+    }
+}
 
 /// What one outer iteration did.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,7 +172,8 @@ pub struct GpuIcd<'a, P: Prior> {
     prior: &'a P,
     opts: GpuOptions,
     tiling: Tiling,
-    shapes: Vec<SvbShape>,
+    plan: Arc<SvPlanSet>,
+    skeleton: ProfileSkeleton,
     image: Image,
     error: Sinogram,
     update_amount: Vec<f64>,
@@ -157,7 +185,8 @@ pub struct GpuIcd<'a, P: Prior> {
 }
 
 impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
-    /// Initialize from a measurement and starting image.
+    /// Initialize from a measurement and starting image, building the
+    /// per-SV plans (in parallel on `opts.threads` workers).
     pub fn new(
         a: &'a SystemMatrix,
         y: &Sinogram,
@@ -167,29 +196,55 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         opts: GpuOptions,
     ) -> Self {
         let tiling = Tiling::new(init.grid(), opts.sv_side);
-        let shapes = SvbShape::compute_all(a, &tiling);
+        let plan = Arc::new(SvPlanSet::build(a, &tiling, plan_config(&opts), opts.threads));
+        Self::with_plan(a, y, weights, prior, init, opts, plan)
+    }
+
+    /// Initialize with a pre-built plan set (shared via `Arc` across
+    /// drivers/runs). The plan must have been built for the same system
+    /// matrix, an identical tiling, and `plan_config(&opts)`.
+    pub fn with_plan(
+        a: &'a SystemMatrix,
+        y: &Sinogram,
+        weights: &'a Sinogram,
+        prior: &'a P,
+        init: Image,
+        opts: GpuOptions,
+        plan: Arc<SvPlanSet>,
+    ) -> Self {
+        let tiling = Tiling::new(init.grid(), opts.sv_side);
+        assert_eq!(plan.config(), plan_config(&opts), "plan built for different options");
+        assert_eq!(plan.plans().len(), tiling.len(), "plan built for different tiling");
         let ax = a.forward(&init);
         let mut error = y.clone();
         for (e, axv) in error.data_mut().iter_mut().zip(ax.data()) {
             *e -= axv;
         }
         let n = tiling.len();
+        let model = GpuWorkModel::titan_x();
+        let skeleton = model.skeleton(&opts);
         GpuIcd {
             a,
             weights,
             prior,
             opts,
             tiling,
-            shapes,
+            plan,
+            skeleton,
             image: init,
             error,
             update_amount: vec![0.0; n],
             iter: 0,
             stats: IcdStats::default(),
-            model: GpuWorkModel::titan_x(),
+            model,
             modeled_seconds: 0.0,
             run_stats: GpuRunStats::default(),
         }
+    }
+
+    /// The shared per-SV plan set.
+    pub fn plan(&self) -> &Arc<SvPlanSet> {
+        &self.plan
     }
 
     /// The SV tiling in use.
@@ -295,9 +350,10 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         let rounds = self.opts.blocks_per_sv() as usize;
 
         // Kernel 1 (functional): gather all SVBs from the snapshot.
+        let plan = &*self.plan;
         let origs: Vec<Svb<'_>> = batch
             .iter()
-            .map(|&sv| Svb::gather(&self.shapes[sv], layout, &self.error, self.weights))
+            .map(|&sv| Svb::gather(&plan.plan(sv).shape, layout, &self.error, self.weights))
             .collect();
 
         // Kernel 2 (functional): per-SV voxel updates in rounds, run
@@ -311,15 +367,23 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         let a = self.a;
         let prior = self.prior;
         let opts = &self.opts;
-        let tiling = &self.tiling;
         let iter = self.iter;
         let workers = if opts.checkerboard { opts.threads } else { 1 };
         let shared = self.image.as_shared();
         let results: Vec<(Svb<'_>, SvTally)> = mbir_parallel::par_map(workers, batch.len(), |bi| {
             let sv = batch[bi];
             let mut svb = origs[bi].clone();
-            let t =
-                update_sv(a, &shared, prior, opts, tiling, iter, sv, &mut svb, rounds, allow_skip);
+            let t = update_sv(
+                a,
+                &shared,
+                prior,
+                opts,
+                plan.plan(sv),
+                iter,
+                &mut svb,
+                rounds,
+                allow_skip,
+            );
             (svb, t)
         });
 
@@ -341,7 +405,7 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
             svb.scatter_delta(&origs[bi], &mut self.error);
         }
 
-        self.model.batch(&tally, &self.opts, self.a.geometry().num_channels)
+        self.model.batch_with(&self.skeleton, &tally, self.a.geometry().num_channels)
     }
 
     /// Iterate until RMSE against `golden` drops below `threshold_hu`,
@@ -398,41 +462,46 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
 /// Update one SV's voxels in rounds of `rounds` concurrent updates
 /// (free function so the driver can split its field borrows; takes the
 /// shared image view so batch SVs can run on worker threads).
+///
+/// When `opts.plan_cache` is on, every iteration-invariant quantity
+/// (chunk tallies, quantized columns, band geometry) comes from the
+/// [`SvPlan`]; otherwise it is recomputed per visit exactly as the
+/// pre-cache driver did. Both paths are bitwise identical.
 #[allow(clippy::too_many_arguments)]
 fn update_sv<P: Prior>(
     a: &SystemMatrix,
     image: &SharedImage<'_>,
     prior: &P,
     opts: &GpuOptions,
-    tiling: &Tiling,
+    plan: &SvPlan,
     iter: u64,
-    sv: usize,
     svb: &mut Svb<'_>,
     rounds: usize,
     allow_skip: bool,
 ) -> SvTally {
-    let mut order: Vec<usize> = tiling.voxels(sv).collect();
+    let sv = plan.sv;
+    let vox = plan.voxels();
+    // Shuffle indices into the plan's voxel list. Fisher-Yates is
+    // element-type-independent, so this yields the same permutation the
+    // old driver got shuffling the voxel ids themselves.
+    let mut order: Vec<u32> = (0..vox.len() as u32).collect();
     let mut rng = StdRng::seed_from_u64(
         opts.seed ^ iter.wrapping_mul(131) ^ (sv as u64).wrapping_mul(0x9e3779b9),
     );
     order.shuffle(&mut rng);
 
+    let cached = opts.plan_cache;
     let chunk_width = match opts.layout {
         Layout::Chunked { width } => Some(width as usize),
         Layout::Naive => None,
     };
     let quantized = if opts.amatrix.quantized() { Some(opts.amatrix_bits) } else { None };
-    let (band_width, svb_bytes, nviews) = {
-        let shape = svb.shape();
-        let nviews = shape.num_views();
-        let bw: f64 = shape.width.iter().map(|&w| w as f64).sum::<f64>() / nviews.max(1) as f64;
-        (bw, shape.bytes(svb.layout()) as f64, nviews)
-    };
+    let nviews = plan.shape.num_views();
 
     let mut t = SvTally {
         sv,
-        svb_bytes,
-        band_width,
+        svb_bytes: plan.svb_bytes,
+        band_width: plan.band_width,
         max_block_share: 1.0 / rounds as f64,
         ..Default::default()
     };
@@ -457,28 +526,36 @@ fn update_sv<P: Prior>(
     // concurrency — without the cap the emulation over-penalizes
     // extreme block-to-voxel ratios that the hardware self-limits.
     let window = (rounds / 2).clamp(1, (order.len() / 16).max(1));
-    let mut fifo: std::collections::VecDeque<(usize, f32)> = std::collections::VecDeque::new();
-    let commit = |svb: &mut Svb<'_>, j: usize, delta: f32| {
+    let mut fifo: std::collections::VecDeque<(u32, f32)> = std::collections::VecDeque::new();
+    let commit = |svb: &mut Svb<'_>, oi: u32, delta: f32| {
         if delta != 0.0 {
-            image.set(j, image.get(j) + delta);
-            apply_delta_quant(a, j, svb, delta, quantized);
+            let vp = &vox[oi as usize];
+            image.set(vp.voxel, image.get(vp.voxel) + delta);
+            apply_delta_quant(a, vp, svb, delta, quantized, cached);
         }
     };
-    for (pos, &j) in order.iter().enumerate() {
+    for (pos, &oi) in order.iter().enumerate() {
+        let vp = &vox[oi as usize];
+        let j = vp.voxel;
         if allow_skip && image.zero_skippable(j) {
             t.skipped += 1;
             continue;
         }
         if fifo.len() >= window {
-            let (jj, d) = fifo.pop_front().expect("window >= 1");
-            commit(svb, jj, d);
+            let (oj, d) = fifo.pop_front().expect("window >= 1");
+            commit(svb, oj, d);
         }
         let col = a.column(j);
-        let delta = compute_delta(image, prior, opts, j, &col, svb, quantized);
+        let delta = compute_delta(image, prior, opts, vp, &col, svb, quantized, cached);
         t.updates += 1;
         t.abs_delta += delta.abs() as f64;
-        t.nnz += col.nnz() as f64;
-        if let Some(w) = chunk_width {
+        t.nnz += vp.nnz as f64;
+        if cached {
+            // Integer tallies are exact in f64, so the cached sums are
+            // bitwise what the per-visit recomputation accumulates.
+            t.dense += vp.dense as f64;
+            t.descriptors += vp.descriptors as f64;
+        } else if let Some(w) = chunk_width {
             let chunks = chunk_column(&col, w);
             t.dense += chunks.iter().map(|c| c.len() as f64).sum::<f64>();
             t.descriptors += chunks.len() as f64;
@@ -487,10 +564,10 @@ fn update_sv<P: Prior>(
             t.descriptors += nviews as f64;
         }
         static_updates[(pos / range_len.max(1)).min(rounds - 1)] += 1;
-        fifo.push_back((j, delta));
+        fifo.push_back((oi, delta));
     }
-    for (jj, d) in fifo {
-        commit(svb, jj, d);
+    for (oj, d) in fifo {
+        commit(svb, oj, d);
     }
 
     if t.updates > 0 {
@@ -500,39 +577,58 @@ fn update_sv<P: Prior>(
     t
 }
 
+/// Accumulate thetas over a quantized column: a flat walk of the CSR
+/// slices, dequantizing each code with the running entry index (same
+/// order and arithmetic as the old per-segment walk).
+fn quantized_thetas(col: &ColumnView<'_>, q: &QuantizedColumn, svb: &Svb<'_>) -> (f32, f32) {
+    let mut t1 = 0.0f32;
+    let mut t2 = 0.0f32;
+    let first = col.first_channels();
+    let count = col.counts();
+    let mut k = 0usize;
+    for view in 0..first.len() {
+        let n = count[view] as usize;
+        let fc = first[view] as usize;
+        for kk in 0..n {
+            let a = q.dequant(k);
+            k += 1;
+            let (e, w) = svb.get(view, fc + kk);
+            t1 -= w * a * e;
+            t2 += w * a * a;
+        }
+    }
+    (t1, t2)
+}
+
 /// Compute a voxel's step without committing it (thetas against the
 /// current SVB state, prior against the current image).
+#[allow(clippy::too_many_arguments)]
 fn compute_delta<P: Prior>(
     image: &SharedImage<'_>,
     prior: &P,
     opts: &GpuOptions,
-    j: usize,
+    vp: &VoxelPlan,
     col: &ColumnView<'_>,
     svb: &Svb<'_>,
     quantized: Option<u32>,
+    cached: bool,
 ) -> f32 {
     let (theta1, theta2) = if let Some(bits) = quantized {
-        let q = QuantizedColumn::quantize_bits(col, bits);
-        let mut t1 = 0.0f32;
-        let mut t2 = 0.0f32;
-        let mut k = 0usize;
-        for seg in col.segments() {
-            for kk in 0..seg.values.len() {
-                let a = q.dequant(k);
-                k += 1;
-                let (e, w) = svb.get(seg.view, seg.first_channel + kk);
-                t1 -= w * a * e;
-                t2 += w * a * a;
-            }
-        }
-        (t1, t2)
+        let fresh;
+        let q = if cached {
+            vp.quant.as_ref().expect("plan caches quantized columns")
+        } else {
+            fresh = QuantizedColumn::quantize_bits(col, bits);
+            &fresh
+        };
+        quantized_thetas(col, q, svb)
     } else {
         let th = mbir::update::compute_thetas(col, svb);
         (th.theta1, th.theta2)
     };
 
-    let v = image.get(j);
-    let nb = image.neighbors8(j);
+    let v = image.get(vp.voxel);
+    let nb = image.neighbors8(vp.voxel);
     let mut neigh = nb.iter().map(|(k, edge)| (image.get(k), clique_weight(edge)));
     let mut delta = prior.step(v, theta1, theta2, &mut neigh);
     drop(neigh);
@@ -546,20 +642,31 @@ fn compute_delta<P: Prior>(
 /// hardware), with the same quantized A used for the thetas.
 fn apply_delta_quant(
     a: &SystemMatrix,
-    j: usize,
+    vp: &VoxelPlan,
     svb: &mut Svb<'_>,
     delta: f32,
     quantized: Option<u32>,
+    cached: bool,
 ) {
-    let col = a.column(j);
+    let col = a.column(vp.voxel);
     if let Some(bits) = quantized {
-        let q = QuantizedColumn::quantize_bits(&col, bits);
+        let fresh;
+        let q = if cached {
+            vp.quant.as_ref().expect("plan caches quantized columns")
+        } else {
+            fresh = QuantizedColumn::quantize_bits(&col, bits);
+            &fresh
+        };
+        let first = col.first_channels();
+        let count = col.counts();
         let mut k = 0usize;
-        for seg in col.segments() {
-            for kk in 0..seg.values.len() {
+        for view in 0..first.len() {
+            let n = count[view] as usize;
+            let fc = first[view] as usize;
+            for kk in 0..n {
                 let av = q.dequant(k);
                 k += 1;
-                svb.sub(seg.view, seg.first_channel + kk, av * delta);
+                svb.sub(view, fc + kk, av * delta);
             }
         }
     } else {

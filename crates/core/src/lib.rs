@@ -43,7 +43,7 @@ pub mod model;
 pub mod opts;
 pub mod tally;
 
-pub use driver::{GpuIcd, GpuIterationReport};
-pub use model::GpuWorkModel;
+pub use driver::{plan_config, GpuIcd, GpuIterationReport};
+pub use model::{GpuWorkModel, ProfileSkeleton};
 pub use opts::{AMatrixMode, GpuOptions, L2ReadWidth, Layout, RegisterMode};
 pub use tally::{BatchTally, SvTally};

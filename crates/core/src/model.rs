@@ -50,6 +50,29 @@ impl BatchTiming {
     }
 }
 
+/// The options-derived portion of the MBIR kernel profile, hoisted
+/// once per run by [`GpuWorkModel::skeleton`]. Per batch, only the
+/// tally-dependent block work remains to be filled in — the analytic
+/// analogue of the paper's one-time layout transform.
+#[derive(Debug, Clone)]
+pub struct ProfileSkeleton {
+    chunked: bool,
+    a_bpe: f64,
+    tex: bool,
+    tex_hit: f64,
+    resources: BlockResources,
+    width: f64,
+    aligned: bool,
+    align_issue: f64,
+    blocks_per_sv: u32,
+    threads_per_block: u32,
+    dynamic_voxels: bool,
+    registers: RegisterMode,
+    l2_read_factor: f64,
+    warp_efficiency: f64,
+    mem_efficiency: f64,
+}
+
 /// The GPU-ICD work model.
 #[derive(Debug, Clone)]
 pub struct GpuWorkModel {
@@ -141,15 +164,87 @@ impl GpuWorkModel {
         (cap / resident_bytes.max(1.0)).min(1.0)
     }
 
+    /// Hoist every options-derived field of the MBIR profile into a
+    /// reusable skeleton. `batch_with` fills in only the per-batch
+    /// tallies; building the skeleton fresh per batch (as [`Self::batch`]
+    /// does) yields identical results.
+    pub fn skeleton(&self, opts: &GpuOptions) -> ProfileSkeleton {
+        let chunked = matches!(opts.layout, Layout::Chunked { .. });
+        // Quantized modes stream `amatrix_bits / 8` bytes per entry
+        // (sub-byte widths pack; 8 bits = the paper's u8).
+        let a_bpe = if opts.amatrix.quantized() {
+            opts.amatrix_bits as f64 / 8.0
+        } else {
+            opts.amatrix.bytes_per_entry()
+        };
+        let tex_hit = if opts.amatrix.quantized() { self.tex_hit_u8 } else { self.tex_hit_f32 };
+
+        // Per-thread shared memory: reduction partials plus (for the
+        // paper's manual-spill mode) the relocated locals.
+        let smem_per_thread = match opts.registers {
+            RegisterMode::SharedMem32 => 8 + 32,
+            _ => 8,
+        };
+        let resources = BlockResources {
+            threads: opts.threads_per_block,
+            regs_per_thread: opts.registers.regs_per_thread(),
+            shared_mem: opts.threads_per_block * smem_per_thread,
+        };
+
+        // Chunk geometry of the transformed layout. Rows of widths that
+        // are a multiple of the warp size start at aligned addresses
+        // (the paper: "widths that are multiples of warp size perform
+        // better because they achieve aligned memory accesses");
+        // other widths pay an extra sector per row and transaction
+        // replays on the issue side.
+        let (width, aligned) = match opts.layout {
+            Layout::Chunked { width } => (width as f64, width % 32 == 0),
+            Layout::Naive => (1.0, true),
+        };
+        let align_issue = if aligned { 1.0 } else { 1.5 };
+
+        ProfileSkeleton {
+            chunked,
+            a_bpe,
+            tex: opts.amatrix.uses_texture(),
+            tex_hit,
+            resources,
+            width,
+            aligned,
+            align_issue,
+            blocks_per_sv: opts.blocks_per_sv(),
+            threads_per_block: opts.threads_per_block,
+            dynamic_voxels: opts.dynamic_voxels,
+            registers: opts.registers,
+            l2_read_factor: match opts.l2_read {
+                crate::opts::L2ReadWidth::Double => 1.0,
+                crate::opts::L2ReadWidth::Float => 0.5,
+            },
+            warp_efficiency: if chunked { 1.0 } else { self.naive_warp_efficiency },
+            mem_efficiency: if chunked { 1.0 } else { self.naive_mem_efficiency },
+        }
+    }
+
     /// Model one batch's kernels.
     pub fn batch(&self, tally: &BatchTally, opts: &GpuOptions, num_channels: usize) -> BatchTiming {
+        self.batch_with(&self.skeleton(opts), tally, num_channels)
+    }
+
+    /// Model one batch's kernels from a prebuilt skeleton (the cached
+    /// driver path — bitwise identical to [`Self::batch`]).
+    pub fn batch_with(
+        &self,
+        skeleton: &ProfileSkeleton,
+        tally: &BatchTally,
+        num_channels: usize,
+    ) -> BatchTiming {
         let nsv = tally.svs.len().max(1);
         let resident = 2.0 * tally.svb_bytes(); // e + w planes
         let l2f = self.l2_pressure_factor(resident);
 
         BatchTiming {
             create: self.timing.time(&self.create_profile(tally, l2f)),
-            mbir: self.timing.time(&self.mbir_profile(tally, opts, l2f)),
+            mbir: self.timing.time(&self.mbir_profile(tally, skeleton, l2f)),
             writeback: self.timing.time(&self.writeback_profile(tally, l2f, nsv, num_channels)),
         }
     }
@@ -194,50 +289,21 @@ impl GpuWorkModel {
         opts: &GpuOptions,
         l2f: f64,
     ) -> KernelProfile {
-        self.mbir_profile(tally, opts, l2f)
+        self.mbir_profile(tally, &self.skeleton(opts), l2f)
     }
 
-    /// The MBIR update kernel (three-level parallelism).
+    /// The MBIR update kernel (three-level parallelism). All
+    /// options-derived constants come in through the skeleton; only the
+    /// per-SV tallies vary per batch.
     #[allow(clippy::field_reassign_with_default)]
-    fn mbir_profile(&self, tally: &BatchTally, opts: &GpuOptions, l2f: f64) -> KernelProfile {
-        let chunked = matches!(opts.layout, Layout::Chunked { .. });
-        // Quantized modes stream `amatrix_bits / 8` bytes per entry
-        // (sub-byte widths pack; 8 bits = the paper's u8).
-        let a_bpe = if opts.amatrix.quantized() {
-            opts.amatrix_bits as f64 / 8.0
-        } else {
-            opts.amatrix.bytes_per_entry()
-        };
-        let tex = opts.amatrix.uses_texture();
-        let tex_hit = if opts.amatrix.quantized() { self.tex_hit_u8 } else { self.tex_hit_f32 };
-
-        // Per-thread shared memory: reduction partials plus (for the
-        // paper's manual-spill mode) the relocated locals.
-        let smem_per_thread = match opts.registers {
-            RegisterMode::SharedMem32 => 8 + 32,
-            _ => 8,
-        };
-        let resources = BlockResources {
-            threads: opts.threads_per_block,
-            regs_per_thread: opts.registers.regs_per_thread(),
-            shared_mem: opts.threads_per_block * smem_per_thread,
-        };
-
-        // Chunk geometry of the transformed layout. Rows of widths that
-        // are a multiple of the warp size start at aligned addresses
-        // (the paper: "widths that are multiples of warp size perform
-        // better because they achieve aligned memory accesses");
-        // other widths pay an extra sector per row and transaction
-        // replays on the issue side.
-        let (width, aligned) = match opts.layout {
-            Layout::Chunked { width } => (width as f64, width % 32 == 0),
-            Layout::Naive => (1.0, true),
-        };
-        let align_issue = if aligned { 1.0 } else { 1.5 };
+    fn mbir_profile(&self, tally: &BatchTally, sk: &ProfileSkeleton, l2f: f64) -> KernelProfile {
+        let chunked = sk.chunked;
+        let (a_bpe, tex, tex_hit) = (sk.a_bpe, sk.tex, sk.tex_hit);
+        let (width, aligned, align_issue) = (sk.width, sk.aligned, sk.align_issue);
 
         let mut blocks = Vec::new();
         for sv in &tally.svs {
-            let b = opts.blocks_per_sv() as usize;
+            let b = sk.blocks_per_sv as usize;
             // Elements processed (dense includes chunk padding).
             let elems = if chunked { sv.dense } else { sv.nnz };
             // Chunk rows: one per covered view.
@@ -264,7 +330,7 @@ impl GpuWorkModel {
 
             let mut w = BlockWork::default();
             w.flops =
-                elems * self.flops_per_entry + sv.updates as f64 * opts.threads_per_block as f64;
+                elems * self.flops_per_entry + sv.updates as f64 * sk.threads_per_block as f64;
             // Warp-instruction issue: the pipe that actually binds this
             // latency-heavy kernel on small widths. Chunked: a handful
             // of instructions per 32-wide row slice (3 loads, FMAs,
@@ -288,7 +354,7 @@ impl GpuWorkModel {
                 w.l2_bytes += a_bus;
                 w.dram_bytes += a_bus; // A streams; far larger than L2.
             }
-            match opts.registers {
+            match sk.registers {
                 RegisterMode::SharedMem32 => {
                     w.shared_bytes += elems * self.spill_bytes_per_entry;
                 }
@@ -298,20 +364,20 @@ impl GpuWorkModel {
                 RegisterMode::Regs44 => {}
             }
             w.shared_bytes +=
-                sv.updates as f64 * opts.threads_per_block as f64 * self.reduction_bytes_per_thread
-                    / opts.blocks_per_sv() as f64;
+                sv.updates as f64 * sk.threads_per_block as f64 * self.reduction_bytes_per_thread
+                    / sk.blocks_per_sv as f64;
             // Error write-back within the SVB: one atomic per sparse
             // entry; conflicts grow as concurrent blocks squeeze into a
             // narrow band (paper Fig. 7a: small SVs contend more).
             w.atomics = sv.nnz;
             w.atomic_conflict = 1.0
                 + self.conflict_coeff
-                    * (opts.blocks_per_sv() as f64 * self.mean_run / sv.band_width.max(1.0));
+                    * (sk.blocks_per_sv as f64 * self.mean_run / sv.band_width.max(1.0));
 
             // Split the SV's work over its blocks.
             let even = 1.0 / b as f64;
             for i in 0..b {
-                let share = if opts.dynamic_voxels {
+                let share = if sk.dynamic_voxels {
                     even
                 } else {
                     // Static distribution: the heaviest block carries
@@ -339,15 +405,11 @@ impl GpuWorkModel {
 
         KernelProfile {
             name: "mbir_update".into(),
-            resources,
+            resources: sk.resources,
             blocks,
-            l2_width_factor: l2f
-                * match opts.l2_read {
-                    crate::opts::L2ReadWidth::Double => 1.0,
-                    crate::opts::L2ReadWidth::Float => 0.5,
-                },
-            warp_efficiency: if chunked { 1.0 } else { self.naive_warp_efficiency },
-            mem_efficiency: if chunked { 1.0 } else { self.naive_mem_efficiency },
+            l2_width_factor: l2f * sk.l2_read_factor,
+            warp_efficiency: sk.warp_efficiency,
+            mem_efficiency: sk.mem_efficiency,
         }
     }
 

@@ -126,6 +126,11 @@ pub struct GpuOptions {
     /// any value). 0 defers to the process-wide setting
     /// (`mbir_parallel::threads()`).
     pub threads: usize,
+    /// Reuse the iteration-invariant per-SV plan (shapes, chunk
+    /// tallies, quantized columns) across iterations instead of
+    /// recomputing it per voxel visit. Purely a host wall-clock
+    /// optimization — results are bitwise identical either way.
+    pub plan_cache: bool,
     /// RNG seed (voxel orders, random SV selection).
     pub seed: u64,
     /// Zero-skipping enabled.
@@ -151,6 +156,7 @@ impl Default for GpuOptions {
             amatrix_bits: 8,
             l2_read: L2ReadWidth::Double,
             registers: RegisterMode::SharedMem32,
+            plan_cache: true,
             threads: 0,
             seed: 0,
             zero_skip: true,

@@ -359,6 +359,19 @@ impl<'a> ColumnView<'a> {
         (self.first_channel[view] as usize, self.count[view] as usize)
     }
 
+    /// Per-view first channels, one per view (raw CSR slice — lets hot
+    /// loops walk runs without constructing `Segment`s).
+    #[inline]
+    pub fn first_channels(&self) -> &'a [u16] {
+        self.first_channel
+    }
+
+    /// Per-view run lengths, co-indexed with [`Self::first_channels`].
+    #[inline]
+    pub fn counts(&self) -> &'a [u16] {
+        self.count
+    }
+
     /// All entries, flat across views.
     #[inline]
     pub fn values_flat(&self) -> &'a [f32] {

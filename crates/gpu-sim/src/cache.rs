@@ -105,6 +105,33 @@ impl Cache {
         }
     }
 
+    /// Access every address in `addrs`, in order, as one batch.
+    /// Returns the number of hits. Semantically identical to calling
+    /// [`Cache::access`] per address — one call per warp instruction
+    /// instead of one per sector keeps trace simulation cheap.
+    pub fn access_batch(&mut self, addrs: &[u64]) -> u64 {
+        let mut hits = 0;
+        for &a in addrs {
+            hits += u64::from(self.access(a));
+        }
+        hits
+    }
+
+    /// Like [`Cache::access_batch`], but appends each missing address
+    /// to `misses` so a multi-level simulator can cascade the batch to
+    /// the next cache level without re-touching this one.
+    pub fn access_batch_misses(&mut self, addrs: &[u64], misses: &mut Vec<u64>) -> u64 {
+        let mut hits = 0;
+        for &a in addrs {
+            if self.access(a) {
+                hits += 1;
+            } else {
+                misses.push(a);
+            }
+        }
+        hits
+    }
+
     /// Access a byte range, touching every covered line. Returns the
     /// number of line misses.
     pub fn access_range(&mut self, addr: u64, bytes: u64) -> u64 {
@@ -229,6 +256,31 @@ mod tests {
         let misses = c.access_range(16, 64); // spans lines 0,1,2
         assert_eq!(misses, 3);
         assert_eq!(c.access_range(16, 64), 0);
+    }
+
+    #[test]
+    fn batch_access_matches_sequential() {
+        let addrs: Vec<u64> = (0..200u64).map(|i| (i * 37) % 1024).collect();
+        let mut seq = tiny();
+        let mut seq_hits = 0u64;
+        let mut seq_misses = Vec::new();
+        for &a in &addrs {
+            if seq.access(a) {
+                seq_hits += 1;
+            } else {
+                seq_misses.push(a);
+            }
+        }
+        let mut batched = tiny();
+        let mut misses = Vec::new();
+        let hits = batched.access_batch_misses(&addrs, &mut misses);
+        assert_eq!(hits, seq_hits);
+        assert_eq!(misses, seq_misses);
+        assert_eq!(batched.stats(), seq.stats());
+
+        let mut batched2 = tiny();
+        assert_eq!(batched2.access_batch(&addrs), seq_hits);
+        assert_eq!(batched2.stats(), seq.stats());
     }
 
     #[test]

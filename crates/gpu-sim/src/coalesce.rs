@@ -9,20 +9,61 @@
 /// Sector (minimum transaction) size in bytes.
 pub const SECTOR_BYTES: u64 = 32;
 
+/// Sector-span capacity of the stack bitset in [`transactions`]: 64
+/// words of 64 bits cover 4096 sectors = 128 KB, far beyond any span a
+/// 32-lane warp access produces in practice.
+const BITSET_WORDS: usize = 64;
+const BITSET_SECTORS: u64 = (BITSET_WORDS * 64) as u64;
+
 /// Number of 32-byte transactions needed to service one warp memory
 /// instruction, given each lane's byte address and the access size.
+///
+/// Counts the distinct sectors touched. This runs once per simulated
+/// warp instruction, so it is allocation-free: distinct sectors are
+/// counted in a fixed-size bitset over the warp's sector span. Spans
+/// wider than the bitset (pathological scatter only) fall back to a
+/// heap sort+dedup with identical results.
 pub fn transactions(addresses: &[u64], access_bytes: u32) -> u32 {
-    let mut sectors: Vec<u64> = addresses
-        .iter()
-        .flat_map(|&a| {
-            let first = a / SECTOR_BYTES;
-            let last = (a + access_bytes as u64 - 1) / SECTOR_BYTES;
-            first..=last
-        })
-        .collect();
-    sectors.sort_unstable();
-    sectors.dedup();
-    sectors.len() as u32
+    if addresses.is_empty() {
+        return 0;
+    }
+    let sector_range = |a: u64| {
+        let first = a / SECTOR_BYTES;
+        let last = (a + access_bytes as u64 - 1) / SECTOR_BYTES;
+        (first, last)
+    };
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for &a in addresses {
+        let (first, last) = sector_range(a);
+        lo = lo.min(first);
+        hi = hi.max(last);
+    }
+    if hi - lo < BITSET_SECTORS {
+        let mut bits = [0u64; BITSET_WORDS];
+        let mut count = 0u32;
+        for &a in addresses {
+            let (first, last) = sector_range(a);
+            for s in first - lo..=last - lo {
+                let word = (s / 64) as usize;
+                let mask = 1u64 << (s % 64);
+                count += u32::from(bits[word] & mask == 0);
+                bits[word] |= mask;
+            }
+        }
+        count
+    } else {
+        let mut sectors: Vec<u64> = addresses
+            .iter()
+            .flat_map(|&a| {
+                let (first, last) = sector_range(a);
+                first..=last
+            })
+            .collect();
+        sectors.sort_unstable();
+        sectors.dedup();
+        sectors.len() as u32
+    }
 }
 
 /// Transactions for an affine warp access: lane `i` reads
@@ -124,6 +165,20 @@ mod tests {
                 "base {base} stride {stride} size {size} n {n}"
             );
         }
+    }
+
+    #[test]
+    fn wide_span_falls_back_without_miscounting() {
+        // Spans beyond the bitset capacity (4096 sectors) take the heap
+        // path; duplicates must still dedup.
+        let mut a: Vec<u64> = (0..32u64).map(|i| i * 1024 * 1024).collect();
+        a.push(0); // duplicate of lane 0's sector
+        assert_eq!(transactions(&a, 4), 32);
+    }
+
+    #[test]
+    fn empty_warp_is_zero_transactions() {
+        assert_eq!(transactions(&[], 4), 0);
     }
 
     #[test]

@@ -46,12 +46,22 @@ pub enum AddrPattern {
 impl AddrPattern {
     /// Materialize the lane addresses.
     pub fn addresses(&self) -> Vec<u64> {
+        let mut v = Vec::new();
+        self.addresses_into(&mut v);
+        v
+    }
+
+    /// Write the lane addresses into `out` (cleared first). Lets a hot
+    /// trace loop reuse one scratch buffer instead of allocating per
+    /// warp instruction.
+    pub fn addresses_into(&self, out: &mut Vec<u64>) {
+        out.clear();
         match self {
             AddrPattern::Affine { base, stride, lanes } => {
-                (0..*lanes as u64).map(|i| base + i * *stride as u64).collect()
+                out.extend((0..*lanes as u64).map(|i| base + i * *stride as u64));
             }
-            AddrPattern::Explicit(v) => v.clone(),
-            AddrPattern::Broadcast(a) => vec![*a; 32],
+            AddrPattern::Explicit(v) => out.extend_from_slice(v),
+            AddrPattern::Broadcast(a) => out.resize(32, *a),
         }
     }
 
@@ -224,10 +234,16 @@ impl TraceResult {
 
 /// Trace-driven executor: runs warp programs against per-SMM L1 and
 /// device-wide L2 cache simulations.
+///
+/// Holds reusable scratch buffers so executing an op allocates nothing
+/// after warmup.
 #[derive(Debug)]
 pub struct TraceExecutor {
     l1: Cache,
     l2: Cache,
+    lane_buf: Vec<u64>,
+    sector_buf: Vec<u64>,
+    miss_buf: Vec<u64>,
 }
 
 impl Default for TraceExecutor {
@@ -250,6 +266,9 @@ impl TraceExecutor {
                 line_bytes: spec.sector_bytes,
                 ways: 16,
             }),
+            lane_buf: Vec::new(),
+            sector_buf: Vec::new(),
+            miss_buf: Vec::new(),
         }
     }
 
@@ -282,53 +301,52 @@ impl TraceExecutor {
     }
 
     fn step(&mut self, op: &Op, r: &mut TraceResult) {
+        let Self { l1, l2, lane_buf, sector_buf, miss_buf } = self;
         match op {
             Op::Load { space, addrs, bytes } | Op::Store { space, addrs, bytes } => {
-                let lane_addrs = addrs.addresses();
+                addrs.addresses_into(lane_buf);
                 match space {
                     Space::Shared => {
-                        let conflict = shared_bank_conflict(&lane_addrs);
+                        let conflict = shared_bank_conflict(lane_buf);
                         r.instructions += conflict as f64;
-                        r.shared_bytes += lane_addrs.len() as f64 * *bytes as f64;
+                        r.shared_bytes += lane_buf.len() as f64 * *bytes as f64;
                     }
                     Space::Global => {
-                        let t = transactions(&lane_addrs, *bytes) as u64;
+                        let t = transactions(lane_buf, *bytes) as u64;
                         r.instructions += t.max(1) as f64; // replays
                         r.l2_transactions += t;
-                        self.touch_l2(&lane_addrs, *bytes, r);
+                        sectors_into(lane_buf, *bytes, sector_buf);
+                        touch_l2_batch(l2, sector_buf, r);
                     }
                     Space::Texture => {
-                        let t = transactions(&lane_addrs, *bytes) as u64;
+                        let t = transactions(lane_buf, *bytes) as u64;
                         r.instructions += t.max(1) as f64;
                         r.tex_transactions += t;
                         // Sector-level L1 accesses; misses continue to
-                        // L2, whose misses continue to DRAM.
-                        for sector in sectors(&lane_addrs, *bytes) {
-                            r.l1_stats.accesses += 1;
-                            if self.l1.access(sector * SECTOR_BYTES) {
-                                r.l1_stats.hits += 1;
-                            } else {
-                                r.l2_transactions += 1;
-                                r.l2_stats.accesses += 1;
-                                if self.l2.access(sector * SECTOR_BYTES) {
-                                    r.l2_stats.hits += 1;
-                                } else {
-                                    r.dram_bytes += SECTOR_BYTES as f64;
-                                }
-                            }
-                        }
+                        // L2, whose misses continue to DRAM. Sectors
+                        // within one op are distinct, so batching each
+                        // level is equivalent to the per-sector
+                        // cascade.
+                        sectors_into(lane_buf, *bytes, sector_buf);
+                        miss_buf.clear();
+                        let l1_hits = l1.access_batch_misses(sector_buf, miss_buf);
+                        r.l1_stats.accesses += sector_buf.len() as u64;
+                        r.l1_stats.hits += l1_hits;
+                        r.l2_transactions += miss_buf.len() as u64;
+                        touch_l2_batch(l2, miss_buf, r);
                     }
                 }
             }
             Op::AtomicAdd { addrs, bytes } => {
-                let lane_addrs = addrs.addresses();
-                let degree = atomic_conflict_degree(&lane_addrs, *bytes);
+                addrs.addresses_into(lane_buf);
+                let degree = atomic_conflict_degree(lane_buf, *bytes);
                 r.instructions += degree as f64;
-                r.atomics += lane_addrs.len() as f64;
-                r.atomic_conflict_sum += lane_addrs.len() as f64 * degree as f64;
-                let t = transactions(&lane_addrs, *bytes) as u64;
+                r.atomics += lane_buf.len() as f64;
+                r.atomic_conflict_sum += lane_buf.len() as f64 * degree as f64;
+                let t = transactions(lane_buf, *bytes) as u64;
                 r.l2_transactions += t;
-                self.touch_l2(&lane_addrs, *bytes, r);
+                sectors_into(lane_buf, *bytes, sector_buf);
+                touch_l2_batch(l2, sector_buf, r);
             }
             Op::Arith { flops_per_lane, active_lanes } => {
                 r.instructions += 1.0;
@@ -340,32 +358,28 @@ impl TraceExecutor {
             }
         }
     }
-
-    fn touch_l2(&mut self, lane_addrs: &[u64], bytes: u32, r: &mut TraceResult) {
-        for sector in sectors(lane_addrs, bytes) {
-            r.l2_stats.accesses += 1;
-            if self.l2.access(sector * SECTOR_BYTES) {
-                r.l2_stats.hits += 1;
-            } else {
-                r.dram_bytes += SECTOR_BYTES as f64;
-            }
-        }
-    }
 }
 
-/// The distinct 32-byte sectors a warp access touches.
-fn sectors(addrs: &[u64], bytes: u32) -> Vec<u64> {
-    let mut s: Vec<u64> = addrs
-        .iter()
-        .flat_map(|&a| {
-            let first = a / SECTOR_BYTES;
-            let last = (a + bytes as u64 - 1) / SECTOR_BYTES;
-            first..=last
-        })
-        .collect();
-    s.sort_unstable();
-    s.dedup();
-    s
+/// Present a batch of distinct sector addresses to L2; misses fall
+/// through to DRAM.
+fn touch_l2_batch(l2: &mut Cache, sector_addrs: &[u64], r: &mut TraceResult) {
+    let hits = l2.access_batch(sector_addrs);
+    r.l2_stats.accesses += sector_addrs.len() as u64;
+    r.l2_stats.hits += hits;
+    r.dram_bytes += (sector_addrs.len() as u64 - hits) as f64 * SECTOR_BYTES as f64;
+}
+
+/// The distinct 32-byte sectors a warp access touches, as sector base
+/// byte addresses, written into `out` (cleared first).
+fn sectors_into(addrs: &[u64], bytes: u32, out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(addrs.iter().flat_map(|&a| {
+        let first = a / SECTOR_BYTES;
+        let last = (a + bytes as u64 - 1) / SECTOR_BYTES;
+        (first..=last).map(|s| s * SECTOR_BYTES)
+    }));
+    out.sort_unstable();
+    out.dedup();
 }
 
 #[cfg(test)]

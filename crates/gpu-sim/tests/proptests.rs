@@ -1,13 +1,59 @@
 //! Property-based tests for the GPU simulator components.
 
 use gpu_sim::cache::{Cache, CacheConfig};
+use gpu_sim::coalesce::{transactions, SECTOR_BYTES};
 use gpu_sim::exec::makespan;
 use gpu_sim::occupancy::{occupancy, BlockResources};
 use gpu_sim::timing::{BlockWork, KernelProfile, TimingModel};
 use gpu_sim::GpuSpec;
 use proptest::prelude::*;
 
+/// The original `transactions` implementation (heap sort + dedup),
+/// kept verbatim as the oracle for the bitset rewrite.
+fn transactions_reference(addresses: &[u64], access_bytes: u32) -> u32 {
+    let mut sectors: Vec<u64> = addresses
+        .iter()
+        .flat_map(|&a| {
+            let first = a / SECTOR_BYTES;
+            let last = (a + access_bytes as u64 - 1) / SECTOR_BYTES;
+            first..=last
+        })
+        .collect();
+    sectors.sort_unstable();
+    sectors.dedup();
+    sectors.len() as u32
+}
+
 proptest! {
+    /// The bitset `transactions` matches the old sort+dedup
+    /// implementation on arbitrary warp address vectors — clustered
+    /// spans (bitset path) and scattered ones (fallback path) alike.
+    #[test]
+    fn transactions_matches_reference(
+        addrs in prop::collection::vec(0u64..1 << 22, 0..33),
+        access_bytes in 1u32..17,
+    ) {
+        prop_assert_eq!(
+            transactions(&addrs, access_bytes),
+            transactions_reference(&addrs, access_bytes)
+        );
+    }
+
+    /// Same equivalence on tightly clustered addresses around a random
+    /// base — the shape real warp accesses take.
+    #[test]
+    fn transactions_matches_reference_clustered(
+        base in 0u64..1 << 40,
+        offsets in prop::collection::vec(0u64..4096, 1..33),
+        access_bytes in 1u32..9,
+    ) {
+        let addrs: Vec<u64> = offsets.iter().map(|&o| base + o).collect();
+        prop_assert_eq!(
+            transactions(&addrs, access_bytes),
+            transactions_reference(&addrs, access_bytes)
+        );
+    }
+
     /// Occupancy is bounded and consistent for any legal kernel shape.
     #[test]
     fn occupancy_bounds(

@@ -57,15 +57,26 @@ impl WeightedError for SinogramPair<'_> {
 
 /// Accumulate `theta1`, `theta2` over a voxel's footprint
 /// (steps 3-6 of Algorithm 1).
+///
+/// Walks the raw CSR slices directly (same order, same arithmetic as
+/// the `segments()` formulation — bitwise-identical results) to keep
+/// this innermost loop free of per-view iterator construction.
 pub fn compute_thetas<E: WeightedError>(col: &ColumnView<'_>, ew: &E) -> Thetas {
     let mut t1 = 0.0f32;
     let mut t2 = 0.0f32;
-    for seg in col.segments() {
-        for (k, &a) in seg.values.iter().enumerate() {
-            let (e, w) = ew.get(seg.view, seg.first_channel + k);
+    let first = col.first_channels();
+    let count = col.counts();
+    let values = col.values_flat();
+    let mut off = 0usize;
+    for view in 0..first.len() {
+        let n = count[view] as usize;
+        let fc = first[view] as usize;
+        for (k, &a) in values[off..off + n].iter().enumerate() {
+            let (e, w) = ew.get(view, fc + k);
             t1 -= w * a * e;
             t2 += w * a * a;
         }
+        off += n;
     }
     Thetas { theta1: t1, theta2: t2 }
 }
@@ -73,10 +84,17 @@ pub fn compute_thetas<E: WeightedError>(col: &ColumnView<'_>, ew: &E) -> Thetas 
 /// Scatter `e -= A * delta` over the voxel's footprint
 /// (steps 9-11 of Algorithm 1).
 pub fn apply_delta<E: WeightedError>(col: &ColumnView<'_>, ew: &mut E, delta: f32) {
-    for seg in col.segments() {
-        for (k, &a) in seg.values.iter().enumerate() {
-            ew.sub(seg.view, seg.first_channel + k, a * delta);
+    let first = col.first_channels();
+    let count = col.counts();
+    let values = col.values_flat();
+    let mut off = 0usize;
+    for view in 0..first.len() {
+        let n = count[view] as usize;
+        let fc = first[view] as usize;
+        for (k, &a) in values[off..off + n].iter().enumerate() {
+            ew.sub(view, fc + k, a * delta);
         }
+        off += n;
     }
 }
 

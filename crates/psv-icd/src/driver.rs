@@ -13,9 +13,11 @@ use mbir::update::{apply_delta, compute_thetas};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 use supervoxel::checkerboard::checkerboard_groups;
+use supervoxel::plan::{PlanConfig, SvPlanSet};
 use supervoxel::selection::{select_svs, Selection};
-use supervoxel::svb::{Svb, SvbLayout, SvbShape};
+use supervoxel::svb::{Svb, SvbLayout};
 use supervoxel::tiling::Tiling;
 
 /// PSV-ICD configuration (paper Table 1 defaults).
@@ -29,14 +31,31 @@ pub struct PsvConfig {
     /// *modeled* platform is [`CpuModel`]'s 16 cores). `0` defers to
     /// the process-wide setting (`mbir_parallel::threads()`).
     pub threads: usize,
+    /// Read iteration-invariant per-SV state (voxel lists, entry
+    /// counts) from the plan built at setup instead of re-deriving it
+    /// per visit. Purely a wall-clock toggle — results are bitwise
+    /// identical either way.
+    pub plan_cache: bool,
     /// Shared ICD knobs.
     pub icd: IcdConfig,
 }
 
 impl Default for PsvConfig {
     fn default() -> Self {
-        PsvConfig { sv_side: 13, fraction: 0.20, threads: 0, icd: IcdConfig::default() }
+        PsvConfig {
+            sv_side: 13,
+            fraction: 0.20,
+            threads: 0,
+            plan_cache: true,
+            icd: IcdConfig::default(),
+        }
     }
+}
+
+/// The plan configuration PSV-ICD uses: sensor-major buffers, no chunk
+/// or quantization state (the CPU algorithm reads A as f32 runs).
+pub fn psv_plan_config() -> PlanConfig {
+    PlanConfig { chunk_width: None, quant_bits: None, layout: SvbLayout::SensorMajor }
 }
 
 /// What one outer iteration did.
@@ -74,7 +93,7 @@ pub struct PsvIcd<'a, P: Prior> {
     prior: &'a P,
     config: PsvConfig,
     tiling: Tiling,
-    shapes: Vec<SvbShape>,
+    plan: Arc<SvPlanSet>,
     image: AtomicImage,
     error: Sinogram,
     update_amount: Vec<f64>,
@@ -86,7 +105,8 @@ pub struct PsvIcd<'a, P: Prior> {
 
 impl<'a, P: Prior> PsvIcd<'a, P> {
     /// Initialize from a measurement and starting image; builds the SV
-    /// tiling and per-SV buffer shapes ("Create SVs", Alg. 2 line 1).
+    /// tiling and per-SV plans in parallel ("Create SVs", Alg. 2
+    /// line 1).
     pub fn new(
         a: &'a SystemMatrix,
         y: &Sinogram,
@@ -96,7 +116,25 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
         config: PsvConfig,
     ) -> Self {
         let tiling = Tiling::new(init.grid(), config.sv_side);
-        let shapes = SvbShape::compute_all(a, &tiling);
+        let plan = Arc::new(SvPlanSet::build(a, &tiling, psv_plan_config(), config.threads));
+        Self::with_plan(a, y, weights, prior, init, config, plan)
+    }
+
+    /// Initialize with a pre-built plan set (shared via `Arc` across
+    /// drivers/runs). The plan must have been built for the same system
+    /// matrix, an identical tiling, and [`psv_plan_config`].
+    pub fn with_plan(
+        a: &'a SystemMatrix,
+        y: &Sinogram,
+        weights: &'a Sinogram,
+        prior: &'a P,
+        init: Image,
+        config: PsvConfig,
+        plan: Arc<SvPlanSet>,
+    ) -> Self {
+        let tiling = Tiling::new(init.grid(), config.sv_side);
+        assert_eq!(plan.config(), psv_plan_config(), "plan built for different options");
+        assert_eq!(plan.plans().len(), tiling.len(), "plan built for different tiling");
         let ax = a.forward(&init);
         let mut error = y.clone();
         for (e, axv) in error.data_mut().iter_mut().zip(ax.data()) {
@@ -109,7 +147,7 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
             prior,
             config,
             tiling,
-            shapes,
+            plan,
             image: AtomicImage::from_image(&init),
             error,
             update_amount: vec![0.0; n],
@@ -118,6 +156,11 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
             model: CpuModel::paper_baseline(),
             modeled_seconds: 0.0,
         }
+    }
+
+    /// The shared per-SV plan set.
+    pub fn plan(&self) -> &Arc<SvPlanSet> {
+        &self.plan
     }
 
     /// The SV tiling in use.
@@ -155,10 +198,16 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
             }
             // Gather all buffers for the group from the current error
             // sinogram (deterministic snapshot).
+            let plan = &*self.plan;
             let origs: Vec<Svb<'_>> = group
                 .iter()
                 .map(|&sv| {
-                    Svb::gather(&self.shapes[sv], SvbLayout::SensorMajor, &self.error, self.weights)
+                    Svb::gather(
+                        &plan.plan(sv).shape,
+                        SvbLayout::SensorMajor,
+                        &self.error,
+                        self.weights,
+                    )
                 })
                 .collect();
 
@@ -169,9 +218,9 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
             let image = &self.image;
             let a = self.a;
             let prior = self.prior;
-            let tiling = &self.tiling;
             let seed = self.config.icd.seed;
             let iter = self.iter;
+            let cached = self.config.plan_cache;
             let randomize = self.config.icd.randomize;
             let positivity = self.config.icd.positivity;
             let results: Vec<(Svb<'_>, SvVisit)> =
@@ -179,14 +228,20 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
                     let sv = group[i];
                     let mut svb = origs[i].clone();
                     let mut visit = SvVisit::default();
-                    let mut order: Vec<usize> = tiling.voxels(sv).collect();
+                    let vox = plan.plan(sv).voxels();
+                    // Shuffling indices into the plan's voxel list is
+                    // the same Fisher-Yates permutation the pre-plan
+                    // driver applied to the voxel ids themselves.
+                    let mut order: Vec<u32> = (0..vox.len() as u32).collect();
                     if randomize {
                         let mut r = StdRng::seed_from_u64(
                             seed ^ iter.wrapping_mul(31) ^ (sv as u64).wrapping_mul(0x9e3779b9),
                         );
                         order.shuffle(&mut r);
                     }
-                    for j in order {
+                    for oi in order {
+                        let vp = &vox[oi as usize];
+                        let j = vp.voxel;
                         if allow_skip && image.zero_skippable(j) {
                             visit.skipped += 1;
                             continue;
@@ -196,7 +251,9 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
                             update_voxel_shared(j, image, &col, &mut svb, prior, positivity);
                         visit.updates += 1;
                         visit.abs_delta += delta.abs() as f64;
-                        visit.entries += col.nnz() as f64;
+                        // Entry counts are integers, exact in f64: the
+                        // cached tally is bitwise the fresh one.
+                        visit.entries += if cached { vp.nnz as f64 } else { col.nnz() as f64 };
                     }
                     (svb, visit)
                 });
@@ -213,7 +270,7 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
                 works.push(SvWork {
                     entries: visit.entries,
                     // e+w gathered, e scattered back: 3 packed copies.
-                    svb_bytes: 3.0 * self.shapes[sv].bytes(SvbLayout::SensorMajor) as f64,
+                    svb_bytes: 3.0 * plan.plan(sv).svb_bytes,
                 });
             }
         }

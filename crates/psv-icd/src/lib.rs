@@ -30,4 +30,4 @@ pub mod driver;
 
 pub use atomic_image::AtomicImage;
 pub use cpu_model::{CpuModel, CpuSpec, SvWork};
-pub use driver::{PsvConfig, PsvIcd, PsvIterationReport};
+pub use driver::{psv_plan_config, PsvConfig, PsvIcd, PsvIterationReport};

@@ -16,11 +16,16 @@
 //!   concurrently updated SVs from sharing boundary voxels.
 //! - [`selection`]: the per-iteration SV working-set policies (all /
 //!   top-f% by update amount / random f%).
+//! - [`plan`]: iteration-invariant per-SV plans — shapes, chunk
+//!   tallies, quantized columns, column norms, and row coalescing
+//!   counts computed once at driver setup and shared across
+//!   iterations.
 
 #![warn(missing_docs)]
 
 pub mod checkerboard;
 pub mod chunks;
+pub mod plan;
 pub mod quant;
 pub mod selection;
 pub mod svb;
@@ -28,6 +33,7 @@ pub mod tiling;
 
 pub use checkerboard::checkerboard_groups;
 pub use chunks::{chunk_column, Chunk, PaddedColumn};
+pub use plan::{PlanConfig, RowTransactions, SvPlan, SvPlanSet, VoxelPlan};
 pub use quant::QuantizedColumn;
 pub use selection::{select_svs, Selection};
 pub use svb::{Svb, SvbLayout, SvbShape};
