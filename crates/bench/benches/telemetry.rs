@@ -1,0 +1,74 @@
+//! Telemetry overhead benchmarks: one GPU-ICD iteration with profiling
+//! off (the default `None` sink — the acceptance bar is that this is
+//! indistinguishable from the pre-telemetry driver), with the no-op
+//! [`NullSink`] (pricing just the sink indirection and span
+//! construction), and with the [`RecordingSink`] (adding the span
+//! clone + `Vec` push per launch). Outputs are bitwise identical in all
+//! three configurations — see tests/profile_equivalence.rs — so every
+//! delta is pure wall-clock.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ct_core::fbp;
+use ct_core::geometry::Geometry;
+use ct_core::image::Image;
+use ct_core::phantom::Phantom;
+use ct_core::project::{scan, NoiseModel, Scan};
+use ct_core::sysmat::SystemMatrix;
+use gpu_icd::{GpuIcd, GpuOptions};
+use mbir::prior::QggmrfPrior;
+use mbir_telemetry::{NullSink, ProfileSink, RecordingSink};
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct Setup {
+    a: SystemMatrix,
+    s: Scan,
+    init: Image,
+}
+
+fn setup() -> Setup {
+    let g = Geometry::test_scale();
+    let a = SystemMatrix::compute(&g);
+    let truth = Phantom::baggage(0).render(g.grid, 2);
+    let s = scan(&a, &truth, Some(NoiseModel::default_dose()), 42);
+    let init = fbp::reconstruct(&g, &s.y);
+    Setup { a, s, init }
+}
+
+fn opts() -> GpuOptions {
+    GpuOptions { sv_side: 8, threadblocks_per_sv: 12, svs_per_batch: 16, ..Default::default() }
+}
+
+/// One GPU-ICD iteration under each sink configuration.
+fn bench_iteration_sinks(c: &mut Criterion) {
+    let su = setup();
+    let prior = QggmrfPrior::standard(0.002);
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+
+    let sinks: [(&str, Option<Arc<dyn ProfileSink>>); 3] = [
+        ("off", None),
+        ("null_sink", Some(Arc::new(NullSink))),
+        ("recording_sink", Some(Arc::new(RecordingSink::new()))),
+    ];
+    for (label, sink) in sinks {
+        group.bench_function(&format!("gpu_icd_iteration_64_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut gpu =
+                        GpuIcd::new(&su.a, &su.s.y, &su.s.weights, &prior, su.init.clone(), opts());
+                    if let Some(s) = &sink {
+                        gpu.set_profile_sink(s.clone());
+                    }
+                    gpu
+                },
+                |mut gpu| black_box(gpu.iteration()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration_sinks);
+criterion_main!(benches);

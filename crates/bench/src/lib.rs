@@ -277,6 +277,24 @@ impl Args {
         self.get(name).and_then(|s| s.parse().ok()).unwrap_or(default)
     }
 
+    /// Whether `--name` appears at all (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        let key = format!("--{name}");
+        self.args.iter().any(|a| a == &key)
+    }
+
+    /// Every `--flag` token whose name is not in `allowed`, in
+    /// appearance order. Lets binaries reject typo'd options instead
+    /// of silently ignoring them.
+    pub fn unknown_flags(&self, allowed: &[&str]) -> Vec<String> {
+        self.args
+            .iter()
+            .filter_map(|a| a.strip_prefix("--"))
+            .filter(|name| !allowed.contains(name))
+            .map(|s| format!("--{s}"))
+            .collect()
+    }
+
     /// The scale argument (`--scale`), defaulting to `test`.
     pub fn scale(&self) -> Scale {
         self.get("scale").and_then(Scale::parse).unwrap_or(Scale::Test)
@@ -331,6 +349,21 @@ mod tests {
         // Unparseable values fall back to the default.
         let bad = Args::from_vec(vec!["--cases".into(), "abc".into()]);
         assert_eq!(bad.get_or("cases", 3usize), 3);
+    }
+
+    #[test]
+    fn unknown_flag_detection() {
+        let args = Args::from_vec(
+            ["--scale", "tiny", "--typo", "x", "--flag"].iter().map(|s| s.to_string()).collect(),
+        );
+        assert!(args.has("scale"));
+        assert!(args.has("flag"));
+        assert!(!args.has("typo2"));
+        assert_eq!(args.unknown_flags(&["scale", "flag"]), vec!["--typo".to_string()]);
+        assert!(args.unknown_flags(&["scale", "flag", "typo"]).is_empty());
+        // Values never count as flags, even when they look odd.
+        let v = Args::from_vec(vec!["--out".into(), "a-b.pgm".into()]);
+        assert!(v.unknown_flags(&["out"]).is_empty());
     }
 
     #[test]

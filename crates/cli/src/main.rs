@@ -20,14 +20,53 @@ use gpu_icd::GpuIcd;
 use mbir::prior::QggmrfPrior;
 use mbir::sequential::{golden_image, IcdConfig, SequentialIcd};
 use mbir_bench::{gpu_options_for, Args};
+use mbir_telemetry::{chrome_trace, ProfileReport};
 use psv_icd::{PsvConfig, PsvIcd};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Flags every subcommand accepts, plus each subcommand's own. Any
+/// other `--flag` is rejected up front — a typo'd option used to be
+/// silently ignored, leaving the run on defaults.
+const COMMON_FLAGS: &[&str] = &["scale", "threads"];
+
+fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
+    match cmd {
+        "scan" => Some(&["phantom", "out", "truth", "i0", "seed"]),
+        "reconstruct" => {
+            Some(&["sino", "out", "algo", "csv", "i0", "sigma", "max-iters", "profile"])
+        }
+        "fan-demo" => Some(&["out"]),
+        "volume" => Some(&["slices", "sigma", "passes", "out"]),
+        "info" => Some(&[]),
+        _ => None,
+    }
+}
+
+fn usage() {
+    eprintln!("usage: mbirctl <scan|reconstruct|fan-demo|volume|info> [--scale tiny|test|harness|paper] [--threads N] ...");
+    eprintln!("  scan        --phantom shepp-logan|water|baggage:<seed> --out <sino.csv> [--truth <t.pgm>] [--i0 <dose>]");
+    eprintln!("  reconstruct --sino <sino.csv> --algo fbp|sequential|psv|gpu --out <img.pgm> [--csv <img.csv>] [--profile <report.json>]");
+    eprintln!("  fan-demo    (fan acquisition -> rebin -> reconstruction demo)");
+    eprintln!("  volume      --slices <n> (3-D multi-slice reconstruction demo)");
+    eprintln!("  info        (geometry and system-matrix statistics)");
+}
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1);
     let cmd = argv.next().unwrap_or_default();
     let args = Args::capture_offset(1);
+    let Some(extra) = allowed_flags(&cmd) else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let allowed: Vec<&str> = COMMON_FLAGS.iter().chain(extra).copied().collect();
+    let unknown = args.unknown_flags(&allowed);
+    if !unknown.is_empty() {
+        eprintln!("mbirctl {cmd}: unknown flag(s): {}", unknown.join(", "));
+        usage();
+        return ExitCode::FAILURE;
+    }
     // Host worker threads for all parallel loops (system-matrix build,
     // projections, per-SV batches). 0 = auto-detect; every path is
     // deterministic, so the value changes wall-clock time only.
@@ -38,15 +77,7 @@ fn main() -> ExitCode {
         "fan-demo" => cmd_fan_demo(&args),
         "volume" => cmd_volume(&args),
         "info" => cmd_info(&args),
-        _ => {
-            eprintln!("usage: mbirctl <scan|reconstruct|fan-demo|info> [--scale tiny|test|harness|paper] [--threads N] ...");
-            eprintln!("  scan        --phantom shepp-logan|water|baggage:<seed> --out <sino.csv> [--truth <t.pgm>] [--i0 <dose>]");
-            eprintln!("  reconstruct --sino <sino.csv> --algo fbp|sequential|psv|gpu --out <img.pgm> [--csv <img.csv>]");
-            eprintln!("  fan-demo    (fan acquisition -> rebin -> reconstruction demo)");
-            eprintln!("  volume      --slices <n> (3-D multi-slice reconstruction demo)");
-            eprintln!("  info        (geometry and system-matrix statistics)");
-            return ExitCode::FAILURE;
-        }
+        _ => unreachable!("allowed_flags vetted the subcommand"),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -107,6 +138,13 @@ fn cmd_reconstruct(args: &Args) -> Result<(), String> {
         PathBuf::from(args.get("sino").ok_or("reconstruct requires --sino <sino.csv>")?);
     let out = PathBuf::from(args.get("out").ok_or("reconstruct requires --out <img.pgm>")?);
     let algo = args.get("algo").unwrap_or("gpu");
+    let profile = args.get("profile");
+    if args.has("profile") && profile.is_none() {
+        return Err("--profile requires a path (e.g. --profile results/profile.json)".into());
+    }
+    if profile.is_some() && !matches!(algo, "psv" | "gpu") {
+        return Err(format!("--profile supports --algo psv|gpu, not '{algo}'"));
+    }
 
     let y = io::read_sinogram_csv(&sino_path).map_err(|e| e.to_string())?;
     if y.num_views() != geom.num_views || y.num_channels() != geom.num_channels {
@@ -120,7 +158,7 @@ fn cmd_reconstruct(args: &Args) -> Result<(), String> {
         ));
     }
 
-    let (img, note) = reconstruct(&geom, &y, algo, args)?;
+    let (img, note) = reconstruct(&geom, &y, algo, profile, args)?;
     io::write_pgm(&out, &img, mu_from_hu(-1000.0), mu_from_hu(1500.0))
         .map_err(|e| e.to_string())?;
     eprintln!("wrote {} — {note}", out.display());
@@ -137,6 +175,7 @@ fn reconstruct(
     geom: &Geometry,
     y: &Sinogram,
     algo: &str,
+    profile: Option<&str>,
     args: &Args,
 ) -> Result<(Image, String), String> {
     if algo == "fbp" {
@@ -168,15 +207,18 @@ fn reconstruct(
         }
         "psv" => {
             let (cpu_side, _) = scale.sv_sides();
-            let mut psv = PsvIcd::new(
-                &a,
-                y,
-                &w,
-                &prior,
-                init,
-                PsvConfig { sv_side: cpu_side, threads: 0, ..Default::default() },
-            );
+            let config = PsvConfig {
+                sv_side: cpu_side,
+                threads: 0,
+                profile: profile.is_some(),
+                ..Default::default()
+            };
+            let mut psv = PsvIcd::new(&a, y, &w, &prior, init, config);
             psv.run_to_rmse(&golden, 10.0, max_iters);
+            if let Some(path) = profile {
+                let rec = psv.recording().expect("profile was enabled");
+                write_profile(path, &rec.report("psv-icd"))?;
+            }
             let note = format!(
                 "PSV-ICD, {:.1} equits, modeled 16-core time {:.3} s",
                 psv.equits(),
@@ -185,8 +227,13 @@ fn reconstruct(
             Ok((psv.image(), note))
         }
         "gpu" => {
-            let mut gpu = GpuIcd::new(&a, y, &w, &prior, init, gpu_options_for(scale));
+            let opts = gpu_icd::GpuOptions { profile: profile.is_some(), ..gpu_options_for(scale) };
+            let mut gpu = GpuIcd::new(&a, y, &w, &prior, init, opts);
             gpu.run_to_rmse(&golden, 10.0, max_iters);
+            if let Some(path) = profile {
+                let rec = gpu.recording().expect("profile was enabled");
+                write_profile(path, &rec.report("gpu-icd"))?;
+            }
             let note = format!(
                 "GPU-ICD, {:.1} equits, modeled Titan X time {:.4} s",
                 gpu.equits(),
@@ -196,6 +243,16 @@ fn reconstruct(
         }
         other => Err(format!("unknown algorithm '{other}' (fbp, sequential, psv, gpu)")),
     }
+}
+
+/// Write the structured report at `path` and its Chrome `trace_event`
+/// rendering at `<path>.trace.json`.
+fn write_profile(path: &str, report: &ProfileReport) -> Result<(), String> {
+    std::fs::write(path, report.to_json_pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+    let trace = format!("{path}.trace.json");
+    std::fs::write(&trace, chrome_trace(report)).map_err(|e| format!("writing {trace}: {e}"))?;
+    eprintln!("wrote {path} (profile) and {trace} (chrome://tracing)");
+    Ok(())
 }
 
 fn cmd_fan_demo(args: &Args) -> Result<(), String> {

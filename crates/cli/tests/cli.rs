@@ -1,0 +1,74 @@
+//! Integration tests driving the `mbirctl` binary itself: flag
+//! validation, usage output, and the `--profile` precondition checks.
+
+use std::process::Command;
+
+fn mbirctl(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mbirctl")).args(args).output().expect("spawn mbirctl")
+}
+
+#[test]
+fn no_subcommand_prints_usage_and_fails() {
+    let out = mbirctl(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage: mbirctl"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = mbirctl(&["reconstitute"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: mbirctl"));
+}
+
+#[test]
+fn unknown_flag_is_rejected_with_usage() {
+    // `--scael` is a typo for `--scale`; it used to be silently
+    // ignored, running at the default scale instead.
+    let out = mbirctl(&["info", "--scael", "tiny"]);
+    assert!(!out.status.success(), "typo'd flag must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag(s): --scael"), "stderr: {err}");
+    assert!(err.contains("usage: mbirctl"), "stderr: {err}");
+}
+
+#[test]
+fn flags_of_other_subcommands_are_rejected() {
+    // `--sino` belongs to reconstruct, not scan.
+    let out = mbirctl(&["scan", "--sino", "x.csv", "--out", "/dev/null"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag(s): --sino"));
+}
+
+#[test]
+fn known_flags_pass_validation() {
+    let out = mbirctl(&["info", "--scale", "tiny"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scale Tiny"), "stdout: {stdout}");
+}
+
+#[test]
+fn profile_without_path_fails() {
+    let out = mbirctl(&["reconstruct", "--sino", "missing.csv", "--out", "x.pgm", "--profile"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--profile requires a path"));
+}
+
+#[test]
+fn profile_rejects_unprofiled_algorithms() {
+    let out = mbirctl(&[
+        "reconstruct",
+        "--sino",
+        "missing.csv",
+        "--out",
+        "x.pgm",
+        "--algo",
+        "fbp",
+        "--profile",
+        "p.json",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--profile supports --algo psv|gpu"));
+}

@@ -26,6 +26,7 @@ use mbir::convergence::ConvergenceTrace;
 use mbir::prior::{clique_weight, Prior};
 use mbir::sequential::IcdStats;
 use mbir::update::WeightedError;
+use mbir_telemetry::{ConvergencePoint, IterationSample, ProfileSink, RecordingSink};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -103,10 +104,14 @@ impl KernelAgg {
     fn add(&mut self, t: &KernelTiming) {
         self.seconds += t.seconds;
         self.launches += 1;
-        self.l2_bytes += t.l2_gbps * t.seconds * 1e9;
-        self.tex_bytes += t.tex_gbps * t.seconds * 1e9;
-        self.dram_bytes += t.dram_gbps * t.seconds * 1e9;
-        self.shared_bytes += t.shared_gbps * t.seconds * 1e9;
+        // The timing carries exact byte totals; reconstructing them
+        // from the rounded bandwidths (gbps x seconds) used to drop
+        // bytes entirely for zero-duration launches and accumulated
+        // round-off elsewhere.
+        self.l2_bytes += t.l2_bytes;
+        self.tex_bytes += t.tex_bytes;
+        self.dram_bytes += t.dram_bytes;
+        self.shared_bytes += t.shared_bytes;
     }
 
     /// Time-averaged achieved L2 bandwidth, GB/s.
@@ -182,6 +187,9 @@ pub struct GpuIcd<'a, P: Prior> {
     model: GpuWorkModel,
     modeled_seconds: f64,
     run_stats: GpuRunStats,
+    sink: Option<Arc<dyn ProfileSink>>,
+    recording: Option<Arc<RecordingSink>>,
+    batch_seq: u64,
 }
 
 impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
@@ -223,6 +231,8 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         let n = tiling.len();
         let model = GpuWorkModel::titan_x();
         let skeleton = model.skeleton(&opts);
+        let recording = opts.profile.then(|| Arc::new(RecordingSink::new()));
+        let sink = recording.clone().map(|r| r as Arc<dyn ProfileSink>);
         GpuIcd {
             a,
             weights,
@@ -239,7 +249,24 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
             model,
             modeled_seconds: 0.0,
             run_stats: GpuRunStats::default(),
+            sink,
+            recording,
+            batch_seq: 0,
         }
+    }
+
+    /// Install an external profiling sink (replacing the internal
+    /// recorder `opts.profile` would create). The sink only observes:
+    /// reconstruction results are bitwise identical with or without it.
+    pub fn set_profile_sink(&mut self, sink: Arc<dyn ProfileSink>) {
+        self.sink = Some(sink);
+        self.recording = None;
+    }
+
+    /// The internal recording sink, present when the driver was built
+    /// with `opts.profile` (and no external sink has replaced it).
+    pub fn recording(&self) -> Option<&Arc<RecordingSink>> {
+        self.recording.as_ref()
     }
 
     /// The shared per-SV plan set.
@@ -310,6 +337,19 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         self.stats.updates += report.updates;
         self.stats.skipped += report.skipped;
         self.stats.total_abs_delta += report.abs_delta;
+        if let Some(sink) = &self.sink {
+            sink.iteration(&IterationSample {
+                iter: self.iter,
+                svs_selected: report.svs_selected as u64,
+                svs_updated: report.svs_updated as u64,
+                batches: report.batches as u64,
+                updates: report.updates,
+                skipped: report.skipped,
+                abs_delta: report.abs_delta,
+                modeled_seconds: report.modeled_seconds,
+                equits: self.equits(),
+            });
+        }
         report
     }
 
@@ -405,7 +445,26 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
             svb.scatter_delta(&origs[bi], &mut self.error);
         }
 
-        self.model.batch_with(&self.skeleton, &tally, self.a.geometry().num_channels)
+        let num_channels = self.a.geometry().num_channels;
+        if let Some(sink) = self.sink.clone() {
+            // The batch starts where the previous one ended on the
+            // modeled timeline: completed iterations plus the batches
+            // already accumulated into this iteration's report.
+            let start = self.modeled_seconds + report.modeled_seconds;
+            let t = self.model.batch_profiled(
+                &self.skeleton,
+                &tally,
+                num_channels,
+                sink.as_ref(),
+                self.iter,
+                self.batch_seq,
+                start,
+            );
+            self.batch_seq += 1;
+            t
+        } else {
+            self.model.batch_with(&self.skeleton, &tally, num_channels)
+        }
     }
 
     /// Iterate until RMSE against `golden` drops below `threshold_hu`,
@@ -418,14 +477,29 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
     ) -> ConvergenceTrace {
         let mut trace = ConvergenceTrace::default();
         trace.record(self.equits(), self.modeled_seconds, &self.image, golden);
+        self.emit_convergence(&trace);
         for _ in 0..max_iters {
             if rmse_hu(&self.image, golden) < threshold_hu {
                 break;
             }
             self.iteration();
             trace.record(self.equits(), self.modeled_seconds, &self.image, golden);
+            self.emit_convergence(&trace);
         }
         trace
+    }
+
+    /// Forward the latest trace point to the sink, if any.
+    fn emit_convergence(&self, trace: &ConvergenceTrace) {
+        if let Some(sink) = &self.sink {
+            let p = trace.last().expect("point just recorded");
+            sink.convergence(&ConvergencePoint {
+                iter: self.iter,
+                equits: p.equits,
+                seconds: p.seconds,
+                rmse_hu: p.rmse_hu as f64,
+            });
+        }
     }
 
     /// Current reconstruction.

@@ -83,7 +83,11 @@ pub fn chunked_voxel_program(
         });
         for r in 0..c.height as usize {
             let view = c.view0 as usize + r;
-            let rel = (c.ch0 - shape.first[view]).min(shape.padded_width as u32 - 1) as u64;
+            // A chunk's fixed ch0 can sit below this view's first
+            // channel; clamp at the row start (as the write-back path
+            // below does) instead of wrapping below zero.
+            let rel =
+                c.ch0.saturating_sub(shape.first[view]).min(shape.padded_width as u32 - 1) as u64;
             let e_row = mem.e_base + view as u64 * row_stride + rel * 4;
             let w_row = mem.w_base + view as u64 * row_stride + rel * 4;
             // e read as 64-bit words (the paper's double-width L2

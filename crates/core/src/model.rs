@@ -31,6 +31,7 @@ use crate::tally::BatchTally;
 use gpu_sim::occupancy::BlockResources;
 use gpu_sim::timing::{BlockWork, KernelProfile, KernelTiming, TimingModel};
 use gpu_sim::GpuSpec;
+use mbir_telemetry::{LaunchCtx, ProfileSink};
 
 /// Modeled timings of one batch's three kernels.
 #[derive(Debug, Clone, Copy)]
@@ -247,6 +248,52 @@ impl GpuWorkModel {
             mbir: self.timing.time(&self.mbir_profile(tally, skeleton, l2f)),
             writeback: self.timing.time(&self.writeback_profile(tally, l2f, nsv, num_channels)),
         }
+    }
+
+    /// Like [`Self::batch_with`], but emits one [`mbir_telemetry::KernelSpan`]
+    /// per kernel launch to `sink`. Span starts are laid out
+    /// back-to-back from `start_seconds` (create, then MBIR, then
+    /// write-back), matching the serial launch order of Algorithm 3.
+    /// The returned timing is bitwise identical to [`Self::batch_with`]:
+    /// the sink only observes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch_profiled(
+        &self,
+        skeleton: &ProfileSkeleton,
+        tally: &BatchTally,
+        num_channels: usize,
+        sink: &dyn ProfileSink,
+        iteration: u64,
+        batch: u64,
+        start_seconds: f64,
+    ) -> BatchTiming {
+        let nsv = tally.svs.len().max(1);
+        let resident = 2.0 * tally.svb_bytes();
+        let l2f = self.l2_pressure_factor(resident);
+        let svs = tally.svs.len() as u64;
+        let ctx = |start: f64, tex_hit_rate: f64| LaunchCtx {
+            iteration,
+            batch,
+            start_seconds: start,
+            svs,
+            tex_hit_rate,
+        };
+
+        let create = self
+            .timing
+            .time_with(&self.create_profile(tally, l2f), Some((sink, &ctx(start_seconds, 0.0))));
+        // Only the MBIR kernel reads through the texture path, and only
+        // when the A-matrix mode asks for it.
+        let mbir_hit = if skeleton.tex { skeleton.tex_hit } else { 0.0 };
+        let mbir = self.timing.time_with(
+            &self.mbir_profile(tally, skeleton, l2f),
+            Some((sink, &ctx(start_seconds + create.seconds, mbir_hit))),
+        );
+        let writeback = self.timing.time_with(
+            &self.writeback_profile(tally, l2f, nsv, num_channels),
+            Some((sink, &ctx(start_seconds + create.seconds + mbir.seconds, 0.0))),
+        );
+        BatchTiming { create, mbir, writeback }
     }
 
     /// The SVB gather kernel: stream the bands out of the global

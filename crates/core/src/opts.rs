@@ -131,6 +131,11 @@ pub struct GpuOptions {
     /// recomputing it per voxel visit. Purely a host wall-clock
     /// optimization — results are bitwise identical either way.
     pub plan_cache: bool,
+    /// Record per-kernel-launch spans and per-iteration telemetry into
+    /// an internal [`mbir_telemetry::RecordingSink`]. Observe-only:
+    /// results and modeled seconds are bitwise identical either way,
+    /// and when off the driver pays a single `Option` branch per batch.
+    pub profile: bool,
     /// RNG seed (voxel orders, random SV selection).
     pub seed: u64,
     /// Zero-skipping enabled.
@@ -158,6 +163,7 @@ impl Default for GpuOptions {
             registers: RegisterMode::SharedMem32,
             plan_cache: true,
             threads: 0,
+            profile: false,
             seed: 0,
             zero_skip: true,
             positivity: true,

@@ -86,11 +86,23 @@ impl Cache {
 
     /// Access the line containing `addr`; returns whether it hit, and
     /// updates LRU state and stats.
+    ///
+    /// This is the single point where `accesses`/`hits` are counted:
+    /// [`Cache::access_batch`], [`Cache::access_batch_misses`] and
+    /// [`Cache::access_range`] all funnel through it, so batched and
+    /// scalar simulation report identical [`CacheStats`] by
+    /// construction (see the scalar-vs-batched proptest).
     pub fn access(&mut self, addr: u64) -> bool {
         let line = addr / self.config.line_bytes as u64;
         let set_idx = (line % self.config.num_sets() as u64) as usize;
         let set = &mut self.sets[set_idx];
         self.stats.accesses += 1;
+        // MRU fast path: repeated hits to the hottest line (the common
+        // case for streaming sector traces) skip the remove/insert.
+        if set.first() == Some(&line) {
+            self.stats.hits += 1;
+            return true;
+        }
         if let Some(pos) = set.iter().position(|&t| t == line) {
             let tag = set.remove(pos);
             set.insert(0, tag);

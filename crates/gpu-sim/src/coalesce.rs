@@ -92,9 +92,14 @@ pub fn affine_transactions(base: u64, stride_bytes: u32, access_bytes: u32, lane
 }
 
 /// Bus efficiency of a warp access: useful bytes / transferred bytes.
+/// An empty warp (all lanes predicated off) moves nothing and counts
+/// as perfectly efficient rather than dividing zero by zero.
 pub fn efficiency(addresses: &[u64], access_bytes: u32) -> f64 {
     let useful = addresses.len() as u64 * access_bytes as u64;
     let moved = transactions(addresses, access_bytes) as u64 * SECTOR_BYTES;
+    if moved == 0 {
+        return 1.0;
+    }
     useful as f64 / moved as f64
 }
 
@@ -179,6 +184,15 @@ mod tests {
     #[test]
     fn empty_warp_is_zero_transactions() {
         assert_eq!(transactions(&[], 4), 0);
+    }
+
+    #[test]
+    fn empty_warp_efficiency_is_finite() {
+        // Regression: this used to be 0/0 = NaN, which poisoned any
+        // averaged efficiency statistic downstream.
+        let e = efficiency(&[], 4);
+        assert!(e.is_finite());
+        assert_eq!(e, 1.0);
     }
 
     #[test]

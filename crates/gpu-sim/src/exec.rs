@@ -65,15 +65,30 @@ impl Dispatcher {
     /// 1.0 means no idle slots; low values signal the underutilization
     /// the paper's batch threshold avoids.
     pub fn utilization(&self, block_times: &[f64], occ: &Occupancy) -> f64 {
-        let slots = self.concurrent_blocks(occ) as f64;
+        self.launch_stats(block_times, occ).utilization
+    }
+
+    /// Seconds and utilization of one launch from a single makespan
+    /// pass (the telemetry path needs both; recomputing the list
+    /// schedule twice would double the scheduling cost per launch).
+    pub fn launch_stats(&self, block_times: &[f64], occ: &Occupancy) -> LaunchStats {
+        let slots = self.concurrent_blocks(occ);
+        let ms = makespan(block_times, slots);
         let total: f64 = block_times.iter().sum();
-        let ms = makespan(block_times, self.concurrent_blocks(occ));
-        if ms == 0.0 {
-            1.0
-        } else {
-            total / (ms * slots)
+        LaunchStats {
+            seconds: self.spec.kernel_launch_us * 1e-6 + ms,
+            utilization: if ms == 0.0 { 1.0 } else { total / (ms * slots as f64) },
         }
     }
+}
+
+/// Outcome of scheduling one launch (see [`Dispatcher::launch_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchStats {
+    /// Wall-clock seconds including the fixed launch overhead.
+    pub seconds: f64,
+    /// Block-slot utilization (1 = no idle slots).
+    pub utilization: f64,
 }
 
 #[cfg(test)]

@@ -278,6 +278,20 @@ impl TraceExecutor {
         self.l2.reset();
     }
 
+    /// Cumulative L1/texture cache counters across every block run on
+    /// this executor (per-run deltas live in [`TraceResult::l1_stats`];
+    /// these are the cache's own totals, so the two must agree — see
+    /// the executor-vs-result parity proptest).
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// Cumulative L2 cache counters across every block run on this
+    /// executor.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
     /// Execute a block's warps, interleaving them round-robin (one op
     /// per warp per round — the scheduler's fair approximation).
     pub fn run_block(&mut self, warps: &[WarpProgram]) -> TraceResult {

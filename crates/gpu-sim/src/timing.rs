@@ -16,9 +16,11 @@
 //!   accesses (the paper's `double`-read optimization, Section 4.3.2);
 //! - atomic updates serialize per conflict (error write-back kernel).
 
+use crate::coalesce::SECTOR_BYTES;
 use crate::exec::Dispatcher;
 use crate::occupancy::{occupancy, BlockResources, Occupancy};
 use crate::spec::GpuSpec;
+use mbir_telemetry::{KernelSpan, LaunchCtx, ProfileSink};
 
 /// Work performed by one block of a kernel launch.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -86,13 +88,36 @@ pub struct KernelProfile {
     pub mem_efficiency: f64,
 }
 
-/// Modeled outcome of one kernel launch.
+/// Modeled outcome of one kernel launch. Carries the exact work
+/// totals alongside the derived bandwidths so downstream aggregation
+/// (run stats, telemetry spans) never has to reconstruct bytes from a
+/// lossy `gbps * seconds` round-trip.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelTiming {
     /// Wall-clock seconds including launch overhead.
     pub seconds: f64,
     /// Occupancy achieved.
     pub occupancy: f64,
+    /// Block-slot utilization of the launch (1 = no idle slots).
+    pub utilization: f64,
+    /// Duration in GPU core cycles (`seconds x clock`).
+    pub cycles: f64,
+    /// Blocks launched.
+    pub blocks: u64,
+    /// Total warp instructions issued.
+    pub instructions: f64,
+    /// Total floating-point operations.
+    pub flops: f64,
+    /// Total global atomic operations.
+    pub atomics: f64,
+    /// Total bytes moved between SMMs and L2.
+    pub l2_bytes: f64,
+    /// Total bytes read through the texture path.
+    pub tex_bytes: f64,
+    /// Total bytes that miss L2 and reach DRAM.
+    pub dram_bytes: f64,
+    /// Total bytes moved to/from shared memory.
+    pub shared_bytes: f64,
     /// Achieved L2 bandwidth, GB/s.
     pub l2_gbps: f64,
     /// Achieved texture-path bandwidth, GB/s.
@@ -135,6 +160,17 @@ impl TimingModel {
 
     /// Model one kernel launch.
     pub fn time(&self, profile: &KernelProfile) -> KernelTiming {
+        self.time_with(profile, None)
+    }
+
+    /// Model one kernel launch, optionally emitting a [`KernelSpan`]
+    /// to a profiling sink. The returned timing is bitwise identical
+    /// to [`Self::time`]: the sink only observes.
+    pub fn time_with(
+        &self,
+        profile: &KernelProfile,
+        observer: Option<(&dyn ProfileSink, &LaunchCtx)>,
+    ) -> KernelTiming {
         let occ = self.occupancy_of(profile);
         let dispatcher = Dispatcher::new(self.spec.clone());
         let total_slots = dispatcher.concurrent_blocks(&occ);
@@ -182,17 +218,88 @@ impl TimingModel {
             })
             .collect();
 
-        let seconds = dispatcher.launch(&block_times, &occ);
+        let stats = dispatcher.launch_stats(&block_times, &occ);
+        let seconds = stats.seconds;
         let sum = |f: fn(&BlockWork) -> f64| -> f64 { profile.blocks.iter().map(f).sum() };
         let gbps = |bytes: f64| if seconds > 0.0 { bytes / seconds / 1e9 } else { 0.0 };
-        KernelTiming {
+        let (l2_bytes, tex_bytes, dram_bytes, shared_bytes) = (
+            sum(|b| b.l2_bytes),
+            sum(|b| b.tex_bytes),
+            sum(|b| b.dram_bytes),
+            sum(|b| b.shared_bytes),
+        );
+        let timing = KernelTiming {
             seconds,
             occupancy: occ.fraction,
-            l2_gbps: gbps(sum(|b| b.l2_bytes)),
-            tex_gbps: gbps(sum(|b| b.tex_bytes)),
-            dram_gbps: gbps(sum(|b| b.dram_bytes)),
-            shared_gbps: gbps(sum(|b| b.shared_bytes)),
+            utilization: stats.utilization,
+            cycles: seconds * self.spec.clock_hz(),
+            blocks: profile.blocks.len() as u64,
+            instructions: sum(|b| b.instructions),
+            flops: sum(|b| b.flops),
+            atomics: sum(|b| b.atomics),
+            l2_bytes,
+            tex_bytes,
+            dram_bytes,
+            shared_bytes,
+            l2_gbps: gbps(l2_bytes),
+            tex_gbps: gbps(tex_bytes),
+            dram_gbps: gbps(dram_bytes),
+            shared_gbps: gbps(shared_bytes),
+        };
+        if let Some((sink, ctx)) = observer {
+            sink.kernel(&kernel_span(profile, &timing, ctx));
         }
+        timing
+    }
+}
+
+/// Derive the telemetry span for one modeled launch: bytes become
+/// 32-byte sector transactions; the texture hit rate splits L1/texture
+/// sectors into hits and misses (misses cascade into L2), and L2
+/// misses are exactly the sectors that reach DRAM.
+fn kernel_span(profile: &KernelProfile, t: &KernelTiming, ctx: &LaunchCtx) -> KernelSpan {
+    let sectors = |bytes: f64| (bytes / SECTOR_BYTES as f64).ceil().max(0.0) as u64;
+    let tex_transactions = sectors(t.tex_bytes);
+    let tex_hit_rate = ctx.tex_hit_rate.clamp(0.0, 1.0);
+    let l1_hits = ((tex_hit_rate * tex_transactions as f64).round() as u64).min(tex_transactions);
+    let l1_misses = tex_transactions - l1_hits;
+    let l2_transactions = sectors(t.l2_bytes) + l1_misses;
+    let l2_misses = sectors(t.dram_bytes).min(l2_transactions);
+    let l2_hits = l2_transactions - l2_misses;
+    KernelSpan {
+        kernel: profile.name.clone(),
+        iteration: ctx.iteration,
+        batch: ctx.batch,
+        svs: ctx.svs,
+        start_seconds: ctx.start_seconds,
+        seconds: t.seconds,
+        cycles: t.cycles,
+        occupancy: t.occupancy,
+        utilization: t.utilization,
+        blocks: t.blocks,
+        instructions: t.instructions,
+        flops: t.flops,
+        l2_bytes: t.l2_bytes,
+        tex_bytes: t.tex_bytes,
+        dram_bytes: t.dram_bytes,
+        shared_bytes: t.shared_bytes,
+        atomics: t.atomics,
+        l2_transactions,
+        tex_transactions,
+        l1_hits,
+        l1_misses,
+        l2_hits,
+        l2_misses,
+        tex_hit_rate: if tex_transactions > 0 {
+            l1_hits as f64 / tex_transactions as f64
+        } else {
+            0.0
+        },
+        l2_hit_rate: if l2_transactions > 0 {
+            l2_hits as f64 / l2_transactions as f64
+        } else {
+            0.0
+        },
     }
 }
 

@@ -1,0 +1,43 @@
+//! Validate a profiling report against the checked-in schema.
+//!
+//! ```text
+//! validate_profile <profile.json> <schema.json>
+//! ```
+//!
+//! Exits nonzero on parse or validation failure, printing every
+//! violation — used by CI after the tiny-scale profiled run.
+
+use std::process::ExitCode;
+
+fn run(profile_path: &str, schema_path: &str) -> Result<(), String> {
+    let profile_text = std::fs::read_to_string(profile_path)
+        .map_err(|e| format!("cannot read {profile_path}: {e}"))?;
+    let schema_text = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let profile = mbir_telemetry::json::parse(&profile_text)
+        .map_err(|e| format!("{profile_path}: invalid JSON: {e}"))?;
+    let schema = mbir_telemetry::json::parse(&schema_text)
+        .map_err(|e| format!("{schema_path}: invalid JSON: {e}"))?;
+    mbir_telemetry::json::validate(&profile, &schema)
+        .map_err(|errs| format!("{profile_path} violates the schema:\n  {}", errs.join("\n  ")))?;
+    println!("{profile_path}: valid against {schema_path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (profile, schema) = match args.as_slice() {
+        [p, s] => (p, s),
+        _ => {
+            eprintln!("usage: validate_profile <profile.json> <schema.json>");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(profile, schema) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("validate_profile: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Minimal JSON parsing and JSON-Schema-subset validation.
+//!
+//! The workspace's offline `serde_json` stand-in only serializes, so
+//! the golden-file tests and the `validate_profile` binary need their
+//! own parser. [`parse`] produces the same [`serde::json::Value`] tree
+//! the serializer consumes; [`validate`] checks a value against the
+//! subset of JSON Schema the checked-in `schemas/profile.schema.json`
+//! uses: `type` (string or list), `required`, `properties`, `items`,
+//! `minimum`, and `minItems`.
+
+use serde::json::Value;
+
+/// Parse a JSON document. Errors carry a byte offset and message.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", c as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = &self.bytes[self.pos + 1..self.pos + 5];
+                            let hex = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogate pairs are not needed by any
+                            // producer in this workspace; map lone
+                            // surrogates to the replacement character.
+                            s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s_rest =
+                        std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = s_rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+}
+
+fn get<'v>(obj: &'v Value, key: &str) -> Option<&'v Value> {
+    match obj {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::I64(_) | Value::U64(_) => "integer",
+        Value::F64(_) => "number",
+        Value::Str(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+fn matches_type(v: &Value, ty: &str) -> bool {
+    match ty {
+        "number" => matches!(v, Value::I64(_) | Value::U64(_) | Value::F64(_)),
+        "integer" => match v {
+            Value::I64(_) | Value::U64(_) => true,
+            Value::F64(x) => x.fract() == 0.0 && x.is_finite(),
+            _ => false,
+        },
+        other => type_name(v) == other,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::I64(i) => Some(*i as f64),
+        Value::U64(u) => Some(*u as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// Validate `value` against a JSON-Schema-subset `schema`. Returns
+/// every violation found (empty error list never occurs: `Ok` means
+/// the document conforms).
+pub fn validate(value: &Value, schema: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    validate_at(value, schema, "$", &mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn validate_at(value: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
+    // type: "x" | ["x", "y"]
+    if let Some(ty) = get(schema, "type") {
+        let ok = match ty {
+            Value::Str(t) => matches_type(value, t),
+            Value::Array(ts) => ts.iter().any(|t| match t {
+                Value::Str(t) => matches_type(value, t),
+                _ => false,
+            }),
+            _ => true,
+        };
+        if !ok {
+            errors.push(format!("{path}: expected type {ty:?}, got {}", type_name(value)));
+            return;
+        }
+    }
+    if let Some(Value::Array(req)) = get(schema, "required") {
+        for r in req {
+            if let Value::Str(name) = r {
+                if get(value, name).is_none() {
+                    errors.push(format!("{path}: missing required property '{name}'"));
+                }
+            }
+        }
+    }
+    if let Some(Value::Object(props)) = get(schema, "properties") {
+        for (name, sub) in props {
+            if let Some(v) = get(value, name) {
+                validate_at(v, sub, &format!("{path}.{name}"), errors);
+            }
+        }
+    }
+    if let Some(items) = get(schema, "items") {
+        if let Value::Array(vs) = value {
+            for (i, v) in vs.iter().enumerate() {
+                validate_at(v, items, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+    if let Some(min) = get(schema, "minimum").and_then(as_f64) {
+        if let Some(x) = as_f64(value) {
+            if x < min {
+                errors.push(format!("{path}: {x} below minimum {min}"));
+            }
+        }
+    }
+    if let Some(min) = get(schema, "minItems").and_then(as_f64) {
+        if let Value::Array(vs) = value {
+            if (vs.len() as f64) < min {
+                errors.push(format!("{path}: {} items below minItems {min}", vs.len()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("42").unwrap(), Value::U64(42));
+        assert_eq!(parse("-7").unwrap(), Value::I64(-7));
+        assert_eq!(parse("2.5").unwrap(), Value::F64(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::F64(1000.0));
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": 2.0}], "c": "x"}"#).unwrap();
+        assert_eq!(get(&v, "c"), Some(&Value::Str("x".into())));
+        match get(&v, "a") {
+            Some(Value::Array(items)) => {
+                assert_eq!(items[0], Value::U64(1));
+                assert_eq!(get(&items[1], "b"), Some(&Value::F64(2.0)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"open").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn serializer_round_trip() {
+        let v = Value::Object(vec![
+            ("x".into(), Value::F64(0.25)),
+            ("y".into(), Value::Array(vec![Value::U64(1), Value::Null])),
+            ("s".into(), Value::Str("q\"uote".into())),
+        ]);
+        let text = serde_json::to_string_pretty(&v).unwrap();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn validates_types_required_and_items() {
+        let schema = parse(
+            r#"{
+                "type": "object",
+                "required": ["name", "spans"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "spans": {
+                        "type": "array",
+                        "minItems": 1,
+                        "items": {
+                            "type": "object",
+                            "required": ["seconds"],
+                            "properties": {"seconds": {"type": "number", "minimum": 0}}
+                        }
+                    },
+                    "rmse": {"type": ["number", "null"]}
+                }
+            }"#,
+        )
+        .unwrap();
+        let good = parse(r#"{"name": "x", "spans": [{"seconds": 0.5}], "rmse": null}"#).unwrap();
+        assert!(validate(&good, &schema).is_ok());
+
+        let bad = parse(r#"{"name": 3, "spans": [{"seconds": -1}]}"#).unwrap();
+        let errs = validate(&bad, &schema).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("$.name")));
+        assert!(errs.iter().any(|e| e.contains("below minimum")));
+
+        let missing = parse(r#"{"name": "x", "spans": []}"#).unwrap();
+        let errs = validate(&missing, &schema).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("minItems")));
+    }
+
+    #[test]
+    fn integer_accepts_integral_floats() {
+        let schema = parse(r#"{"type": "integer"}"#).unwrap();
+        assert!(validate(&Value::F64(3.0), &schema).is_ok());
+        assert!(validate(&Value::F64(3.5), &schema).is_err());
+        assert!(validate(&Value::U64(3), &schema).is_ok());
+    }
+}

@@ -1,0 +1,41 @@
+//! Per-kernel profiling and telemetry for the MBIR reconstruction
+//! stack.
+//!
+//! The paper's evaluation (Table 2, Figs. 6-9) is built from
+//! architecture counters — cache hit rates, coalescing transaction
+//! counts, occupancy, launch overheads. This crate is the
+//! observability substrate that surfaces those numbers from the
+//! simulator instead of leaving them trapped in `gpu-sim` internals:
+//!
+//! - [`ProfileSink`]: the observer trait the drivers and the timing
+//!   model emit into. Every method has a no-op default, and the
+//!   drivers hold `Option<Arc<dyn ProfileSink>>` — profiling off costs
+//!   one branch per batch (verified by the `telemetry` bench).
+//! - [`KernelSpan`] / [`IterationSample`] / [`ConvergencePoint`]: the
+//!   three record types — one per modeled kernel launch, one per outer
+//!   iteration, one per convergence-trace sample.
+//! - [`RecordingSink`]: an in-memory sink that aggregates records into
+//!   a [`ProfileReport`] (structured JSON under `results/`).
+//! - [`chrome_trace`]: renders a report as a Chrome `trace_event` file
+//!   viewable in `chrome://tracing` / Perfetto.
+//! - [`json`]: a minimal JSON parser plus a JSON-Schema-subset
+//!   validator, used by the golden-file tests and the
+//!   `validate_profile` binary (the offline `serde_json` stand-in only
+//!   serializes).
+//!
+//! Sinks observe; they never feed back into the computation. A
+//! profiled run is bitwise identical to an unprofiled one (asserted in
+//! `tests/profile_equivalence.rs`).
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod report;
+pub mod sink;
+
+pub use chrome::chrome_trace;
+pub use report::{KernelClassAgg, ProfileReport, Totals};
+pub use sink::{
+    ConvergencePoint, IterationSample, KernelSpan, LaunchCtx, NullSink, ProfileSink, RecordingSink,
+};

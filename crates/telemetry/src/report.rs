@@ -1,0 +1,274 @@
+//! Aggregation of recorded telemetry into a structured JSON report.
+
+use crate::sink::{ConvergencePoint, IterationSample, KernelSpan};
+use serde::Serialize;
+
+/// Schema version stamped into every report (bump when the report
+/// shape changes; `schemas/profile.schema.json` tracks it).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Per-kernel-class aggregate over every launch of that kernel — the
+/// run-level analogue of the paper's Table 2/3 counter columns.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelClassAgg {
+    /// Kernel name.
+    pub kernel: String,
+    /// Launches aggregated.
+    pub launches: u64,
+    /// Total modeled seconds.
+    pub seconds: f64,
+    /// Total modeled cycles.
+    pub cycles: f64,
+    /// Total blocks launched.
+    pub blocks: u64,
+    /// Total warp instructions.
+    pub instructions: f64,
+    /// Total FLOPs.
+    pub flops: f64,
+    /// Total L2 bytes.
+    pub l2_bytes: f64,
+    /// Total texture-path bytes.
+    pub tex_bytes: f64,
+    /// Total DRAM bytes.
+    pub dram_bytes: f64,
+    /// Total shared-memory bytes.
+    pub shared_bytes: f64,
+    /// Total atomics.
+    pub atomics: f64,
+    /// Total 32-byte sectors presented to L2.
+    pub l2_transactions: u64,
+    /// Total 32-byte sectors through the texture path.
+    pub tex_transactions: u64,
+    /// Texture/L1 sector hits.
+    pub l1_hits: u64,
+    /// Texture/L1 sector misses.
+    pub l1_misses: u64,
+    /// L2 sector hits.
+    pub l2_hits: u64,
+    /// L2 sector misses.
+    pub l2_misses: u64,
+    /// Launch-weighted texture/L1 hit rate (hits / transactions).
+    pub tex_hit_rate: f64,
+    /// Launch-weighted L2 hit rate (hits / transactions).
+    pub l2_hit_rate: f64,
+    /// Time-averaged achieved L2 bandwidth, GB/s.
+    pub l2_gbps: f64,
+    /// Time-averaged achieved texture-path bandwidth, GB/s.
+    pub tex_gbps: f64,
+    /// Time-averaged achieved DRAM bandwidth, GB/s.
+    pub dram_gbps: f64,
+    /// Mean occupancy across launches.
+    pub occupancy: f64,
+}
+
+/// Whole-run totals.
+#[derive(Debug, Clone, Copy, Serialize, Default)]
+pub struct Totals {
+    /// Total modeled seconds across all kernel launches.
+    pub seconds: f64,
+    /// Total kernel launches.
+    pub launches: u64,
+    /// Total outer iterations sampled.
+    pub iterations: u64,
+    /// Total DRAM bytes moved.
+    pub dram_bytes: f64,
+    /// Total L2 bytes moved.
+    pub l2_bytes: f64,
+    /// Total texture-path bytes moved.
+    pub tex_bytes: f64,
+    /// Final equits of work (last iteration sample), if any.
+    pub final_equits: Option<f64>,
+    /// Final RMSE in HU (last convergence point), if any.
+    pub final_rmse_hu: Option<f64>,
+}
+
+/// The structured profiling report: spans, per-class aggregates,
+/// per-iteration telemetry, and the convergence trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileReport {
+    /// Report schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Run label (algorithm / scale, chosen by the producer).
+    pub name: String,
+    /// Per-kernel-class aggregates, in order of first appearance.
+    pub kernels: Vec<KernelClassAgg>,
+    /// Every recorded kernel launch, in emission order.
+    pub spans: Vec<KernelSpan>,
+    /// Per-iteration telemetry.
+    pub iterations: Vec<IterationSample>,
+    /// Convergence trace (empty unless the run recorded one).
+    pub convergence: Vec<ConvergencePoint>,
+    /// Whole-run totals.
+    pub totals: Totals,
+}
+
+impl ProfileReport {
+    /// Build a report from raw recorded parts.
+    pub fn from_parts(
+        name: &str,
+        spans: Vec<KernelSpan>,
+        iterations: Vec<IterationSample>,
+        convergence: Vec<ConvergencePoint>,
+    ) -> ProfileReport {
+        let mut kernels: Vec<KernelClassAgg> = Vec::new();
+        for s in &spans {
+            let agg = match kernels.iter_mut().find(|k| k.kernel == s.kernel) {
+                Some(k) => k,
+                None => {
+                    kernels.push(KernelClassAgg {
+                        kernel: s.kernel.clone(),
+                        launches: 0,
+                        seconds: 0.0,
+                        cycles: 0.0,
+                        blocks: 0,
+                        instructions: 0.0,
+                        flops: 0.0,
+                        l2_bytes: 0.0,
+                        tex_bytes: 0.0,
+                        dram_bytes: 0.0,
+                        shared_bytes: 0.0,
+                        atomics: 0.0,
+                        l2_transactions: 0,
+                        tex_transactions: 0,
+                        l1_hits: 0,
+                        l1_misses: 0,
+                        l2_hits: 0,
+                        l2_misses: 0,
+                        tex_hit_rate: 0.0,
+                        l2_hit_rate: 0.0,
+                        l2_gbps: 0.0,
+                        tex_gbps: 0.0,
+                        dram_gbps: 0.0,
+                        occupancy: 0.0,
+                    });
+                    kernels.last_mut().unwrap()
+                }
+            };
+            agg.launches += 1;
+            agg.seconds += s.seconds;
+            agg.cycles += s.cycles;
+            agg.blocks += s.blocks;
+            agg.instructions += s.instructions;
+            agg.flops += s.flops;
+            agg.l2_bytes += s.l2_bytes;
+            agg.tex_bytes += s.tex_bytes;
+            agg.dram_bytes += s.dram_bytes;
+            agg.shared_bytes += s.shared_bytes;
+            agg.atomics += s.atomics;
+            agg.l2_transactions += s.l2_transactions;
+            agg.tex_transactions += s.tex_transactions;
+            agg.l1_hits += s.l1_hits;
+            agg.l1_misses += s.l1_misses;
+            agg.l2_hits += s.l2_hits;
+            agg.l2_misses += s.l2_misses;
+            agg.occupancy += s.occupancy; // mean finalized below
+        }
+        let ratio = |num: u64, den: u64| if den > 0 { num as f64 / den as f64 } else { 0.0 };
+        let gbps = |bytes: f64, secs: f64| if secs > 0.0 { bytes / secs / 1e9 } else { 0.0 };
+        for k in &mut kernels {
+            k.tex_hit_rate = ratio(k.l1_hits, k.tex_transactions);
+            k.l2_hit_rate = ratio(k.l2_hits, k.l2_transactions);
+            k.l2_gbps = gbps(k.l2_bytes, k.seconds);
+            k.tex_gbps = gbps(k.tex_bytes, k.seconds);
+            k.dram_gbps = gbps(k.dram_bytes, k.seconds);
+            if k.launches > 0 {
+                k.occupancy /= k.launches as f64;
+            }
+        }
+
+        let totals = Totals {
+            seconds: spans.iter().map(|s| s.seconds).sum(),
+            launches: spans.len() as u64,
+            iterations: iterations.len() as u64,
+            dram_bytes: spans.iter().map(|s| s.dram_bytes).sum(),
+            l2_bytes: spans.iter().map(|s| s.l2_bytes).sum(),
+            tex_bytes: spans.iter().map(|s| s.tex_bytes).sum(),
+            final_equits: iterations.last().map(|i| i.equits),
+            final_rmse_hu: convergence.last().map(|c| c.rmse_hu),
+        };
+
+        ProfileReport {
+            schema_version: SCHEMA_VERSION,
+            name: name.to_string(),
+            kernels,
+            spans,
+            iterations,
+            convergence,
+            totals,
+        }
+    }
+
+    /// A kernel-class aggregate by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelClassAgg> {
+        self.kernels.iter().find(|k| k.kernel == name)
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("value-tree serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kernel: &str, seconds: f64, tex_tx: u64, l1_hits: u64) -> KernelSpan {
+        KernelSpan {
+            kernel: kernel.into(),
+            iteration: 1,
+            batch: 0,
+            svs: 2,
+            start_seconds: 0.0,
+            seconds,
+            cycles: 1.0,
+            occupancy: 0.5,
+            utilization: 1.0,
+            blocks: 4,
+            instructions: 1.0,
+            flops: 1.0,
+            l2_bytes: 64.0,
+            tex_bytes: tex_tx as f64 * 32.0,
+            dram_bytes: 32.0,
+            shared_bytes: 0.0,
+            atomics: 0.0,
+            l2_transactions: 2,
+            tex_transactions: tex_tx,
+            l1_hits,
+            l1_misses: tex_tx - l1_hits,
+            l2_hits: 1,
+            l2_misses: 1,
+            tex_hit_rate: 0.0,
+            l2_hit_rate: 0.5,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_kernel_class() {
+        let spans = vec![
+            span("mbir_update", 1.0, 10, 6),
+            span("mbir_update", 1.0, 10, 6),
+            span("svb_create", 0.5, 0, 0),
+        ];
+        let r = ProfileReport::from_parts("t", spans, Vec::new(), Vec::new());
+        assert_eq!(r.kernels.len(), 2);
+        let mbir = r.kernel("mbir_update").unwrap();
+        assert_eq!(mbir.launches, 2);
+        assert_eq!(mbir.tex_transactions, 20);
+        assert!((mbir.tex_hit_rate - 0.6).abs() < 1e-12);
+        assert!((mbir.l2_hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(r.totals.launches, 3);
+        assert!((r.totals.seconds - 2.5).abs() < 1e-12);
+        assert_eq!(r.totals.final_rmse_hu, None);
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let r = ProfileReport::from_parts("empty", Vec::new(), Vec::new(), Vec::new());
+        assert!(r.kernels.is_empty());
+        assert_eq!(r.totals.seconds, 0.0);
+        // Zero-division edges must stay finite all the way to JSON.
+        let s = r.to_json_pretty();
+        assert!(s.contains("\"schema_version\": 1"));
+    }
+}

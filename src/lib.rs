@@ -17,6 +17,8 @@
 //! - [`gpu_icd`]: the paper's contribution — GPU-ICD (Algorithm 3).
 //! - [`icd_opt`]: the generalized weighted-least-squares ICD solver of
 //!   the paper's Section 6.
+//! - [`mbir_telemetry`]: per-kernel profiling spans, iteration
+//!   telemetry, JSON reports, and Chrome trace export.
 
 #![warn(missing_docs)]
 
@@ -27,5 +29,6 @@ pub use gpu_icd;
 pub use gpu_sim;
 pub use icd_opt;
 pub use mbir;
+pub use mbir_telemetry;
 pub use psv_icd;
 pub use supervoxel;
