@@ -34,7 +34,7 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
     match cmd {
         "scan" => Some(&["phantom", "out", "truth", "i0", "seed"]),
         "reconstruct" => {
-            Some(&["sino", "out", "algo", "csv", "i0", "sigma", "max-iters", "profile"])
+            Some(&["sino", "out", "algo", "csv", "i0", "sigma", "max-iters", "profile", "devices"])
         }
         "fan-demo" => Some(&["out"]),
         "volume" => Some(&["slices", "sigma", "passes", "out"]),
@@ -46,7 +46,7 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
 fn usage() {
     eprintln!("usage: mbirctl <scan|reconstruct|fan-demo|volume|info> [--scale tiny|test|harness|paper] [--threads N] ...");
     eprintln!("  scan        --phantom shepp-logan|water|baggage:<seed> --out <sino.csv> [--truth <t.pgm>] [--i0 <dose>]");
-    eprintln!("  reconstruct --sino <sino.csv> --algo fbp|sequential|psv|gpu --out <img.pgm> [--csv <img.csv>] [--profile <report.json>]");
+    eprintln!("  reconstruct --sino <sino.csv> --algo fbp|sequential|psv|gpu --out <img.pgm> [--csv <img.csv>] [--profile <report.json>] [--devices N]");
     eprintln!("  fan-demo    (fan acquisition -> rebin -> reconstruction demo)");
     eprintln!("  volume      --slices <n> (3-D multi-slice reconstruction demo)");
     eprintln!("  info        (geometry and system-matrix statistics)");
@@ -145,6 +145,13 @@ fn cmd_reconstruct(args: &Args) -> Result<(), String> {
     if profile.is_some() && !matches!(algo, "psv" | "gpu") {
         return Err(format!("--profile supports --algo psv|gpu, not '{algo}'"));
     }
+    let devices: usize = args.get_or("devices", 1);
+    if devices < 1 {
+        return Err("--devices must be at least 1".into());
+    }
+    if devices > 1 && algo != "gpu" {
+        return Err(format!("--devices supports --algo gpu only, not '{algo}'"));
+    }
 
     let y = io::read_sinogram_csv(&sino_path).map_err(|e| e.to_string())?;
     if y.num_views() != geom.num_views || y.num_channels() != geom.num_channels {
@@ -158,7 +165,7 @@ fn cmd_reconstruct(args: &Args) -> Result<(), String> {
         ));
     }
 
-    let (img, note) = reconstruct(&geom, &y, algo, profile, args)?;
+    let (img, note) = reconstruct(&geom, &y, algo, profile, devices, args)?;
     io::write_pgm(&out, &img, mu_from_hu(-1000.0), mu_from_hu(1500.0))
         .map_err(|e| e.to_string())?;
     eprintln!("wrote {} — {note}", out.display());
@@ -176,6 +183,7 @@ fn reconstruct(
     y: &Sinogram,
     algo: &str,
     profile: Option<&str>,
+    devices: usize,
     args: &Args,
 ) -> Result<(Image, String), String> {
     if algo == "fbp" {
@@ -227,18 +235,32 @@ fn reconstruct(
             Ok((psv.image(), note))
         }
         "gpu" => {
-            let opts = gpu_icd::GpuOptions { profile: profile.is_some(), ..gpu_options_for(scale) };
+            let opts = gpu_icd::GpuOptions {
+                profile: profile.is_some(),
+                devices,
+                ..gpu_options_for(scale)
+            };
             let mut gpu = GpuIcd::new(&a, y, &w, &prior, init, opts);
             gpu.run_to_rmse(&golden, 10.0, max_iters);
             if let Some(path) = profile {
                 let rec = gpu.recording().expect("profile was enabled");
                 write_profile(path, &rec.report("gpu-icd"))?;
             }
-            let note = format!(
+            let mut note = format!(
                 "GPU-ICD, {:.1} equits, modeled Titan X time {:.4} s",
                 gpu.equits(),
                 gpu.modeled_seconds()
             );
+            if let Some(fr) = gpu.fleet_report() {
+                let util = fr.per_device.iter().map(|d| d.utilization).sum::<f64>()
+                    / fr.per_device.len().max(1) as f64;
+                note.push_str(&format!(
+                    " on {} devices (mean utilization {:.0}%, {:.1} MB exchanged)",
+                    fr.devices,
+                    100.0 * util,
+                    fr.exchange_bytes as f64 / 1e6
+                ));
+            }
             Ok((gpu.image().clone(), note))
         }
         other => Err(format!("unknown algorithm '{other}' (fbp, sequential, psv, gpu)")),

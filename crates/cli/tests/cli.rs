@@ -57,6 +57,31 @@ fn profile_without_path_fails() {
 }
 
 #[test]
+fn devices_zero_is_rejected() {
+    let out =
+        mbirctl(&["reconstruct", "--sino", "missing.csv", "--out", "x.pgm", "--devices", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--devices must be at least 1"));
+}
+
+#[test]
+fn devices_rejects_non_gpu_algorithms() {
+    let out = mbirctl(&[
+        "reconstruct",
+        "--sino",
+        "missing.csv",
+        "--out",
+        "x.pgm",
+        "--algo",
+        "psv",
+        "--devices",
+        "2",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--devices supports --algo gpu"));
+}
+
+#[test]
 fn profile_rejects_unprofiled_algorithms() {
     let out = mbirctl(&[
         "reconstruct",

@@ -14,6 +14,7 @@
 //! - SVs of one checkerboard group never share boundary voxels, so the
 //!   emulation order within a batch cannot change results.
 
+use crate::fleet::FleetState;
 use crate::model::{BatchTiming, GpuWorkModel, ProfileSkeleton};
 use crate::opts::{GpuOptions, Layout};
 use crate::tally::{BatchTally, SvTally};
@@ -26,6 +27,7 @@ use mbir::convergence::ConvergenceTrace;
 use mbir::prior::{clique_weight, Prior};
 use mbir::sequential::IcdStats;
 use mbir::update::WeightedError;
+use mbir_fleet::{FleetReport, FleetSpec};
 use mbir_telemetry::{ConvergencePoint, IterationSample, ProfileSink, RecordingSink};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -190,6 +192,7 @@ pub struct GpuIcd<'a, P: Prior> {
     sink: Option<Arc<dyn ProfileSink>>,
     recording: Option<Arc<RecordingSink>>,
     batch_seq: u64,
+    fleet: Option<FleetState>,
 }
 
 impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
@@ -233,6 +236,18 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         let skeleton = model.skeleton(&opts);
         let recording = opts.profile.then(|| Arc::new(RecordingSink::new()));
         let sink = recording.clone().map(|r| r as Arc<dyn ProfileSink>);
+        assert!(opts.devices >= 1, "devices must be at least 1");
+        let fleet = (opts.devices > 1).then(|| {
+            FleetState::new(
+                &model,
+                &skeleton,
+                &plan,
+                &tiling,
+                &opts,
+                a.geometry().num_channels,
+                FleetSpec::titan_x_pcie(opts.devices),
+            )
+        });
         GpuIcd {
             a,
             weights,
@@ -252,7 +267,32 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
             sink,
             recording,
             batch_seq: 0,
+            fleet,
         }
+    }
+
+    /// Replace the fleet's machine description (e.g. to price NVLink
+    /// instead of the default PCIe). Must be called before the first
+    /// iteration, with a spec sized for `opts.devices`; a no-op request
+    /// for a single-device run is rejected the same way.
+    pub fn set_fleet_spec(&mut self, spec: FleetSpec) {
+        assert!(self.opts.devices > 1, "fleet spec applies to multi-device runs only");
+        assert_eq!(self.iter, 0, "fleet spec must be set before the first iteration");
+        self.fleet = Some(FleetState::new(
+            &self.model,
+            &self.skeleton,
+            &self.plan,
+            &self.tiling,
+            &self.opts,
+            self.a.geometry().num_channels,
+            spec,
+        ));
+    }
+
+    /// The fleet ledger (per-device utilization, exchange bytes and
+    /// seconds), present when `opts.devices > 1`.
+    pub fn fleet_report(&self) -> Option<FleetReport> {
+        self.fleet.as_ref().map(|f| f.report())
     }
 
     /// Install an external profiling sink (replacing the internal
@@ -324,9 +364,11 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
                 }
                 let end = (i + self.opts.svs_per_batch).min(group.len());
                 let batch = &group[i..end];
-                let timing = self.process_batch(batch, &mut report);
-                report.modeled_seconds += timing.seconds();
-                self.run_stats.add(&timing);
+                // process_batch accumulates run_stats itself (the fleet
+                // path books several per-device timings per batch) and
+                // returns the batch's wall-clock span on the modeled
+                // timeline — kernels plus, above one device, exchanges.
+                report.modeled_seconds += self.process_batch(batch, &mut report);
                 report.batches += 1;
                 report.svs_updated += batch.len();
                 i = end;
@@ -381,7 +423,8 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
 
     /// Process one batch: gather SVBs, update every SV's voxels in
     /// rounds, scatter all deltas, and model the three kernels.
-    fn process_batch(&mut self, batch: &[usize], report: &mut GpuIterationReport) -> BatchTiming {
+    /// Returns the batch's wall seconds on the modeled timeline.
+    fn process_batch(&mut self, batch: &[usize], report: &mut GpuIterationReport) -> f64 {
         let layout = match self.opts.layout {
             Layout::Naive => SvbLayout::SensorMajor,
             Layout::Chunked { .. } => SvbLayout::Transposed,
@@ -446,6 +489,9 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         }
 
         let num_channels = self.a.geometry().num_channels;
+        if self.fleet.is_some() {
+            return self.price_fleet_batch(&tally, batch);
+        }
         if let Some(sink) = self.sink.clone() {
             // The batch starts where the previous one ended on the
             // modeled timeline: completed iterations plus the batches
@@ -456,15 +502,79 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
                 &tally,
                 num_channels,
                 sink.as_ref(),
+                0,
                 self.iter,
                 self.batch_seq,
                 start,
             );
             self.batch_seq += 1;
-            t
+            self.run_stats.add(&t);
+            t.seconds()
         } else {
-            self.model.batch_with(&self.skeleton, &tally, num_channels)
+            let t = self.model.batch_with(&self.skeleton, &tally, num_channels);
+            self.run_stats.add(&t);
+            t.seconds()
         }
+    }
+
+    /// Price one batch on the fleet timeline: split the batch's tallies
+    /// by the shard plan, model each device's kernels on its own host
+    /// worker, and advance the fleet clock by the slowest device plus
+    /// the all-gather exchange. Per-device timings accumulate into
+    /// `run_stats` (which therefore sums *device-seconds*, while
+    /// `modeled_seconds` tracks the wall timeline).
+    fn price_fleet_batch(&mut self, tally: &BatchTally, batch: &[usize]) -> f64 {
+        let fs = self.fleet.as_ref().expect("fleet path requires fleet state");
+        let devices = fs.fleet.devices();
+
+        // Shard the batch's tallies and exchange payloads, preserving
+        // batch order within each device.
+        let mut device_tallies: Vec<BatchTally> =
+            (0..devices).map(|_| BatchTally::default()).collect();
+        let mut payloads = vec![0u64; devices];
+        for (bi, &sv) in batch.iter().enumerate() {
+            let d = fs.shard.device_of(sv);
+            device_tallies[d].svs.push(tally.svs[bi]);
+            payloads[d] += fs.payload_bytes[sv];
+        }
+
+        // Every device's kernels start together at the batch boundary
+        // on the fleet's bulk-synchronous timeline.
+        let start = fs.fleet.wall_seconds();
+        let num_channels = self.a.geometry().num_channels;
+        let model = &self.model;
+        let skeleton = &self.skeleton;
+        let sink = self.sink.clone();
+        let (iter, batch_seq) = (self.iter, self.batch_seq);
+        let timings: Vec<Option<BatchTiming>> =
+            mbir_parallel::par_map(self.opts.threads, devices, |d| {
+                let t = &device_tallies[d];
+                if t.svs.is_empty() {
+                    return None; // nothing launched on this device
+                }
+                Some(match &sink {
+                    Some(s) => model.batch_profiled(
+                        skeleton,
+                        t,
+                        num_channels,
+                        s.as_ref(),
+                        d as u64,
+                        iter,
+                        batch_seq,
+                        start,
+                    ),
+                    None => model.batch_with(skeleton, t, num_channels),
+                })
+            });
+        self.batch_seq += 1;
+
+        let kernel_seconds: Vec<f64> =
+            timings.iter().map(|t| t.as_ref().map_or(0.0, |t| t.seconds())).collect();
+        for t in timings.iter().flatten() {
+            self.run_stats.add(t);
+        }
+        let fs = self.fleet.as_mut().expect("fleet path requires fleet state");
+        fs.fleet.batch(&kernel_seconds, &payloads).wall_seconds()
     }
 
     /// Iterate until RMSE against `golden` drops below `threshold_hu`,

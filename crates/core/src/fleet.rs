@@ -1,0 +1,177 @@
+//! Driver-side fleet state: sharding GPU-ICD batches across simulated
+//! devices.
+//!
+//! The functional computation is untouched by sharding — SVs of one
+//! batch share no boundary voxels, every device gathers from the same
+//! error-sinogram snapshot, and commits merge in batch order — so the
+//! fleet only re-prices the timeline: each device runs the kernels of
+//! its shard, the slowest device sets the batch's compute span, and a
+//! ring all-gather of error-band deltas and image halos follows.
+//!
+//! The shard itself is planned once at setup from *modeled per-SV
+//! cost*: each SV's plan is priced as a one-SV batch through the same
+//! [`GpuWorkModel`] that prices real batches, and
+//! [`mbir_fleet::ShardPlan`] balances those costs with its LPT
+//! partition. Balancing by cost rather than SV count matters at ragged
+//! image edges, where clipped SVs carry a fraction of an interior SV's
+//! work.
+
+use crate::model::{GpuWorkModel, ProfileSkeleton};
+use crate::opts::GpuOptions;
+use crate::tally::{BatchTally, SvTally};
+use mbir_fleet::{Fleet, FleetReport, FleetSpec, ShardPlan};
+use supervoxel::plan::{SvPlan, SvPlanSet};
+use supervoxel::tiling::Tiling;
+
+/// Sharding plan, per-SV exchange payloads, and the fleet clocks for
+/// one GPU-ICD run.
+pub struct FleetState {
+    pub(crate) shard: ShardPlan,
+    /// Per SV: bytes the owning device publishes after a batch touching
+    /// it — the SV's error-band delta plane plus its boundary-voxel
+    /// image halo.
+    pub(crate) payload_bytes: Vec<u64>,
+    pub(crate) fleet: Fleet,
+}
+
+impl FleetState {
+    /// Plan the shard and zero the clocks. `spec.devices` must match
+    /// `opts.devices`.
+    pub fn new(
+        model: &GpuWorkModel,
+        skeleton: &ProfileSkeleton,
+        plans: &SvPlanSet,
+        tiling: &Tiling,
+        opts: &GpuOptions,
+        num_channels: usize,
+        spec: FleetSpec,
+    ) -> Self {
+        assert_eq!(spec.devices, opts.devices, "fleet spec sized for a different device count");
+        let costs = sv_costs(model, skeleton, plans, opts, num_channels);
+        let shard = ShardPlan::balanced(&costs, spec.devices);
+        let payload_bytes = tiling
+            .svs()
+            .iter()
+            .zip(plans.plans())
+            .map(|(sv, plan)| {
+                // Halo: the tile's boundary voxels, one f32 each.
+                let interior = sv.rows.saturating_sub(2) * sv.cols.saturating_sub(2);
+                let halo = (sv.rows * sv.cols - interior) as u64 * 4;
+                plan.svb_bytes as u64 + halo
+            })
+            .collect();
+        FleetState { shard, payload_bytes, fleet: Fleet::new(spec) }
+    }
+
+    /// The sharding plan in force.
+    pub fn shard(&self) -> &ShardPlan {
+        &self.shard
+    }
+
+    /// Snapshot of the fleet ledger (wall seconds, exchange bytes,
+    /// per-device utilization).
+    pub fn report(&self) -> FleetReport {
+        self.fleet.report()
+    }
+}
+
+/// Price every SV's plan as a one-SV batch through the work model —
+/// the deterministic per-SV cost the shard is balanced by.
+pub fn sv_costs(
+    model: &GpuWorkModel,
+    skeleton: &ProfileSkeleton,
+    plans: &SvPlanSet,
+    opts: &GpuOptions,
+    num_channels: usize,
+) -> Vec<f64> {
+    plans
+        .plans()
+        .iter()
+        .map(|plan| {
+            let tally = BatchTally { svs: vec![sv_tally(plan, opts)] };
+            model.batch_with(skeleton, &tally, num_channels).seconds()
+        })
+        .collect()
+}
+
+/// A synthetic full-visit tally for one SV: what a batch containing
+/// the SV would tally if every voxel updated (no zero-skips) — the
+/// setup-time stand-in for per-iteration work.
+fn sv_tally(plan: &SvPlan, opts: &GpuOptions) -> SvTally {
+    let mut t = SvTally {
+        sv: plan.sv,
+        updates: plan.voxels().len() as u64,
+        svb_bytes: plan.svb_bytes,
+        band_width: plan.band_width,
+        max_block_share: 1.0 / opts.blocks_per_sv() as f64,
+        ..Default::default()
+    };
+    for vp in plan.voxels() {
+        t.nnz += vp.nnz as f64;
+        t.dense += vp.dense as f64;
+        t.descriptors += vp.descriptors as f64;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::plan_config;
+    use ct_core::geometry::Geometry;
+    use ct_core::sysmat::SystemMatrix;
+
+    fn state(devices: usize) -> (FleetState, usize) {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        let opts = GpuOptions { sv_side: 6, devices, ..Default::default() };
+        let tiling = Tiling::new(g.grid, opts.sv_side);
+        let plans = SvPlanSet::build(&a, &tiling, plan_config(&opts), 1);
+        let model = GpuWorkModel::titan_x();
+        let skeleton = model.skeleton(&opts);
+        let n = tiling.len();
+        let fs = FleetState::new(
+            &model,
+            &skeleton,
+            &plans,
+            &tiling,
+            &opts,
+            g.num_channels,
+            FleetSpec::titan_x_pcie(devices),
+        );
+        (fs, n)
+    }
+
+    #[test]
+    fn shard_covers_every_sv() {
+        let (fs, n) = state(3);
+        assert_eq!(fs.shard().svs(), n);
+        assert!((0..n).all(|sv| fs.shard().device_of(sv) < 3));
+        assert!((0..3).all(|d| fs.shard().load(d) > 0.0), "every device gets work");
+    }
+
+    #[test]
+    fn payloads_are_positive_and_per_sv() {
+        let (fs, n) = state(2);
+        assert_eq!(fs.payload_bytes.len(), n);
+        assert!(fs.payload_bytes.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn costs_reflect_ragged_edges() {
+        // tiny_scale's grid does not divide evenly by side 6, so edge
+        // tiles are clipped and must cost less than interior tiles.
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        let opts = GpuOptions { sv_side: 6, ..Default::default() };
+        let tiling = Tiling::new(g.grid, opts.sv_side);
+        let plans = SvPlanSet::build(&a, &tiling, plan_config(&opts), 1);
+        let model = GpuWorkModel::titan_x();
+        let skeleton = model.skeleton(&opts);
+        let costs = sv_costs(&model, &skeleton, &plans, &opts, g.num_channels);
+        let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = costs.iter().cloned().fold(0.0f64, f64::max);
+        assert!(min > 0.0);
+        assert!(max > min, "clipped edge tiles should be cheaper than interior tiles");
+    }
+}

@@ -31,6 +31,8 @@
 //!   write-back).
 //! - [`tally`]: work counters collected during functional execution.
 //! - [`model`]: turning tallies into [`gpu_sim::KernelProfile`]s.
+//! - [`fleet`]: sharding batches across `opts.devices` simulated
+//!   devices (timing only — functional results never change).
 //! - [`kernels`]: the MBIR kernel expressed in the `gpu-sim` warp IR,
 //!   used to cross-validate the analytic model against a trace-driven
 //!   execution.
@@ -38,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod fleet;
 pub mod kernels;
 pub mod model;
 pub mod opts;
 pub mod tally;
 
 pub use driver::{plan_config, GpuIcd, GpuIterationReport};
+pub use fleet::FleetState;
 pub use model::{GpuWorkModel, ProfileSkeleton};
 pub use opts::{AMatrixMode, GpuOptions, L2ReadWidth, Layout, RegisterMode};
 pub use tally::{BatchTally, SvTally};

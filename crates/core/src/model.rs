@@ -255,7 +255,8 @@ impl GpuWorkModel {
     /// back-to-back from `start_seconds` (create, then MBIR, then
     /// write-back), matching the serial launch order of Algorithm 3.
     /// The returned timing is bitwise identical to [`Self::batch_with`]:
-    /// the sink only observes.
+    /// the sink only observes. `device` tags the emitted spans with the
+    /// simulated device running the batch (0 for single-device runs).
     #[allow(clippy::too_many_arguments)]
     pub fn batch_profiled(
         &self,
@@ -263,6 +264,7 @@ impl GpuWorkModel {
         tally: &BatchTally,
         num_channels: usize,
         sink: &dyn ProfileSink,
+        device: u64,
         iteration: u64,
         batch: u64,
         start_seconds: f64,
@@ -272,6 +274,7 @@ impl GpuWorkModel {
         let l2f = self.l2_pressure_factor(resident);
         let svs = tally.svs.len() as u64;
         let ctx = |start: f64, tex_hit_rate: f64| LaunchCtx {
+            device,
             iteration,
             batch,
             start_seconds: start,

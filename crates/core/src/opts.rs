@@ -126,6 +126,12 @@ pub struct GpuOptions {
     /// any value). 0 defers to the process-wide setting
     /// (`mbir_parallel::threads()`).
     pub threads: usize,
+    /// Simulated devices the SV set is sharded across (1 = the plain
+    /// single-device driver, bypassing the fleet path entirely).
+    /// Functional results are bitwise identical at any count — only the
+    /// modeled timeline changes, which above 1 prices per-device kernel
+    /// spans plus the inter-device exchanges.
+    pub devices: usize,
     /// Reuse the iteration-invariant per-SV plan (shapes, chunk
     /// tallies, quantized columns) across iterations instead of
     /// recomputing it per voxel visit. Purely a host wall-clock
@@ -163,6 +169,7 @@ impl Default for GpuOptions {
             registers: RegisterMode::SharedMem32,
             plan_cache: true,
             threads: 0,
+            devices: 1,
             profile: false,
             seed: 0,
             zero_skip: true,

@@ -1,0 +1,220 @@
+//! Per-device clocks advancing in batch steps.
+//!
+//! The fleet's timeline is bulk-synchronous: within a batch every
+//! device runs its shard's kernels independently, then all devices
+//! join an all-gather exchange before the next batch. A batch's wall
+//! time is therefore the slowest device's kernel time plus the
+//! exchange; faster devices accrue the difference as idle time, and
+//! every device accrues the communication. The resulting ledger —
+//! busy / idle / communication per device — is what the scaling study
+//! reports and what flattens the speedup curve as devices grow.
+
+use serde::Serialize;
+
+use crate::interconnect::Interconnect;
+use crate::spec::FleetSpec;
+
+/// The modeled cost of one sharded batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchCost {
+    /// Slowest device's kernel seconds (the compute span of the batch).
+    pub kernel_seconds: f64,
+    /// Ring all-gather seconds appended after the compute span.
+    pub exchange_seconds: f64,
+    /// Bytes the exchange moved across all links.
+    pub exchange_bytes: u64,
+}
+
+impl BatchCost {
+    /// Wall-clock seconds the batch occupies on the fleet timeline.
+    pub fn wall_seconds(&self) -> f64 {
+        self.kernel_seconds + self.exchange_seconds
+    }
+}
+
+/// One device's slice of the fleet ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DeviceReport {
+    /// Device id.
+    pub device: u64,
+    /// Seconds spent running kernels.
+    pub busy_seconds: f64,
+    /// Seconds spent waiting for slower peers.
+    pub idle_seconds: f64,
+    /// Fraction of the fleet timeline spent busy (`busy / wall`).
+    pub utilization: f64,
+}
+
+/// The fleet ledger after a run: the scaling study's raw material.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetReport {
+    /// Number of devices.
+    pub devices: usize,
+    /// Total wall-clock seconds on the fleet timeline.
+    pub wall_seconds: f64,
+    /// Seconds of the timeline spent in interconnect exchanges.
+    pub exchange_seconds: f64,
+    /// Bytes moved across the interconnect, all links summed.
+    pub exchange_bytes: u64,
+    /// Number of sharded batches priced.
+    pub batches: u64,
+    /// Per-device busy/idle/utilization, indexed by device id.
+    pub per_device: Vec<DeviceReport>,
+}
+
+/// N simulated devices sharing one bulk-synchronous timeline.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    spec: FleetSpec,
+    interconnect: Interconnect,
+    wall_seconds: f64,
+    exchange_seconds: f64,
+    exchange_bytes: u64,
+    batches: u64,
+    busy: Vec<f64>,
+}
+
+impl Fleet {
+    /// A fleet of `spec.devices` devices with zeroed clocks.
+    pub fn new(spec: FleetSpec) -> Self {
+        assert!(spec.devices >= 1, "a fleet needs at least one device");
+        let interconnect = Interconnect::new(spec.interconnect.clone());
+        let busy = vec![0.0; spec.devices];
+        Fleet {
+            spec,
+            interconnect,
+            wall_seconds: 0.0,
+            exchange_seconds: 0.0,
+            exchange_bytes: 0,
+            batches: 0,
+            busy,
+        }
+    }
+
+    /// The machine description the fleet prices against.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.spec.devices
+    }
+
+    /// Seconds elapsed on the fleet timeline so far.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_seconds
+    }
+
+    /// Advance the timeline by one sharded batch. `kernel_seconds[d]`
+    /// is device `d`'s modeled time for its shard (zero if the shard
+    /// was empty); `payload_bytes[d]` is what it must publish to its
+    /// peers (error-band delta + image halo). Returns the priced cost
+    /// and leaves the ledger updated.
+    pub fn batch(&mut self, kernel_seconds: &[f64], payload_bytes: &[u64]) -> BatchCost {
+        assert_eq!(kernel_seconds.len(), self.devices(), "one kernel time per device");
+        assert_eq!(payload_bytes.len(), self.devices(), "one payload per device");
+        let slowest = kernel_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+        let exchange = self.interconnect.allgather_seconds(payload_bytes);
+        let bytes = self.interconnect.allgather_bytes(payload_bytes);
+
+        for (b, &k) in self.busy.iter_mut().zip(kernel_seconds) {
+            *b += k;
+        }
+        self.wall_seconds += slowest + exchange;
+        self.exchange_seconds += exchange;
+        self.exchange_bytes += bytes;
+        self.batches += 1;
+        BatchCost { kernel_seconds: slowest, exchange_seconds: exchange, exchange_bytes: bytes }
+    }
+
+    /// Snapshot the ledger. Idle is everything on the timeline a
+    /// device did not spend computing — waiting for slower peers and
+    /// sitting through exchanges both count against utilization.
+    pub fn report(&self) -> FleetReport {
+        let per_device = self
+            .busy
+            .iter()
+            .enumerate()
+            .map(|(d, &busy)| DeviceReport {
+                device: d as u64,
+                busy_seconds: busy,
+                idle_seconds: (self.wall_seconds - busy).max(0.0),
+                utilization: if self.wall_seconds > 0.0 { busy / self.wall_seconds } else { 0.0 },
+            })
+            .collect();
+        FleetReport {
+            devices: self.devices(),
+            wall_seconds: self.wall_seconds,
+            exchange_seconds: self.exchange_seconds,
+            exchange_bytes: self.exchange_bytes,
+            batches: self.batches,
+            per_device,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(devices: usize) -> Fleet {
+        Fleet::new(FleetSpec::titan_x_pcie(devices))
+    }
+
+    #[test]
+    fn single_device_batch_is_pure_kernel_time() {
+        let mut f = fleet(1);
+        let cost = f.batch(&[0.25], &[1 << 20]);
+        assert_eq!(cost.kernel_seconds, 0.25);
+        assert_eq!(cost.exchange_seconds, 0.0);
+        assert_eq!(cost.exchange_bytes, 0);
+        assert_eq!(f.wall_seconds(), 0.25);
+        let r = f.report();
+        assert_eq!(r.per_device[0].utilization, 1.0);
+        assert_eq!(r.per_device[0].idle_seconds, 0.0);
+    }
+
+    #[test]
+    fn slowest_device_sets_the_batch_span() {
+        let mut f = fleet(2);
+        let cost = f.batch(&[0.1, 0.3], &[0, 0]);
+        assert_eq!(cost.kernel_seconds, 0.3);
+        // Zero payloads still pay the all-gather latency.
+        assert!(cost.exchange_seconds > 0.0);
+        assert_eq!(cost.wall_seconds(), 0.3 + cost.exchange_seconds);
+        let r = f.report();
+        assert!(r.per_device[0].idle_seconds > r.per_device[1].idle_seconds);
+        assert!(r.per_device[1].utilization > r.per_device[0].utilization);
+        assert!(r.per_device[1].utilization < 1.0, "exchange time counts against utilization");
+    }
+
+    #[test]
+    fn ledger_accumulates_across_batches() {
+        let mut f = fleet(4);
+        let c1 = f.batch(&[0.1, 0.2, 0.15, 0.05], &[1000, 2000, 1500, 500]);
+        let c2 = f.batch(&[0.2, 0.1, 0.05, 0.15], &[500, 1000, 250, 750]);
+        let r = f.report();
+        assert_eq!(r.batches, 2);
+        assert!((r.wall_seconds - (c1.wall_seconds() + c2.wall_seconds())).abs() < 1e-15);
+        assert_eq!(r.exchange_bytes, c1.exchange_bytes + c2.exchange_bytes);
+        // Both batches' busy time lands on the right device.
+        assert!((r.per_device[0].busy_seconds - 0.3).abs() < 1e-15);
+        assert!((r.per_device[3].busy_seconds - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let mut f = fleet(2);
+        f.batch(&[0.1, 0.2], &[100, 200]);
+        let text = serde_json::to_string(&f.report()).expect("serializes");
+        assert!(text.contains("\"utilization\""));
+        assert!(text.contains("\"exchange_bytes\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "one kernel time per device")]
+    fn mismatched_kernel_vector_is_rejected() {
+        fleet(2).batch(&[0.1], &[0, 0]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Interconnect cost model: prices the per-batch exchanges.
+//!
+//! After a batch, every device must see its peers' error-sinogram band
+//! deltas and boundary-voxel (halo) image updates before the next
+//! batch gathers its SVBs. The fleet models this as a ring all-gather:
+//! each of `N-1` steps forwards the largest outstanding payload one
+//! hop, costing `latency + bytes / bandwidth`. A single device never
+//! exchanges anything.
+
+use crate::spec::InterconnectSpec;
+
+/// Prices transfers over one [`InterconnectSpec`].
+#[derive(Debug, Clone)]
+pub struct Interconnect {
+    spec: InterconnectSpec,
+}
+
+impl Interconnect {
+    /// Build a pricer for `spec`.
+    pub fn new(spec: InterconnectSpec) -> Self {
+        Interconnect { spec }
+    }
+
+    /// The spec this pricer reads its constants from.
+    pub fn spec(&self) -> &InterconnectSpec {
+        &self.spec
+    }
+
+    /// Seconds to move `bytes` point-to-point over one link:
+    /// `latency + bytes / bandwidth`. Zero bytes still pays the
+    /// latency (a zero-length transfer is still a transfer).
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.spec.latency_us * 1e-6 + bytes as f64 / (self.spec.link_gbps * 1e9)
+    }
+
+    /// Seconds for a ring all-gather across `devices` devices where
+    /// each device `d` contributes `payload_bytes[d]` bytes.
+    ///
+    /// The ring runs `devices - 1` synchronous steps; every step each
+    /// device forwards the chunk it most recently received, so the
+    /// step's duration is set by the largest chunk in flight. With
+    /// every payload eventually traversing every link, the bound used
+    /// here — `(devices - 1)` steps each priced at the *maximum*
+    /// single-device payload — is the exact completion time of the
+    /// synchronous ring. One device (or none) costs zero: there is
+    /// nothing to exchange.
+    pub fn allgather_seconds(&self, payload_bytes: &[u64]) -> f64 {
+        let devices = payload_bytes.len();
+        if devices <= 1 {
+            return 0.0;
+        }
+        let max_payload = *payload_bytes.iter().max().unwrap();
+        (devices - 1) as f64 * self.transfer_seconds(max_payload)
+    }
+
+    /// Total bytes a ring all-gather moves across all links: every
+    /// device's payload crosses `devices - 1` links.
+    pub fn allgather_bytes(&self, payload_bytes: &[u64]) -> u64 {
+        let devices = payload_bytes.len() as u64;
+        if devices <= 1 {
+            return 0;
+        }
+        payload_bytes.iter().sum::<u64>() * (devices - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcie() -> Interconnect {
+        Interconnect::new(InterconnectSpec::pcie3_x16())
+    }
+
+    #[test]
+    fn single_device_exchanges_nothing() {
+        assert_eq!(pcie().allgather_seconds(&[1 << 20]), 0.0);
+        assert_eq!(pcie().allgather_seconds(&[]), 0.0);
+        assert_eq!(pcie().allgather_bytes(&[1 << 20]), 0);
+    }
+
+    #[test]
+    fn transfer_cost_is_latency_plus_bandwidth_term() {
+        let ic = pcie();
+        let spec = ic.spec().clone();
+        let secs = ic.transfer_seconds(12_000_000);
+        // 12 MB over 12 GB/s = 1 ms, plus the latency.
+        let expect = spec.latency_us * 1e-6 + 1e-3;
+        assert!((secs - expect).abs() < 1e-12, "{secs} vs {expect}");
+        // Zero bytes still pays the latency.
+        assert_eq!(ic.transfer_seconds(0), spec.latency_us * 1e-6);
+    }
+
+    #[test]
+    fn allgather_scales_with_steps_and_max_payload() {
+        let ic = pcie();
+        let two = ic.allgather_seconds(&[1000, 4000]);
+        let four = ic.allgather_seconds(&[1000, 4000, 2000, 3000]);
+        assert!((two - ic.transfer_seconds(4000)).abs() < 1e-15);
+        assert!((four - 3.0 * ic.transfer_seconds(4000)).abs() < 1e-15);
+        assert!(four > two, "more devices, more ring steps");
+    }
+
+    #[test]
+    fn allgather_is_monotone_in_payload_and_devices() {
+        let ic = pcie();
+        let base = ic.allgather_seconds(&[1 << 16, 1 << 16]);
+        assert!(ic.allgather_seconds(&[1 << 17, 1 << 16]) > base);
+        assert!(ic.allgather_seconds(&[1 << 16, 1 << 16, 1 << 16]) > base);
+    }
+
+    #[test]
+    fn nvlink_beats_pcie() {
+        let nv = Interconnect::new(InterconnectSpec::nvlink1());
+        let payloads = [1 << 22, 1 << 21, 1 << 22, 1 << 20];
+        assert!(nv.allgather_seconds(&payloads) < pcie().allgather_seconds(&payloads));
+    }
+
+    #[test]
+    fn total_bytes_count_every_link_crossing() {
+        assert_eq!(pcie().allgather_bytes(&[100, 200, 300]), 600 * 2);
+    }
+}

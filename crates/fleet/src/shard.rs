@@ -1,0 +1,191 @@
+//! Sharding planner: partition SVs across devices by modeled cost.
+//!
+//! The planner is cost-agnostic — callers hand it one modeled cost per
+//! SV (crates/core derives these by running each SV's plan through the
+//! GPU work model as a one-SV batch) and it produces a deterministic
+//! longest-processing-time (LPT) partition. LPT carries the classic
+//! makespan guarantee `max_load <= total/N + max_cost`, which is the
+//! load-balance bound the property tests assert.
+
+/// A deterministic assignment of SVs to devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// `assignment[sv]` = device owning that SV.
+    assignment: Vec<usize>,
+    /// Summed modeled cost per device.
+    loads: Vec<f64>,
+}
+
+impl ShardPlan {
+    /// Greedy LPT partition of `costs` (indexed by SV id) over
+    /// `devices` devices: visit SVs in decreasing cost order and give
+    /// each to the least-loaded device. Ties break deterministically —
+    /// equal costs go in SV-id order, equal loads to the lowest device
+    /// id — so the plan is a pure function of its inputs.
+    pub fn balanced(costs: &[f64], devices: usize) -> Self {
+        assert!(devices >= 1, "a shard plan needs at least one device");
+        assert!(
+            costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "SV costs must be finite and non-negative"
+        );
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+
+        let mut assignment = vec![0usize; costs.len()];
+        let mut loads = vec![0.0f64; devices];
+        for sv in order {
+            let device = loads
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                .map(|(d, _)| d)
+                .unwrap();
+            assignment[sv] = device;
+            loads[device] += costs[sv];
+        }
+        ShardPlan { assignment, loads }
+    }
+
+    /// Number of devices the plan spans.
+    pub fn devices(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Number of SVs the plan covers.
+    pub fn svs(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The device owning `sv`.
+    pub fn device_of(&self, sv: usize) -> usize {
+        self.assignment[sv]
+    }
+
+    /// Summed modeled cost assigned to `device`.
+    pub fn load(&self, device: usize) -> f64 {
+        self.loads[device]
+    }
+
+    /// Split an already-ordered batch of SV ids into per-device shards.
+    /// Each shard preserves the batch's order, so merging the shards
+    /// back by walking the batch and popping from the owning device's
+    /// results reproduces the single-device commit order exactly.
+    pub fn shard_batch(&self, batch: &[usize]) -> Vec<Vec<usize>> {
+        let mut shards = vec![Vec::new(); self.devices()];
+        for &sv in batch {
+            shards[self.assignment[sv]].push(sv);
+        }
+        shards
+    }
+
+    /// The LPT makespan bound: `total/N + max_cost`. Every plan built
+    /// by [`ShardPlan::balanced`] satisfies `max_load <= bound`.
+    pub fn balance_bound(costs: &[f64], devices: usize) -> f64 {
+        let total: f64 = costs.iter().sum();
+        let max = costs.iter().fold(0.0f64, |a, &b| a.max(b));
+        total / devices as f64 + max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_device_takes_everything() {
+        let costs = [3.0, 1.0, 2.0];
+        let plan = ShardPlan::balanced(&costs, 1);
+        assert_eq!(plan.devices(), 1);
+        assert!((0..3).all(|sv| plan.device_of(sv) == 0));
+        assert_eq!(plan.load(0), 6.0);
+    }
+
+    #[test]
+    fn equal_costs_round_robin_by_sv_id() {
+        let plan = ShardPlan::balanced(&[1.0; 6], 3);
+        // Decreasing-cost order is SV-id order here; least-loaded
+        // tie-break is lowest device id, so the assignment cycles.
+        assert_eq!((0..6).map(|sv| plan.device_of(sv)).collect::<Vec<_>>(), [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shard_batch_preserves_batch_order() {
+        let plan = ShardPlan::balanced(&[4.0, 1.0, 3.0, 2.0], 2);
+        let shards = plan.shard_batch(&[2, 0, 3, 1]);
+        let mut seen: Vec<usize> = Vec::new();
+        for shard in &shards {
+            // Within a shard, order follows the batch.
+            let mut positions = shard.iter().map(|sv| [2, 0, 3, 1].iter().position(|b| b == sv));
+            assert!(positions.clone().all(|p| p.is_some()));
+            let pos: Vec<_> = positions.by_ref().map(|p| p.unwrap()).collect();
+            assert!(pos.windows(2).all(|w| w[0] < w[1]), "shard out of batch order: {shard:?}");
+            seen.extend_from_slice(shard);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_cost_set_yields_empty_plan() {
+        let plan = ShardPlan::balanced(&[], 4);
+        assert_eq!(plan.svs(), 0);
+        assert_eq!(plan.devices(), 4);
+        assert!(plan.shard_batch(&[]).iter().all(|s| s.is_empty()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn every_sv_assigned_to_exactly_one_device(
+            raw in prop::collection::vec(0u32..10_000, 1..200),
+            devices in 1usize..=8,
+        ) {
+            let costs: Vec<f64> = raw.iter().map(|&c| c as f64 / 16.0).collect();
+            let plan = ShardPlan::balanced(&costs, devices);
+            // assignment[sv] is total (one device per SV, by type); it
+            // must also be in range, and sharding the full SV set must
+            // produce a disjoint cover.
+            prop_assert!((0..costs.len()).all(|sv| plan.device_of(sv) < devices));
+            let batch: Vec<usize> = (0..costs.len()).collect();
+            let shards = plan.shard_batch(&batch);
+            let mut all: Vec<usize> = shards.into_iter().flatten().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, batch);
+        }
+
+        #[test]
+        fn lpt_respects_makespan_bound(
+            raw in prop::collection::vec(0u32..10_000, 1..200),
+            devices in 1usize..=8,
+        ) {
+            let costs: Vec<f64> = raw.iter().map(|&c| c as f64 / 16.0).collect();
+            let plan = ShardPlan::balanced(&costs, devices);
+            let bound = ShardPlan::balance_bound(&costs, devices);
+            let max_load = (0..devices).map(|d| plan.load(d)).fold(0.0f64, f64::max);
+            // Tiny epsilon for summation order; the combinatorial bound
+            // itself is exact.
+            prop_assert!(
+                max_load <= bound * (1.0 + 1e-12) + 1e-9,
+                "max_load {max_load} exceeds LPT bound {bound}"
+            );
+            // Loads account for every unit of cost.
+            let total: f64 = costs.iter().sum();
+            let assigned: f64 = (0..devices).map(|d| plan.load(d)).sum();
+            prop_assert!((assigned - total).abs() <= 1e-6 * total.max(1.0));
+        }
+
+        #[test]
+        fn plan_is_deterministic(
+            raw in prop::collection::vec(0u32..10_000, 1..100),
+            devices in 1usize..=8,
+        ) {
+            let costs: Vec<f64> = raw.iter().map(|&c| c as f64 / 16.0).collect();
+            prop_assert_eq!(
+                ShardPlan::balanced(&costs, devices),
+                ShardPlan::balanced(&costs, devices)
+            );
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Machine description of a device fleet.
+//!
+//! Every constant the fleet timing path uses — per-device kernel
+//! launch overhead (already part of [`GpuSpec`]), link bandwidth, link
+//! latency — lives here, serializes to JSON, and parses back through
+//! the workspace's own JSON parser ([`mbir_telemetry::json`]), so a
+//! checked-in spec file can reproduce a scaling run exactly.
+
+use gpu_sim::GpuSpec;
+use serde::json::Value;
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth and latency of the inter-device link.
+///
+/// Bandwidths are effective per-direction figures for one device's
+/// link to the fabric (not aggregate bisection), which is what a ring
+/// all-gather step is limited by.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Effective per-direction link bandwidth, GB/s.
+    pub link_gbps: f64,
+    /// Per-transfer latency (software + hardware), microseconds.
+    pub latency_us: f64,
+}
+
+impl InterconnectSpec {
+    /// PCIe 3.0 x16: ~16 GB/s raw, ~12 GB/s effective after protocol
+    /// overhead; ~8 us end-to-end per transfer through the driver
+    /// stack — the fabric of the paper-era multi-GPU workstation.
+    pub fn pcie3_x16() -> Self {
+        InterconnectSpec { name: "PCIe 3.0 x16".into(), link_gbps: 12.0, latency_us: 8.0 }
+    }
+
+    /// First-generation NVLink: 20 GB/s per direction per link, ~1.9x
+    /// the effective PCIe bandwidth at a fraction of the latency.
+    pub fn nvlink1() -> Self {
+        InterconnectSpec { name: "NVLink 1.0".into(), link_gbps: 18.0, latency_us: 1.3 }
+    }
+
+    /// Parse a spec back out of a JSON value tree (the offline
+    /// `serde_json` stand-in only serializes, so round-trips go through
+    /// [`mbir_telemetry::json::parse`]).
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        Ok(InterconnectSpec {
+            name: get_str(v, "name")?,
+            link_gbps: get_f64(v, "link_gbps")?,
+            latency_us: get_f64(v, "latency_us")?,
+        })
+    }
+}
+
+/// A fleet: N identical devices joined by one interconnect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Number of devices.
+    pub devices: usize,
+    /// The (identical) per-device machine description.
+    pub gpu: GpuSpec,
+    /// The link between devices.
+    pub interconnect: InterconnectSpec,
+}
+
+impl FleetSpec {
+    /// `devices` Titan X (Maxwell) cards on PCIe 3.0 x16 — the default
+    /// fleet the `--devices` flag builds.
+    pub fn titan_x_pcie(devices: usize) -> Self {
+        assert!(devices >= 1, "a fleet needs at least one device");
+        FleetSpec {
+            devices,
+            gpu: GpuSpec::titan_x_maxwell(),
+            interconnect: InterconnectSpec::pcie3_x16(),
+        }
+    }
+
+    /// `devices` Titan X cards on NVLink (the bandwidth-scaling arm of
+    /// the scaling study).
+    pub fn titan_x_nvlink(devices: usize) -> Self {
+        FleetSpec { interconnect: InterconnectSpec::nvlink1(), ..Self::titan_x_pcie(devices) }
+    }
+
+    /// Parse a fleet spec (including the embedded [`GpuSpec`]) back out
+    /// of a JSON value tree.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let gpu = field(v, "gpu")?;
+        let ic = field(v, "interconnect")?;
+        Ok(FleetSpec {
+            devices: get_u64(v, "devices")? as usize,
+            gpu: gpu_from_json(gpu)?,
+            interconnect: InterconnectSpec::from_json(ic)?,
+        })
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    match v {
+        Value::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field '{key}'")),
+        _ => Err(format!("expected object looking up '{key}'")),
+    }
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, String> {
+    match field(v, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(format!("field '{key}' is not a string: {other:?}")),
+    }
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, String> {
+    match field(v, key)? {
+        Value::F64(x) => Ok(*x),
+        Value::U64(x) => Ok(*x as f64),
+        Value::I64(x) => Ok(*x as f64),
+        other => Err(format!("field '{key}' is not a number: {other:?}")),
+    }
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+    match field(v, key)? {
+        Value::U64(x) => Ok(*x),
+        Value::I64(x) if *x >= 0 => Ok(*x as u64),
+        other => Err(format!("field '{key}' is not an unsigned integer: {other:?}")),
+    }
+}
+
+fn gpu_from_json(v: &Value) -> Result<GpuSpec, String> {
+    Ok(GpuSpec {
+        name: get_str(v, "name")?,
+        num_smm: get_u64(v, "num_smm")? as u32,
+        cores_per_smm: get_u64(v, "cores_per_smm")? as u32,
+        clock_mhz: get_u64(v, "clock_mhz")? as u32,
+        warp_size: get_u64(v, "warp_size")? as u32,
+        max_threads_per_smm: get_u64(v, "max_threads_per_smm")? as u32,
+        max_blocks_per_smm: get_u64(v, "max_blocks_per_smm")? as u32,
+        max_threads_per_block: get_u64(v, "max_threads_per_block")? as u32,
+        registers_per_smm: get_u64(v, "registers_per_smm")? as u32,
+        register_granularity: get_u64(v, "register_granularity")? as u32,
+        shared_mem_per_smm: get_u64(v, "shared_mem_per_smm")? as u32,
+        shared_mem_per_block: get_u64(v, "shared_mem_per_block")? as u32,
+        shared_mem_granularity: get_u64(v, "shared_mem_granularity")? as u32,
+        l1_tex_bytes_per_smm: get_u64(v, "l1_tex_bytes_per_smm")? as u32,
+        l2_bytes: get_u64(v, "l2_bytes")? as u32,
+        sector_bytes: get_u64(v, "sector_bytes")? as u32,
+        dram_gbps: get_f64(v, "dram_gbps")?,
+        l2_gbps: get_f64(v, "l2_gbps")?,
+        tex_gbps: get_f64(v, "tex_gbps")?,
+        shared_gbps: get_f64(v, "shared_gbps")?,
+        issue_per_smm_per_cycle: get_f64(v, "issue_per_smm_per_cycle")?,
+        kernel_launch_us: get_f64(v, "kernel_launch_us")?,
+        atomic_cycles: get_f64(v, "atomic_cycles")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbir_telemetry::json;
+
+    #[test]
+    fn fleet_spec_round_trips_through_json() {
+        // Serialize -> parse -> reconstruct must be the identity, for
+        // both presets: the whole point of keeping every timing
+        // constant (launch overhead, link bandwidth, link latency) in
+        // the spec is that a checked-in file reproduces a run.
+        for spec in [FleetSpec::titan_x_pcie(4), FleetSpec::titan_x_nvlink(8)] {
+            let text = serde_json::to_string_pretty(&spec).expect("serializes");
+            let value = json::parse(&text).expect("parses");
+            let back = FleetSpec::from_json(&value).expect("reconstructs");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn interconnect_spec_round_trips() {
+        for ic in [InterconnectSpec::pcie3_x16(), InterconnectSpec::nvlink1()] {
+            let text = serde_json::to_string(&ic).expect("serializes");
+            let value = json::parse(&text).expect("parses");
+            assert_eq!(InterconnectSpec::from_json(&value).expect("reconstructs"), ic);
+        }
+    }
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        let pcie = InterconnectSpec::pcie3_x16();
+        let nvlink = InterconnectSpec::nvlink1();
+        assert!(nvlink.link_gbps > pcie.link_gbps);
+        assert!(nvlink.latency_us < pcie.latency_us);
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let v = json::parse(r#"{"name": "x", "link_gbps": 1.5}"#).unwrap();
+        let err = InterconnectSpec::from_json(&v).unwrap_err();
+        assert!(err.contains("latency_us"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_device_fleet_is_rejected() {
+        FleetSpec::titan_x_pcie(0);
+    }
+}

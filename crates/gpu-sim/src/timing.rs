@@ -268,6 +268,7 @@ fn kernel_span(profile: &KernelProfile, t: &KernelTiming, ctx: &LaunchCtx) -> Ke
     let l2_hits = l2_transactions - l2_misses;
     KernelSpan {
         kernel: profile.name.clone(),
+        device: ctx.device,
         iteration: ctx.iteration,
         batch: ctx.batch,
         svs: ctx.svs,

@@ -325,6 +325,7 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
             let svb_bytes: f64 = works.iter().map(|w| w.svb_bytes).sum();
             sink.kernel(&KernelSpan {
                 kernel: "psv_iteration".into(),
+                device: 0,
                 iteration: self.iter,
                 batch: self.iter - 1,
                 svs: report.svs_updated as u64,

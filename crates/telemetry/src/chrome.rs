@@ -15,14 +15,20 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 /// Render the report as a Chrome trace_event JSON string.
 ///
 /// Timestamps are the modeled GPU timeline in microseconds (the
-/// format's native unit). Each kernel class gets its own `tid` so the
-/// three kernels of a batch stack visually; a metadata event names
-/// every thread.
+/// format's native unit). Each simulated device gets its own `pid`
+/// (device 0 is pid 1) and each kernel class its own `tid`, so a fleet
+/// run renders as one process lane per device with the three kernels
+/// of a batch stacked inside it; metadata events name every process
+/// and thread.
 pub fn chrome_trace(report: &ProfileReport) -> String {
     let mut tids: Vec<String> = Vec::new();
+    let mut devices: Vec<u64> = Vec::new();
     let mut events: Vec<Value> = Vec::new();
 
     for span in &report.spans {
+        if !devices.contains(&span.device) {
+            devices.push(span.device);
+        }
         let tid = match tids.iter().position(|t| *t == span.kernel) {
             Some(i) => i,
             None => {
@@ -36,11 +42,12 @@ pub fn chrome_trace(report: &ProfileReport) -> String {
             ("ph", Value::Str("X".into())),
             ("ts", Value::F64(span.start_seconds * 1e6)),
             ("dur", Value::F64(span.seconds * 1e6)),
-            ("pid", Value::U64(1)),
+            ("pid", Value::U64(span.device + 1)),
             ("tid", Value::U64(tid as u64)),
             (
                 "args",
                 obj(vec![
+                    ("device", Value::U64(span.device)),
                     ("iteration", Value::U64(span.iteration)),
                     ("batch", Value::U64(span.batch)),
                     ("svs", Value::U64(span.svs)),
@@ -62,21 +69,34 @@ pub fn chrome_trace(report: &ProfileReport) -> String {
         ]));
     }
 
-    // Metadata: name the process and each kernel-class thread.
-    let mut meta = vec![obj(vec![
-        ("name", Value::Str("process_name".into())),
-        ("ph", Value::Str("M".into())),
-        ("pid", Value::U64(1)),
-        ("args", obj(vec![("name", Value::Str(report.name.clone()))])),
-    ])];
-    for (i, t) in tids.iter().enumerate() {
+    // Metadata: one named process per device, kernel-class threads in
+    // each. An empty report still names device 0 so the trace opens.
+    if devices.is_empty() {
+        devices.push(0);
+    }
+    devices.sort_unstable();
+    let mut meta = Vec::new();
+    for &d in &devices {
+        let pname = if devices.len() > 1 {
+            format!("{} · device {d}", report.name)
+        } else {
+            report.name.clone()
+        };
         meta.push(obj(vec![
-            ("name", Value::Str("thread_name".into())),
+            ("name", Value::Str("process_name".into())),
             ("ph", Value::Str("M".into())),
-            ("pid", Value::U64(1)),
-            ("tid", Value::U64(i as u64)),
-            ("args", obj(vec![("name", Value::Str(t.clone()))])),
+            ("pid", Value::U64(d + 1)),
+            ("args", obj(vec![("name", Value::Str(pname))])),
         ]));
+        for (i, t) in tids.iter().enumerate() {
+            meta.push(obj(vec![
+                ("name", Value::Str("thread_name".into())),
+                ("ph", Value::Str("M".into())),
+                ("pid", Value::U64(d + 1)),
+                ("tid", Value::U64(i as u64)),
+                ("args", obj(vec![("name", Value::Str(t.clone()))])),
+            ]));
+        }
     }
     meta.extend(events);
 
@@ -96,6 +116,7 @@ mod tests {
     fn trace_has_events_and_metadata() {
         let spans = vec![KernelSpan {
             kernel: "mbir_update".into(),
+            device: 0,
             iteration: 1,
             batch: 0,
             svs: 2,

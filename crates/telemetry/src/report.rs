@@ -5,7 +5,9 @@ use serde::Serialize;
 
 /// Schema version stamped into every report (bump when the report
 /// shape changes; `schemas/profile.schema.json` tracks it).
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: kernel spans carry a `device` id and are ordered by
+/// (start time, device) rather than raw emission order.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Per-kernel-class aggregate over every launch of that kernel — the
 /// run-level analogue of the paper's Table 2/3 counter columns.
@@ -92,7 +94,8 @@ pub struct ProfileReport {
     pub name: String,
     /// Per-kernel-class aggregates, in order of first appearance.
     pub kernels: Vec<KernelClassAgg>,
-    /// Every recorded kernel launch, in emission order.
+    /// Every recorded kernel launch, ordered by modeled start time
+    /// (device id breaking ties).
     pub spans: Vec<KernelSpan>,
     /// Per-iteration telemetry.
     pub iterations: Vec<IterationSample>,
@@ -104,12 +107,22 @@ pub struct ProfileReport {
 
 impl ProfileReport {
     /// Build a report from raw recorded parts.
+    ///
+    /// Spans are stable-sorted by modeled start time with device id as
+    /// the tiebreak, so reports merged from per-device emission streams
+    /// come out in one deterministic order regardless of which host
+    /// worker recorded first. Single-device streams emit spans
+    /// back-to-back in start-time order already, making the sort a
+    /// no-op there.
     pub fn from_parts(
         name: &str,
-        spans: Vec<KernelSpan>,
+        mut spans: Vec<KernelSpan>,
         iterations: Vec<IterationSample>,
         convergence: Vec<ConvergencePoint>,
     ) -> ProfileReport {
+        spans.sort_by(|a, b| {
+            a.start_seconds.total_cmp(&b.start_seconds).then(a.device.cmp(&b.device))
+        });
         let mut kernels: Vec<KernelClassAgg> = Vec::new();
         for s in &spans {
             let agg = match kernels.iter_mut().find(|k| k.kernel == s.kernel) {
@@ -216,6 +229,7 @@ mod tests {
     fn span(kernel: &str, seconds: f64, tex_tx: u64, l1_hits: u64) -> KernelSpan {
         KernelSpan {
             kernel: kernel.into(),
+            device: 0,
             iteration: 1,
             batch: 0,
             svs: 2,
@@ -269,6 +283,28 @@ mod tests {
         assert_eq!(r.totals.seconds, 0.0);
         // Zero-division edges must stay finite all the way to JSON.
         let s = r.to_json_pretty();
-        assert!(s.contains("\"schema_version\": 1"));
+        assert!(s.contains("\"schema_version\": 2"));
+    }
+
+    #[test]
+    fn merged_spans_sort_by_start_then_device() {
+        // Interleave two devices' emission streams out of order, as a
+        // multi-threaded fleet run would: the report must come out in
+        // one deterministic order either way.
+        let mk = |device: u64, start: f64| {
+            let mut s = span("mbir_update", 0.1, 0, 0);
+            s.device = device;
+            s.start_seconds = start;
+            s
+        };
+        let a = vec![mk(1, 0.2), mk(0, 0.1), mk(1, 0.1), mk(0, 0.2)];
+        let mut b = a.clone();
+        b.reverse();
+        let ra = ProfileReport::from_parts("t", a, Vec::new(), Vec::new());
+        let rb = ProfileReport::from_parts("t", b, Vec::new(), Vec::new());
+        let order: Vec<(u64, f64)> = ra.spans.iter().map(|s| (s.device, s.start_seconds)).collect();
+        assert_eq!(order, [(0, 0.1), (1, 0.1), (0, 0.2), (1, 0.2)]);
+        let other: Vec<(u64, f64)> = rb.spans.iter().map(|s| (s.device, s.start_seconds)).collect();
+        assert_eq!(order, other);
     }
 }

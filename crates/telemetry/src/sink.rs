@@ -10,6 +10,8 @@ use std::sync::Mutex;
 /// its A-matrix reads.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LaunchCtx {
+    /// Simulated device the launch runs on (0 for single-device runs).
+    pub device: u64,
     /// 1-based outer iteration number.
     pub iteration: u64,
     /// 0-based SV batch sequence number (global across the run).
@@ -32,6 +34,8 @@ pub struct KernelSpan {
     /// Kernel name (`svb_create`, `mbir_update`, `error_writeback`,
     /// `psv_iteration`).
     pub kernel: String,
+    /// Simulated device the launch ran on (0 for single-device runs).
+    pub device: u64,
     /// 1-based outer iteration the launch belongs to.
     pub iteration: u64,
     /// 0-based SV batch sequence number (global across the run).
@@ -211,6 +215,7 @@ mod tests {
     fn span(kernel: &str, seconds: f64) -> KernelSpan {
         KernelSpan {
             kernel: kernel.into(),
+            device: 0,
             iteration: 1,
             batch: 0,
             svs: 4,

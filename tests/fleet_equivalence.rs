@@ -1,0 +1,199 @@
+//! The fleet is a timing model, not an algorithm change: sharding SVs
+//! across simulated devices must leave every functional result — the
+//! image, the error sinogram, the work counters — bitwise identical to
+//! the single-device driver, at any device count and any host thread
+//! count. `devices = 1` must be indistinguishable from the plain
+//! driver in modeled seconds too (it bypasses the fleet path), and a
+//! profiled multi-device run must produce one deterministic merged
+//! report that validates against the checked-in schema.
+
+use ct_core::fbp;
+use ct_core::geometry::Geometry;
+use ct_core::image::Image;
+use ct_core::phantom::Phantom;
+use ct_core::project::{scan, NoiseModel, Scan};
+use ct_core::sinogram::Sinogram;
+use ct_core::sysmat::SystemMatrix;
+use gpu_icd::{GpuIcd, GpuOptions};
+use mbir::prior::QggmrfPrior;
+use mbir::sequential::golden_image;
+use mbir_fleet::FleetSpec;
+use mbir_telemetry::json;
+
+struct Setup {
+    a: SystemMatrix,
+    scan: Scan,
+    prior: QggmrfPrior,
+    init: Image,
+    golden: Image,
+}
+
+fn setup() -> Setup {
+    let geom = Geometry::tiny_scale();
+    let a = SystemMatrix::compute(&geom);
+    let truth = Phantom::water_cylinder(0.55).render(geom.grid, 2);
+    let s = scan(&a, &truth, Some(NoiseModel { i0: 1.0e5 }), 13);
+    let prior = QggmrfPrior::standard(0.002);
+    let init = fbp::reconstruct(&geom, &s.y);
+    let golden = golden_image(&a, &s.y, &s.weights, &prior, init.clone(), 40.0);
+    Setup { a, scan: s, prior, init, golden }
+}
+
+fn opts(devices: usize) -> GpuOptions {
+    GpuOptions {
+        sv_side: 6,
+        threadblocks_per_sv: 4,
+        svs_per_batch: 4,
+        devices,
+        ..Default::default()
+    }
+}
+
+struct RunResult {
+    image: Image,
+    error: Sinogram,
+    modeled_seconds: f64,
+    equits: f64,
+}
+
+fn run(s: &Setup, o: GpuOptions) -> RunResult {
+    let mut gpu = GpuIcd::new(&s.a, &s.scan.y, &s.scan.weights, &s.prior, s.init.clone(), o);
+    gpu.run_to_rmse(&s.golden, 10.0, 40);
+    RunResult {
+        image: gpu.image().clone(),
+        error: gpu.error().clone(),
+        modeled_seconds: gpu.modeled_seconds(),
+        equits: gpu.equits(),
+    }
+}
+
+#[test]
+fn one_device_is_bitwise_identical_to_plain_driver() {
+    // The acceptance regression: `--devices 1` must match the existing
+    // single-device GpuIcd path in images AND modeled seconds, bit for
+    // bit (it takes exactly the same code path — no fleet state).
+    let s = setup();
+    let plain = run(&s, GpuOptions { devices: 1, ..opts(1) });
+    let one = run(&s, opts(1));
+    assert_eq!(plain.image, one.image);
+    assert_eq!(plain.error, one.error);
+    assert_eq!(plain.modeled_seconds.to_bits(), one.modeled_seconds.to_bits());
+}
+
+#[test]
+fn sharding_never_changes_functional_results() {
+    let s = setup();
+    let base = run(&s, opts(1));
+    for devices in [2, 3, 4, 8] {
+        let fleet = run(&s, opts(devices));
+        assert_eq!(base.image, fleet.image, "{devices} devices changed the image");
+        assert_eq!(base.error, fleet.error, "{devices} devices changed the error sinogram");
+        assert_eq!(base.equits.to_bits(), fleet.equits.to_bits(), "{devices} devices: equits");
+        // Only the modeled timeline may move.
+        assert!(fleet.modeled_seconds > 0.0);
+    }
+}
+
+#[test]
+fn host_thread_count_does_not_change_fleet_results() {
+    let s = setup();
+    let t1 = run(&s, GpuOptions { threads: 1, ..opts(4) });
+    let t4 = run(&s, GpuOptions { threads: 4, ..opts(4) });
+    assert_eq!(t1.image, t4.image);
+    assert_eq!(t1.error, t4.error);
+    assert_eq!(t1.modeled_seconds.to_bits(), t4.modeled_seconds.to_bits());
+}
+
+#[test]
+fn fleet_ledger_is_consistent() {
+    let s = setup();
+    let mut gpu = GpuIcd::new(&s.a, &s.scan.y, &s.scan.weights, &s.prior, s.init.clone(), opts(2));
+    for _ in 0..3 {
+        gpu.iteration();
+    }
+    let fr = gpu.fleet_report().expect("multi-device run has a fleet report");
+    assert_eq!(fr.devices, 2);
+    assert!((fr.wall_seconds - gpu.modeled_seconds()).abs() < 1e-12 * fr.wall_seconds.max(1.0));
+    assert!(fr.exchange_seconds > 0.0, "exchanges must be priced");
+    assert!(fr.exchange_bytes > 0, "exchange bytes must be counted");
+    assert!(fr.batches > 0);
+    for d in &fr.per_device {
+        assert!(d.busy_seconds > 0.0, "device {} never worked", d.device);
+        assert!(d.busy_seconds <= fr.wall_seconds + 1e-12);
+        assert!((0.0..=1.0).contains(&d.utilization));
+        assert!((d.busy_seconds + d.idle_seconds - fr.wall_seconds).abs() < 1e-9);
+    }
+
+    // Single-device runs have no fleet report.
+    let plain = GpuIcd::new(&s.a, &s.scan.y, &s.scan.weights, &s.prior, s.init.clone(), opts(1));
+    assert!(plain.fleet_report().is_none());
+}
+
+#[test]
+fn nvlink_never_loses_to_pcie() {
+    // Same work, faster link: wall time can only improve.
+    let s = setup();
+    let run_with = |spec: Option<FleetSpec>| {
+        let mut gpu =
+            GpuIcd::new(&s.a, &s.scan.y, &s.scan.weights, &s.prior, s.init.clone(), opts(4));
+        if let Some(spec) = spec {
+            gpu.set_fleet_spec(spec);
+        }
+        for _ in 0..3 {
+            gpu.iteration();
+        }
+        (gpu.image().clone(), gpu.modeled_seconds())
+    };
+    let (img_pcie, secs_pcie) = run_with(None);
+    let (img_nv, secs_nv) = run_with(Some(FleetSpec::titan_x_nvlink(4)));
+    assert_eq!(img_pcie, img_nv, "interconnect must not touch functional results");
+    assert!(secs_nv < secs_pcie, "NVLink {secs_nv} vs PCIe {secs_pcie}");
+}
+
+#[test]
+fn profiled_fleet_run_is_deterministic_and_valid() {
+    let s = setup();
+    let profiled = |threads: usize| {
+        let o = GpuOptions { profile: true, threads, ..opts(2) };
+        let mut gpu = GpuIcd::new(&s.a, &s.scan.y, &s.scan.weights, &s.prior, s.init.clone(), o);
+        for _ in 0..3 {
+            gpu.iteration();
+        }
+        (gpu.image().clone(), gpu.recording().expect("profile on").report("gpu-icd-fleet"))
+    };
+    let (img1, rep1) = profiled(1);
+    let (img4, rep4) = profiled(4);
+    assert_eq!(img1, img4);
+
+    // The merged report is identical however many host workers emitted
+    // spans concurrently: merging sorts by (start, device).
+    let text1 = rep1.to_json_pretty();
+    let text4 = rep4.to_json_pretty();
+    assert_eq!(text1, text4, "merged profile must not depend on emission interleaving");
+
+    // Spans carry device ids covering both devices, ordered by start
+    // time with device as tiebreak.
+    let devices: std::collections::BTreeSet<u64> = rep1.spans.iter().map(|sp| sp.device).collect();
+    assert_eq!(devices.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    for w in rep1.spans.windows(2) {
+        let key = |sp: &mbir_telemetry::KernelSpan| (sp.start_seconds, sp.device);
+        assert!(
+            key(&w[0]) <= key(&w[1]),
+            "spans out of order: {:?} then {:?}",
+            key(&w[0]),
+            key(&w[1])
+        );
+    }
+
+    // And it validates against the checked-in schema.
+    let value = json::parse(&text1).expect("report JSON parses");
+    let schema_text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/schemas/profile.schema.json"
+    ))
+    .expect("schema readable");
+    let schema = json::parse(&schema_text).expect("schema parses");
+    if let Err(errors) = json::validate(&value, &schema) {
+        panic!("fleet profile does not conform to schema:\n{}", errors.join("\n"));
+    }
+}
