@@ -71,7 +71,7 @@ fn run(
     let opts = GpuOptions { devices, ..base };
     let mut gpu = GpuIcd::new(&p.a, &p.scan.y, &p.scan.weights, &p.prior, p.init.clone(), opts);
     if let Some(spec) = spec {
-        gpu.set_fleet_spec(spec);
+        gpu.set_fleet_spec(spec).expect("valid fleet spec");
     }
     for _ in 0..iters {
         gpu.iteration();

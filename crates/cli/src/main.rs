@@ -16,13 +16,14 @@ use ct_core::phantom::Phantom;
 use ct_core::project::{scan, NoiseModel};
 use ct_core::sinogram::Sinogram;
 use ct_core::sysmat::SystemMatrix;
-use gpu_icd::GpuIcd;
+use gpu_icd::{Checkpoint, GpuIcd, MbirError};
 use mbir::prior::QggmrfPrior;
 use mbir::sequential::{golden_image, IcdConfig, SequentialIcd};
 use mbir_bench::{gpu_options_for, Args};
+use mbir_fleet::FaultSpec;
 use mbir_telemetry::{chrome_trace, ProfileReport};
 use psv_icd::{PsvConfig, PsvIcd};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Flags every subcommand accepts, plus each subcommand's own. Any
@@ -33,9 +34,21 @@ const COMMON_FLAGS: &[&str] = &["scale", "threads"];
 fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
     match cmd {
         "scan" => Some(&["phantom", "out", "truth", "i0", "seed"]),
-        "reconstruct" => {
-            Some(&["sino", "out", "algo", "csv", "i0", "sigma", "max-iters", "profile", "devices"])
-        }
+        "reconstruct" => Some(&[
+            "sino",
+            "out",
+            "algo",
+            "csv",
+            "i0",
+            "sigma",
+            "max-iters",
+            "profile",
+            "devices",
+            "checkpoint",
+            "resume",
+            "checkpoint-every",
+            "faults",
+        ]),
         "fan-demo" => Some(&["out"]),
         "volume" => Some(&["slices", "sigma", "passes", "out"]),
         "info" => Some(&[]),
@@ -47,6 +60,7 @@ fn usage() {
     eprintln!("usage: mbirctl <scan|reconstruct|fan-demo|volume|info> [--scale tiny|test|harness|paper] [--threads N] ...");
     eprintln!("  scan        --phantom shepp-logan|water|baggage:<seed> --out <sino.csv> [--truth <t.pgm>] [--i0 <dose>]");
     eprintln!("  reconstruct --sino <sino.csv> --algo fbp|sequential|psv|gpu --out <img.pgm> [--csv <img.csv>] [--profile <report.json>] [--devices N]");
+    eprintln!("              [--checkpoint <dir> [--checkpoint-every N] [--resume]] [--faults fail:<d>@<b>,slow:<d>@<a>..<b>x<f>,link:<a>..<b>x<f>,backoff:<s>|random:<seed>]");
     eprintln!("  fan-demo    (fan acquisition -> rebin -> reconstruction demo)");
     eprintln!("  volume      --slices <n> (3-D multi-slice reconstruction demo)");
     eprintln!("  info        (geometry and system-matrix statistics)");
@@ -88,24 +102,32 @@ fn main() -> ExitCode {
     }
 }
 
-fn parse_phantom(spec: &str) -> Result<Phantom, String> {
+fn usage_err(msg: impl Into<String>) -> MbirError {
+    MbirError::Usage(msg.into())
+}
+
+fn parse_phantom(spec: &str) -> Result<Phantom, MbirError> {
     if let Some(seed) = spec.strip_prefix("baggage:") {
-        let seed: u64 = seed.parse().map_err(|_| format!("bad baggage seed '{seed}'"))?;
+        let seed: u64 =
+            seed.parse().map_err(|_| usage_err(format!("bad baggage seed '{seed}'")))?;
         return Ok(Phantom::baggage(seed));
     }
     match spec {
         "shepp-logan" => Ok(Phantom::shepp_logan()),
         "water" => Ok(Phantom::water_cylinder(0.6)),
         "baggage" => Ok(Phantom::baggage(0)),
-        other => Err(format!("unknown phantom '{other}' (shepp-logan, water, baggage[:seed])")),
+        other => Err(usage_err(format!(
+            "unknown phantom '{other}' (shepp-logan, water, baggage[:seed])"
+        ))),
     }
 }
 
-fn cmd_scan(args: &Args) -> Result<(), String> {
+fn cmd_scan(args: &Args) -> Result<(), MbirError> {
     let scale = args.scale();
     let geom = scale.geometry();
     let phantom = parse_phantom(args.get("phantom").unwrap_or("shepp-logan"))?;
-    let out = PathBuf::from(args.get("out").ok_or("scan requires --out <sino.csv>")?);
+    let out =
+        PathBuf::from(args.get("out").ok_or_else(|| usage_err("scan requires --out <sino.csv>"))?);
     let i0: f32 = args.get_or("i0", 2.0e4f32);
 
     eprintln!(
@@ -115,7 +137,7 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
     let a = SystemMatrix::compute_parallel(&geom, 0);
     let truth = phantom.render(geom.grid, 2);
     let s = scan(&a, &truth, Some(NoiseModel { i0 }), args.get_or("seed", 0u64));
-    io::write_sinogram_csv(&out, &s.y).map_err(|e| e.to_string())?;
+    io::write_sinogram_csv(&out, &s.y).map_err(|e| MbirError::io(&out, e))?;
     eprintln!(
         "wrote {} ({} views x {} channels)",
         out.display(),
@@ -125,52 +147,74 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
     if let Some(t) = args.get("truth") {
         let path = PathBuf::from(t);
         io::write_pgm(&path, &truth, mu_from_hu(-1000.0), mu_from_hu(1500.0))
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| MbirError::io(&path, e))?;
         eprintln!("wrote {} (window -1000..1500 HU)", path.display());
     }
     Ok(())
 }
 
-fn cmd_reconstruct(args: &Args) -> Result<(), String> {
+fn cmd_reconstruct(args: &Args) -> Result<(), MbirError> {
     let scale = args.scale();
     let geom = scale.geometry();
-    let sino_path =
-        PathBuf::from(args.get("sino").ok_or("reconstruct requires --sino <sino.csv>")?);
-    let out = PathBuf::from(args.get("out").ok_or("reconstruct requires --out <img.pgm>")?);
+    let sino_path = PathBuf::from(
+        args.get("sino").ok_or_else(|| usage_err("reconstruct requires --sino <sino.csv>"))?,
+    );
+    let out = PathBuf::from(
+        args.get("out").ok_or_else(|| usage_err("reconstruct requires --out <img.pgm>"))?,
+    );
     let algo = args.get("algo").unwrap_or("gpu");
     let profile = args.get("profile");
     if args.has("profile") && profile.is_none() {
-        return Err("--profile requires a path (e.g. --profile results/profile.json)".into());
+        return Err(usage_err("--profile requires a path (e.g. --profile results/profile.json)"));
     }
     if profile.is_some() && !matches!(algo, "psv" | "gpu") {
-        return Err(format!("--profile supports --algo psv|gpu, not '{algo}'"));
+        return Err(usage_err(format!("--profile supports --algo psv|gpu, not '{algo}'")));
     }
     let devices: usize = args.get_or("devices", 1);
     if devices < 1 {
-        return Err("--devices must be at least 1".into());
+        return Err(usage_err("--devices must be at least 1"));
     }
     if devices > 1 && algo != "gpu" {
-        return Err(format!("--devices supports --algo gpu only, not '{algo}'"));
+        return Err(usage_err(format!("--devices supports --algo gpu only, not '{algo}'")));
+    }
+    for flag in ["checkpoint", "resume", "checkpoint-every", "faults"] {
+        if args.has(flag) && algo != "gpu" {
+            return Err(usage_err(format!("--{flag} supports --algo gpu only, not '{algo}'")));
+        }
+    }
+    if args.has("checkpoint") && args.get("checkpoint").is_none() {
+        return Err(usage_err("--checkpoint requires a directory path"));
+    }
+    if args.has("resume") && !args.has("checkpoint") {
+        return Err(usage_err("--resume requires --checkpoint <dir>"));
+    }
+    if args.has("faults") {
+        if args.get("faults").is_none() {
+            return Err(usage_err("--faults requires a schedule (e.g. --faults fail:1@3)"));
+        }
+        if devices < 2 {
+            return Err(usage_err("--faults requires --devices >= 2 (a fleet to degrade)"));
+        }
     }
 
-    let y = io::read_sinogram_csv(&sino_path).map_err(|e| e.to_string())?;
+    let y = io::read_sinogram_csv(&sino_path).map_err(|e| MbirError::io(&sino_path, e))?;
     if y.num_views() != geom.num_views || y.num_channels() != geom.num_channels {
-        return Err(format!(
+        return Err(MbirError::InvalidData(format!(
             "sinogram is {}x{} but --scale {:?} expects {}x{}",
             y.num_views(),
             y.num_channels(),
             scale,
             geom.num_views,
             geom.num_channels
-        ));
+        )));
     }
 
     let (img, note) = reconstruct(&geom, &y, algo, profile, devices, args)?;
     io::write_pgm(&out, &img, mu_from_hu(-1000.0), mu_from_hu(1500.0))
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| MbirError::io(&out, e))?;
     eprintln!("wrote {} — {note}", out.display());
     if let Some(csv) = args.get("csv") {
-        io::write_image_csv(&PathBuf::from(csv), &img).map_err(|e| e.to_string())?;
+        io::write_image_csv(&PathBuf::from(csv), &img).map_err(|e| MbirError::io(csv, e))?;
         eprintln!("wrote {csv} (lossless CSV)");
     }
     let peak_hu = img.data().iter().fold(f32::MIN, |m, &v| m.max(hu_from_mu(v)));
@@ -185,7 +229,7 @@ fn reconstruct(
     profile: Option<&str>,
     devices: usize,
     args: &Args,
-) -> Result<(Image, String), String> {
+) -> Result<(Image, String), MbirError> {
     if algo == "fbp" {
         return Ok((fbp::reconstruct(geom, y), "FBP (direct method)".into()));
     }
@@ -224,7 +268,11 @@ fn reconstruct(
             let mut psv = PsvIcd::new(&a, y, &w, &prior, init, config);
             psv.run_to_rmse(&golden, 10.0, max_iters);
             if let Some(path) = profile {
-                let rec = psv.recording().expect("profile was enabled");
+                let rec = psv.recording().ok_or_else(|| {
+                    MbirError::Profile(
+                        "PSV-ICD ran without its recording sink despite --profile".into(),
+                    )
+                })?;
                 write_profile(path, &rec.report("psv-icd"))?;
             }
             let note = format!(
@@ -241,9 +289,17 @@ fn reconstruct(
                 ..gpu_options_for(scale)
             };
             let mut gpu = GpuIcd::new(&a, y, &w, &prior, init, opts);
-            gpu.run_to_rmse(&golden, 10.0, max_iters);
+            if let Some(spec) = args.get("faults") {
+                let spec = FaultSpec::parse(spec, devices).map_err(MbirError::Usage)?;
+                gpu.set_fault_spec(spec)?;
+            }
+            run_gpu(&mut gpu, &golden, max_iters, args)?;
             if let Some(path) = profile {
-                let rec = gpu.recording().expect("profile was enabled");
+                let rec = gpu.recording().ok_or_else(|| {
+                    MbirError::Profile(
+                        "GPU-ICD ran without its recording sink despite --profile".into(),
+                    )
+                })?;
                 write_profile(path, &rec.report("gpu-icd"))?;
             }
             let mut note = format!(
@@ -260,24 +316,71 @@ fn reconstruct(
                     100.0 * util,
                     fr.exchange_bytes as f64 / 1e6
                 ));
+                if fr.faults > 0 {
+                    note.push_str(&format!(
+                        "; {} fault(s), {:.3} s recovery, {:.3e} s compute lost",
+                        fr.faults, fr.recovery_seconds, fr.lost_seconds
+                    ));
+                }
             }
             Ok((gpu.image().clone(), note))
         }
-        other => Err(format!("unknown algorithm '{other}' (fbp, sequential, psv, gpu)")),
+        other => Err(usage_err(format!("unknown algorithm '{other}' (fbp, sequential, psv, gpu)"))),
     }
+}
+
+/// Run the GPU driver to convergence, threading the `--checkpoint`,
+/// `--checkpoint-every`, and `--resume` flags through: the run saves
+/// its state every N iterations (atomically, so an interrupt never
+/// corrupts the file) and `--resume` restarts from the saved state,
+/// continuing bitwise identically to an uninterrupted run.
+fn run_gpu<P: mbir::prior::Prior + Sync>(
+    gpu: &mut GpuIcd<'_, P>,
+    golden: &Image,
+    max_iters: usize,
+    args: &Args,
+) -> Result<(), MbirError> {
+    let Some(dir) = args.get("checkpoint").map(PathBuf::from) else {
+        gpu.run_to_rmse(golden, 10.0, max_iters);
+        return Ok(());
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| MbirError::io(&dir, e))?;
+    let path = checkpoint_path(&dir);
+    if args.has("resume") {
+        let ckp = Checkpoint::load(&path)?;
+        gpu.restore(&ckp)?;
+        eprintln!("resumed from {} at iteration {}", path.display(), gpu.iterations());
+    }
+    let every = args.get_or("checkpoint-every", 1u64).max(1);
+    let max_iters = max_iters as u64;
+    while gpu.iterations() < max_iters {
+        let chunk = every.min(max_iters - gpu.iterations()) as usize;
+        let before = gpu.iterations();
+        gpu.run_to_rmse(golden, 10.0, chunk);
+        gpu.checkpoint().save(&path)?;
+        if gpu.iterations() == before {
+            break; // converged before the chunk ran anything
+        }
+    }
+    Ok(())
+}
+
+/// The checkpoint file inside a `--checkpoint` directory.
+fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join("checkpoint.mbir")
 }
 
 /// Write the structured report at `path` and its Chrome `trace_event`
 /// rendering at `<path>.trace.json`.
-fn write_profile(path: &str, report: &ProfileReport) -> Result<(), String> {
-    std::fs::write(path, report.to_json_pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+fn write_profile(path: &str, report: &ProfileReport) -> Result<(), MbirError> {
+    std::fs::write(path, report.to_json_pretty()).map_err(|e| MbirError::io(path, e))?;
     let trace = format!("{path}.trace.json");
-    std::fs::write(&trace, chrome_trace(report)).map_err(|e| format!("writing {trace}: {e}"))?;
+    std::fs::write(&trace, chrome_trace(report)).map_err(|e| MbirError::io(&trace, e))?;
     eprintln!("wrote {path} (profile) and {trace} (chrome://tracing)");
     Ok(())
 }
 
-fn cmd_fan_demo(args: &Args) -> Result<(), String> {
+fn cmd_fan_demo(args: &Args) -> Result<(), MbirError> {
     let scale = args.scale();
     let geom = scale.geometry();
     let fan = ct_core::fanbeam::FanGeometry::covering(&geom, geom.grid.bounding_radius() * 4.0);
@@ -296,13 +399,13 @@ fn cmd_fan_demo(args: &Args) -> Result<(), String> {
     println!("fan scan -> rebin -> FBP: RMSE vs truth {rmse:.1} HU");
     if let Some(out) = args.get("out") {
         io::write_pgm(&PathBuf::from(out), &rec, mu_from_hu(-1000.0), mu_from_hu(1500.0))
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| MbirError::io(out, e))?;
         eprintln!("wrote {out}");
     }
     Ok(())
 }
 
-fn cmd_volume(args: &Args) -> Result<(), String> {
+fn cmd_volume(args: &Args) -> Result<(), MbirError> {
     use ct_core::volume::Volume;
     use mbir::volume_icd::VolumeIcd;
     let scale = args.scale();
@@ -335,14 +438,14 @@ fn cmd_volume(args: &Args) -> Result<(), String> {
         for z in 0..nz {
             let path = PathBuf::from(format!("{prefix}-z{z}.pgm"));
             io::write_pgm(&path, &icd.volume().slice(z), mu_from_hu(-1000.0), mu_from_hu(1500.0))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| MbirError::io(&path, e))?;
         }
         eprintln!("wrote {nz} slice images with prefix {prefix}");
     }
     Ok(())
 }
 
-fn cmd_info(args: &Args) -> Result<(), String> {
+fn cmd_info(args: &Args) -> Result<(), MbirError> {
     let scale = args.scale();
     let geom = scale.geometry();
     println!("scale {:?}", scale);

@@ -1,0 +1,280 @@
+//! Checkpoint / resume for GPU-ICD reconstructions.
+//!
+//! A checkpoint captures *exactly* the state an interrupted
+//! reconstruction needs to continue bitwise identically to an
+//! uninterrupted run: the image, the error sinogram, the per-SV
+//! selection amounts, the iteration and global batch counters, the
+//! cumulative work stats, and the modeled clock. Nothing else is
+//! needed — all RNG streams are re-derived per iteration from
+//! `(seed, iter)` and per SV from `(seed, iter, sv)`, so a resumed
+//! iteration draws the same selection and the same voxel orders the
+//! uninterrupted run would have drawn.
+//!
+//! The format is a flat little-endian binary layout behind an 8-byte
+//! magic (`MBIRCKP1`): fixed header fields, then the three payload
+//! arrays. Readers validate the magic, every dimension, and a size cap
+//! before allocating, and report [`MbirError::Checkpoint`] — never a
+//! panic — on anything malformed. Not captured (and documented as
+//! such): the per-kernel `run_stats` aggregates and the fleet's
+//! per-device busy ledger, which restart at zero and then cover only
+//! the post-resume stretch; the fleet wall clock *is* restored so
+//! profiled spans continue on the same timeline.
+
+use crate::error::MbirError;
+use ct_core::geometry::ImageGrid;
+use mbir::sequential::IcdStats;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MBIRCKP1";
+
+/// Refuse to allocate checkpoint arrays beyond this many elements —
+/// far above any supported scale, small enough that a corrupt header
+/// cannot OOM the host.
+const MAX_ELEMS: u64 = 1 << 28;
+
+/// A serialized reconstruction state (see the module docs for what is
+/// and is not captured).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Image grid the run reconstructs on.
+    pub grid: ImageGrid,
+    /// Sinogram views.
+    pub num_views: usize,
+    /// Sinogram channels per view.
+    pub num_channels: usize,
+    /// Completed outer iterations.
+    pub iter: u64,
+    /// Global SV-batch sequence number (fault schedules key on it).
+    pub batch_seq: u64,
+    /// Cumulative work counters.
+    pub stats: IcdStats,
+    /// Modeled seconds elapsed on the (wall) timeline.
+    pub modeled_seconds: f64,
+    /// The run's RNG seed — a resume under a different seed would
+    /// silently diverge, so it is stored and checked.
+    pub seed: u64,
+    /// Device count the run was priced for.
+    pub devices: u64,
+    /// Row-major image data.
+    pub image: Vec<f32>,
+    /// Error sinogram data (`num_views x num_channels`).
+    pub error: Vec<f32>,
+    /// Per-SV update amounts driving SV selection.
+    pub update_amount: Vec<f64>,
+}
+
+impl Checkpoint {
+    /// Write the checkpoint to `path` atomically: serialize to
+    /// `<path>.tmp`, then rename over `path`, so an interrupt during
+    /// the write never leaves a truncated checkpoint behind.
+    pub fn save(&self, path: &Path) -> Result<(), MbirError> {
+        let tmp = path.with_extension("tmp");
+        let mut buf: Vec<u8> = Vec::with_capacity(
+            MAGIC.len()
+                + 12 * 8
+                + 4 * (self.image.len() + self.error.len())
+                + 8 * self.update_amount.len(),
+        );
+        buf.extend_from_slice(MAGIC);
+        for v in [
+            self.grid.nx as u64,
+            self.grid.ny as u64,
+            self.grid.pixel_size.to_bits() as u64,
+            self.num_views as u64,
+            self.num_channels as u64,
+            self.iter,
+            self.batch_seq,
+            self.stats.updates,
+            self.stats.skipped,
+            self.stats.total_abs_delta.to_bits(),
+            self.modeled_seconds.to_bits(),
+            self.seed,
+            self.devices,
+            self.update_amount.len() as u64,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.image {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.error {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        for &v in &self.update_amount {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut f = std::fs::File::create(&tmp).map_err(|e| MbirError::io(&tmp, e))?;
+        f.write_all(&buf).map_err(|e| MbirError::io(&tmp, e))?;
+        f.sync_all().map_err(|e| MbirError::io(&tmp, e))?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(|e| MbirError::io(path, e))?;
+        Ok(())
+    }
+
+    /// Read and validate a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Checkpoint, MbirError> {
+        let mut f = std::fs::File::open(path).map_err(|e| MbirError::io(path, e))?;
+        let mut magic = [0u8; 8];
+        read_exact(&mut f, &mut magic, path)?;
+        if &magic != MAGIC {
+            return Err(MbirError::Checkpoint(format!(
+                "{}: bad magic (not a checkpoint file)",
+                path.display()
+            )));
+        }
+        let mut header = [0u64; 14];
+        for h in &mut header {
+            *h = read_u64(&mut f, path)?;
+        }
+        let [nx, ny, pixel_bits, num_views, num_channels, iter, batch_seq, updates, skipped, abs_delta_bits, seconds_bits, seed, devices, sv_count] =
+            header;
+        let voxels = checked_elems(nx, ny, "image", path)?;
+        let samples = checked_elems(num_views, num_channels, "error sinogram", path)?;
+        if sv_count > MAX_ELEMS {
+            return Err(MbirError::Checkpoint(format!(
+                "{}: implausible SV count {sv_count}",
+                path.display()
+            )));
+        }
+        let image = read_f32_vec(&mut f, voxels, path)?;
+        let error = read_f32_vec(&mut f, samples, path)?;
+        let update_amount = read_f64_vec(&mut f, sv_count as usize, path)?;
+        let mut trailing = [0u8; 1];
+        if f.read(&mut trailing).map_err(|e| MbirError::io(path, e))? != 0 {
+            return Err(MbirError::Checkpoint(format!(
+                "{}: trailing bytes after payload",
+                path.display()
+            )));
+        }
+        Ok(Checkpoint {
+            grid: ImageGrid {
+                nx: nx as usize,
+                ny: ny as usize,
+                pixel_size: f32::from_bits(pixel_bits as u32),
+            },
+            num_views: num_views as usize,
+            num_channels: num_channels as usize,
+            iter,
+            batch_seq,
+            stats: IcdStats { updates, skipped, total_abs_delta: f64::from_bits(abs_delta_bits) },
+            modeled_seconds: f64::from_bits(seconds_bits),
+            seed,
+            devices,
+            image,
+            error,
+            update_amount,
+        })
+    }
+}
+
+fn checked_elems(a: u64, b: u64, what: &str, path: &Path) -> Result<usize, MbirError> {
+    match a.checked_mul(b) {
+        Some(n) if n > 0 && n <= MAX_ELEMS => Ok(n as usize),
+        _ => Err(MbirError::Checkpoint(format!(
+            "{}: implausible {what} dimensions {a} x {b}",
+            path.display()
+        ))),
+    }
+}
+
+fn read_exact(f: &mut std::fs::File, buf: &mut [u8], path: &Path) -> Result<(), MbirError> {
+    f.read_exact(buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => {
+            MbirError::Checkpoint(format!("{}: truncated", path.display()))
+        }
+        _ => MbirError::io(path, e),
+    })
+}
+
+fn read_u64(f: &mut std::fs::File, path: &Path) -> Result<u64, MbirError> {
+    let mut b = [0u8; 8];
+    read_exact(f, &mut b, path)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32_vec(f: &mut std::fs::File, n: usize, path: &Path) -> Result<Vec<f32>, MbirError> {
+    let mut bytes = vec![0u8; n * 4];
+    read_exact(f, &mut bytes, path)?;
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+fn read_f64_vec(f: &mut std::fs::File, n: usize, path: &Path) -> Result<Vec<f64>, MbirError> {
+    let mut bytes = vec![0u8; n * 8];
+    read_exact(f, &mut bytes, path)?;
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            grid: ImageGrid { nx: 3, ny: 2, pixel_size: 0.5 },
+            num_views: 2,
+            num_channels: 4,
+            iter: 7,
+            batch_seq: 19,
+            stats: IcdStats { updates: 100, skipped: 3, total_abs_delta: 1.25 },
+            modeled_seconds: 0.125,
+            seed: 13,
+            devices: 4,
+            image: vec![0.0, 1.0, -2.5, f32::MIN_POSITIVE, 4.0, 5.5],
+            error: (0..8).map(|i| i as f32 * 0.1).collect(),
+            update_amount: vec![0.5, 0.0, 1e-9],
+        }
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let dir = std::env::temp_dir().join(format!("mbir-ckp-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.mbir");
+        let ckp = sample();
+        ckp.save(&path).expect("saves");
+        let back = Checkpoint::load(&path).expect("loads");
+        assert_eq!(ckp, back);
+        assert!(!path.with_extension("tmp").exists(), "tmp file renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let dir = std::env::temp_dir().join(format!("mbir-ckp-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let garbage = dir.join("garbage.mbir");
+        std::fs::write(&garbage, b"not a checkpoint").unwrap();
+        assert!(matches!(Checkpoint::load(&garbage), Err(MbirError::Checkpoint(_))));
+
+        let path = dir.join("checkpoint.mbir");
+        sample().save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let truncated = dir.join("truncated.mbir");
+        std::fs::write(&truncated, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(Checkpoint::load(&truncated), Err(MbirError::Checkpoint(_))));
+
+        let bloated = dir.join("bloated.mbir");
+        let mut evil = bytes.clone();
+        // Corrupt nx (first header field after the magic) to a huge
+        // value: the loader must refuse before allocating.
+        evil[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&bloated, &evil).unwrap();
+        assert!(matches!(Checkpoint::load(&bloated), Err(MbirError::Checkpoint(_))));
+
+        let padded = dir.join("padded.mbir");
+        let mut extra = bytes;
+        extra.push(0);
+        std::fs::write(&padded, &extra).unwrap();
+        assert!(matches!(Checkpoint::load(&padded), Err(MbirError::Checkpoint(_))));
+
+        let missing = dir.join("missing.mbir");
+        assert!(matches!(Checkpoint::load(&missing), Err(MbirError::Io { .. })));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -14,6 +14,8 @@
 //! - SVs of one checkerboard group never share boundary voxels, so the
 //!   emulation order within a batch cannot change results.
 
+use crate::checkpoint::Checkpoint;
+use crate::error::MbirError;
 use crate::fleet::FleetState;
 use crate::model::{BatchTiming, GpuWorkModel, ProfileSkeleton};
 use crate::opts::{GpuOptions, Layout};
@@ -27,8 +29,8 @@ use mbir::convergence::ConvergenceTrace;
 use mbir::prior::{clique_weight, Prior};
 use mbir::sequential::IcdStats;
 use mbir::update::WeightedError;
-use mbir_fleet::{FleetReport, FleetSpec};
-use mbir_telemetry::{ConvergencePoint, IterationSample, ProfileSink, RecordingSink};
+use mbir_fleet::{FaultEvent, FaultSpec, FleetReport, FleetSpec};
+use mbir_telemetry::{ConvergencePoint, FaultRecord, IterationSample, ProfileSink, RecordingSink};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -273,12 +275,28 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
 
     /// Replace the fleet's machine description (e.g. to price NVLink
     /// instead of the default PCIe). Must be called before the first
-    /// iteration, with a spec sized for `opts.devices`; a no-op request
-    /// for a single-device run is rejected the same way.
-    pub fn set_fleet_spec(&mut self, spec: FleetSpec) {
-        assert!(self.opts.devices > 1, "fleet spec applies to multi-device runs only");
-        assert_eq!(self.iter, 0, "fleet spec must be set before the first iteration");
-        self.fleet = Some(FleetState::new(
+    /// iteration, with a spec sized for `opts.devices`; a request for
+    /// a single-device run is rejected the same way. An installed
+    /// fault schedule carries over to the new fleet state.
+    pub fn set_fleet_spec(&mut self, spec: FleetSpec) -> Result<(), MbirError> {
+        if self.opts.devices <= 1 {
+            return Err(MbirError::Usage(
+                "fleet spec applies to multi-device runs only (set --devices > 1)".into(),
+            ));
+        }
+        if self.iter != 0 {
+            return Err(MbirError::Usage(
+                "fleet spec must be set before the first iteration".into(),
+            ));
+        }
+        if spec.devices != self.opts.devices {
+            return Err(MbirError::Usage(format!(
+                "fleet spec sized for {} devices, run uses {}",
+                spec.devices, self.opts.devices
+            )));
+        }
+        let faults = self.fleet.as_ref().map(|fs| fs.faults.clone());
+        let mut fs = FleetState::new(
             &self.model,
             &self.skeleton,
             &self.plan,
@@ -286,7 +304,32 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
             &self.opts,
             self.a.geometry().num_channels,
             spec,
-        ));
+        );
+        if let Some(f) = faults {
+            fs.set_faults(f);
+        }
+        self.fleet = Some(fs);
+        Ok(())
+    }
+
+    /// Install a deterministic fault schedule (validated against the
+    /// fleet size). Must be called before the first iteration; the
+    /// schedule bends only the modeled timeline — the reconstruction
+    /// stays bitwise identical to a healthy run.
+    pub fn set_fault_spec(&mut self, spec: FaultSpec) -> Result<(), MbirError> {
+        if self.iter != 0 {
+            return Err(MbirError::Usage(
+                "fault schedule must be set before the first iteration".into(),
+            ));
+        }
+        let Some(fs) = self.fleet.as_mut() else {
+            return Err(MbirError::Usage(
+                "fault injection requires a multi-device run (set --devices > 1)".into(),
+            ));
+        };
+        spec.validate(fs.fleet.devices()).map_err(MbirError::Usage)?;
+        fs.set_faults(spec);
+        Ok(())
     }
 
     /// The fleet ledger (per-device utilization, exchange bytes and
@@ -523,7 +566,59 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
     /// the all-gather exchange. Per-device timings accumulate into
     /// `run_stats` (which therefore sums *device-seconds*, while
     /// `modeled_seconds` tracks the wall timeline).
+    ///
+    /// With no fault schedule installed this is the exact pre-fault
+    /// pricing path; with one, the faulty path layers stragglers,
+    /// degraded links, and reshard-and-retry recovery on top of the
+    /// same functional results (which `process_batch` already
+    /// committed — faults can only bend the timeline).
     fn price_fleet_batch(&mut self, tally: &BatchTally, batch: &[usize]) -> f64 {
+        let fs = self.fleet.as_ref().expect("fleet path requires fleet state");
+        if fs.faults.is_empty() {
+            self.price_fleet_batch_healthy(tally, batch)
+        } else {
+            self.price_fleet_batch_faulty(tally, batch)
+        }
+    }
+
+    /// Model each device's kernels for one batch attempt on its own
+    /// host worker; `None` marks a device with nothing launched.
+    /// Profiled spans are emitted against `batch_id`, starting at
+    /// `start` on the fleet timeline.
+    fn price_device_tallies(
+        &self,
+        device_tallies: &[BatchTally],
+        batch_id: u64,
+        start: f64,
+    ) -> Vec<Option<BatchTiming>> {
+        let num_channels = self.a.geometry().num_channels;
+        let model = &self.model;
+        let skeleton = &self.skeleton;
+        let sink = self.sink.clone();
+        let iter = self.iter;
+        mbir_parallel::par_map(self.opts.threads, device_tallies.len(), |d| {
+            let t = &device_tallies[d];
+            if t.svs.is_empty() {
+                return None; // nothing launched on this device
+            }
+            Some(match &sink {
+                Some(s) => model.batch_profiled(
+                    skeleton,
+                    t,
+                    num_channels,
+                    s.as_ref(),
+                    d as u64,
+                    iter,
+                    batch_id,
+                    start,
+                ),
+                None => model.batch_with(skeleton, t, num_channels),
+            })
+        })
+    }
+
+    /// The healthy fleet pricing path (no fault schedule).
+    fn price_fleet_batch_healthy(&mut self, tally: &BatchTally, batch: &[usize]) -> f64 {
         let fs = self.fleet.as_ref().expect("fleet path requires fleet state");
         let devices = fs.fleet.devices();
 
@@ -533,7 +628,7 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
             (0..devices).map(|_| BatchTally::default()).collect();
         let mut payloads = vec![0u64; devices];
         for (bi, &sv) in batch.iter().enumerate() {
-            let d = fs.shard.device_of(sv);
+            let d = fs.device_of(sv);
             device_tallies[d].svs.push(tally.svs[bi]);
             payloads[d] += fs.payload_bytes[sv];
         }
@@ -541,31 +636,7 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         // Every device's kernels start together at the batch boundary
         // on the fleet's bulk-synchronous timeline.
         let start = fs.fleet.wall_seconds();
-        let num_channels = self.a.geometry().num_channels;
-        let model = &self.model;
-        let skeleton = &self.skeleton;
-        let sink = self.sink.clone();
-        let (iter, batch_seq) = (self.iter, self.batch_seq);
-        let timings: Vec<Option<BatchTiming>> =
-            mbir_parallel::par_map(self.opts.threads, devices, |d| {
-                let t = &device_tallies[d];
-                if t.svs.is_empty() {
-                    return None; // nothing launched on this device
-                }
-                Some(match &sink {
-                    Some(s) => model.batch_profiled(
-                        skeleton,
-                        t,
-                        num_channels,
-                        s.as_ref(),
-                        d as u64,
-                        iter,
-                        batch_seq,
-                        start,
-                    ),
-                    None => model.batch_with(skeleton, t, num_channels),
-                })
-            });
+        let timings = self.price_device_tallies(&device_tallies, self.batch_seq, start);
         self.batch_seq += 1;
 
         let kernel_seconds: Vec<f64> =
@@ -575,6 +646,209 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         }
         let fs = self.fleet.as_mut().expect("fleet path requires fleet state");
         fs.fleet.batch(&kernel_seconds, &payloads).wall_seconds()
+    }
+
+    /// The fault-injected fleet pricing path: apply straggler and
+    /// degraded-link episodes, and on a scheduled device failure lose
+    /// the attempt's span at the barrier, charge the detect/re-init
+    /// backoff, reshard over the survivors, and re-price the failed
+    /// shard's work there before the (shrunken-ring) exchange.
+    fn price_fleet_batch_faulty(&mut self, tally: &BatchTally, batch: &[usize]) -> f64 {
+        let batch_id = self.batch_seq;
+        self.batch_seq += 1;
+        self.note_episode_onsets(batch_id);
+
+        let fs = self.fleet.as_ref().expect("fleet path requires fleet state");
+        let devices = fs.fleet.devices();
+        let wall_before = fs.fleet.wall_seconds();
+
+        // Shard the tallies over the live owners, remembering which
+        // device holds each batch entry so a failure knows exactly
+        // what to re-run.
+        let mut device_tallies: Vec<BatchTally> =
+            (0..devices).map(|_| BatchTally::default()).collect();
+        let mut owner = vec![0usize; batch.len()];
+        for (bi, &sv) in batch.iter().enumerate() {
+            let d = fs.device_of(sv);
+            owner[bi] = d;
+            device_tallies[d].svs.push(tally.svs[bi]);
+        }
+
+        // Price the attempt. Stragglers stretch the *ledger* seconds;
+        // profiled spans keep their nominal kernel durations (the
+        // slowdown is an episode on the timeline, not a new kernel).
+        let timings = self.price_device_tallies(&device_tallies, batch_id, wall_before);
+        for t in timings.iter().flatten() {
+            self.run_stats.add(t);
+        }
+        let fs = self.fleet.as_ref().expect("fleet path requires fleet state");
+        let mut kernel_seconds: Vec<f64> =
+            timings.iter().map(|t| t.as_ref().map_or(0.0, |t| t.seconds())).collect();
+        for (d, k) in kernel_seconds.iter_mut().enumerate() {
+            *k *= fs.faults.slowdown(d, batch_id);
+        }
+
+        // A degraded link divides the interconnect bandwidth by the
+        // episode factor (factor 1.0 is the exact healthy pricing).
+        let link = fs.faults.link_factor(batch_id);
+        let bw = if link == 1.0 { 1.0 } else { 1.0 / link };
+
+        let failures: Vec<usize> =
+            fs.faults.failures_at(batch_id).into_iter().filter(|&d| fs.live[d]).collect();
+
+        // Returned batch seconds are summed from the per-batch cost
+        // components (never differenced off the wall clock), so a
+        // resumed run — whose wall clock fast-forwards to the
+        // checkpoint's total — accumulates bitwise-identical modeled
+        // seconds to an uninterrupted one.
+        if failures.is_empty() {
+            let mut payloads = vec![0u64; devices];
+            for (bi, &sv) in batch.iter().enumerate() {
+                payloads[owner[bi]] += fs.payload_bytes[sv];
+            }
+            let live = fs.live.clone();
+            let fs = self.fleet.as_mut().expect("fleet path requires fleet state");
+            return fs
+                .fleet
+                .batch_among(&kernel_seconds, &payloads, Some(&live), bw)
+                .wall_seconds();
+        }
+
+        // Device failure(s) strike at this batch's barrier: the
+        // attempt's span elapses, the failed devices' work is lost.
+        let backoff = fs.faults.backoff_seconds;
+        let fs = self.fleet.as_mut().expect("fleet path requires fleet state");
+        let attempt_span = fs.fleet.span(&kernel_seconds);
+        let barrier = fs.fleet.wall_seconds();
+        for &f in &failures {
+            fs.fleet.record_fault();
+            fs.fleet.record_lost(kernel_seconds[f]);
+        }
+        fs.fleet.penalty(backoff);
+        if let Some(sink) = &self.sink {
+            for &f in &failures {
+                sink.fault(&FaultRecord {
+                    kind: "device_failure".into(),
+                    device: Some(f as u64),
+                    iteration: self.iter,
+                    batch: batch_id,
+                    start_seconds: barrier,
+                    duration_seconds: 0.0,
+                    detail: format!("device {f} failed at the batch barrier; shard work lost"),
+                });
+            }
+        }
+
+        // Reshard over the survivors (deterministic: the retained
+        // per-SV costs re-run the same LPT partition any device count
+        // would get), then re-price only the lost entries there.
+        for &f in &failures {
+            fs.kill(f);
+        }
+        let mut retry_tallies: Vec<BatchTally> =
+            (0..devices).map(|_| BatchTally::default()).collect();
+        let mut retried = 0usize;
+        for (bi, &sv) in batch.iter().enumerate() {
+            if failures.contains(&owner[bi]) {
+                let d = fs.device_of(sv);
+                owner[bi] = d;
+                retry_tallies[d].svs.push(tally.svs[bi]);
+                retried += 1;
+            }
+        }
+        let retry_start = fs.fleet.wall_seconds();
+
+        let retry_timings = self.price_device_tallies(&retry_tallies, batch_id, retry_start);
+        for t in retry_timings.iter().flatten() {
+            self.run_stats.add(t);
+        }
+        let fs = self.fleet.as_mut().expect("fleet path requires fleet state");
+        let mut retry_seconds: Vec<f64> =
+            retry_timings.iter().map(|t| t.as_ref().map_or(0.0, |t| t.seconds())).collect();
+        for (d, k) in retry_seconds.iter_mut().enumerate() {
+            *k *= fs.faults.slowdown(d, batch_id);
+        }
+        let retry_span = fs.fleet.span(&retry_seconds);
+        fs.fleet.record_recovery(retry_span);
+
+        // The all-gather runs once, after recovery, over the shrunken
+        // ring, with every payload published by its final owner.
+        let mut payloads = vec![0u64; devices];
+        for (bi, &sv) in batch.iter().enumerate() {
+            payloads[owner[bi]] += fs.payload_bytes[sv];
+        }
+        let live = fs.live.clone();
+        let survivors = fs.live_devices();
+        let exchange =
+            fs.fleet.batch_among(&vec![0.0; devices], &payloads, Some(&live), bw).wall_seconds();
+        if let Some(sink) = &self.sink {
+            sink.fault(&FaultRecord {
+                kind: "recovery".into(),
+                device: None,
+                iteration: self.iter,
+                batch: batch_id,
+                start_seconds: barrier,
+                duration_seconds: backoff + retry_span,
+                detail: format!(
+                    "resharded over {survivors} survivors; re-ran {retried} SV(s): \
+                     {backoff:.3}s backoff + {retry_span:.3e}s retry"
+                ),
+            });
+        }
+        attempt_span + backoff + retry_span + exchange
+    }
+
+    /// Surface straggler / degraded-link episode onsets to the fault
+    /// lane, once per episode, at the first batch each covers.
+    fn note_episode_onsets(&mut self, batch_id: u64) {
+        let Some(fs) = self.fleet.as_mut() else { return };
+        for (i, ev) in fs.faults.events.clone().iter().enumerate() {
+            if fs.episode_emitted[i] {
+                continue;
+            }
+            let record = match *ev {
+                FaultEvent::Straggler { device, from_batch, to_batch, factor }
+                    if (from_batch..=to_batch).contains(&batch_id) =>
+                {
+                    Some(FaultRecord {
+                        kind: "straggler".into(),
+                        device: Some(device as u64),
+                        iteration: self.iter,
+                        batch: batch_id,
+                        start_seconds: fs.fleet.wall_seconds(),
+                        duration_seconds: 0.0,
+                        detail: format!(
+                            "device {device} running {factor:.2}x slower for batches \
+                             {from_batch}..={to_batch}"
+                        ),
+                    })
+                }
+                FaultEvent::DegradedLink { from_batch, to_batch, factor }
+                    if (from_batch..=to_batch).contains(&batch_id) =>
+                {
+                    Some(FaultRecord {
+                        kind: "degraded_link".into(),
+                        device: None,
+                        iteration: self.iter,
+                        batch: batch_id,
+                        start_seconds: fs.fleet.wall_seconds(),
+                        duration_seconds: 0.0,
+                        detail: format!(
+                            "interconnect at 1/{factor:.2} bandwidth for batches \
+                             {from_batch}..={to_batch}"
+                        ),
+                    })
+                }
+                _ => None,
+            };
+            if let Some(r) = record {
+                fs.episode_emitted[i] = true;
+                fs.fleet.record_fault();
+                if let Some(sink) = &self.sink {
+                    sink.fault(&r);
+                }
+            }
+        }
     }
 
     /// Iterate until RMSE against `golden` drops below `threshold_hu`,
@@ -630,6 +904,121 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
     /// Cumulative counters.
     pub fn stats(&self) -> IcdStats {
         self.stats
+    }
+
+    /// Completed outer iterations.
+    pub fn iterations(&self) -> u64 {
+        self.iter
+    }
+
+    /// Snapshot everything a resume needs to continue bitwise
+    /// identically (see [`Checkpoint`] for what is captured and what
+    /// deliberately is not).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            grid: self.image.grid(),
+            num_views: self.error.num_views(),
+            num_channels: self.error.num_channels(),
+            iter: self.iter,
+            batch_seq: self.batch_seq,
+            stats: self.stats,
+            modeled_seconds: self.modeled_seconds,
+            seed: self.opts.seed,
+            devices: self.opts.devices as u64,
+            image: self.image.data().to_vec(),
+            error: self.error.data().to_vec(),
+            update_amount: self.update_amount.clone(),
+        }
+    }
+
+    /// Restore a checkpointed state into a freshly-built driver. The
+    /// driver must be configured exactly as the checkpointed run was
+    /// (same geometry, seed, and device count; if fault injection is
+    /// in play, install the same schedule via [`GpuIcd::set_fault_spec`]
+    /// *before* this call) — resuming then continues bitwise
+    /// identically to a run that was never interrupted. Per-kernel
+    /// `run_stats` and the fleet's per-device busy ledger restart at
+    /// zero and cover only the post-resume stretch; the fleet wall
+    /// clock fast-forwards so the timeline (and any profiled spans)
+    /// continues where it left off, and any failures the schedule
+    /// placed before the checkpoint are replayed so the shard plan
+    /// matches the interrupted run's.
+    pub fn restore(&mut self, ckp: &Checkpoint) -> Result<(), MbirError> {
+        if self.iter != 0 {
+            return Err(MbirError::Checkpoint(
+                "restore requires a freshly-built driver (no iterations run)".into(),
+            ));
+        }
+        if ckp.grid != self.image.grid() {
+            return Err(MbirError::Checkpoint(format!(
+                "checkpoint grid {}x{} does not match run grid {}x{}",
+                ckp.grid.nx,
+                ckp.grid.ny,
+                self.image.grid().nx,
+                self.image.grid().ny
+            )));
+        }
+        if ckp.num_views != self.error.num_views() || ckp.num_channels != self.error.num_channels()
+        {
+            return Err(MbirError::Checkpoint(format!(
+                "checkpoint sinogram {}x{} does not match run sinogram {}x{}",
+                ckp.num_views,
+                ckp.num_channels,
+                self.error.num_views(),
+                self.error.num_channels()
+            )));
+        }
+        if ckp.seed != self.opts.seed {
+            return Err(MbirError::Checkpoint(format!(
+                "checkpoint was taken under seed {}, run uses seed {} (resuming would \
+                 silently diverge)",
+                ckp.seed, self.opts.seed
+            )));
+        }
+        if ckp.devices != self.opts.devices as u64 {
+            return Err(MbirError::Checkpoint(format!(
+                "checkpoint was priced for {} device(s), run uses {}",
+                ckp.devices, self.opts.devices
+            )));
+        }
+        if ckp.update_amount.len() != self.tiling.len() {
+            return Err(MbirError::Checkpoint(format!(
+                "checkpoint has {} SV amounts, run tiles {} SVs (different sv_side?)",
+                ckp.update_amount.len(),
+                self.tiling.len()
+            )));
+        }
+        self.image.data_mut().copy_from_slice(&ckp.image);
+        self.error.data_mut().copy_from_slice(&ckp.error);
+        self.update_amount.copy_from_slice(&ckp.update_amount);
+        self.iter = ckp.iter;
+        self.batch_seq = ckp.batch_seq;
+        self.stats = ckp.stats;
+        self.modeled_seconds = ckp.modeled_seconds;
+        if let Some(fs) = self.fleet.as_mut() {
+            fs.fleet.fast_forward_to(ckp.modeled_seconds);
+            // Replay the schedule's history up to the checkpoint:
+            // failures already struck (re-kill, resharding exactly as
+            // the interrupted run did) and episodes already surfaced
+            // (don't re-emit their onsets).
+            for (i, ev) in fs.faults.events.clone().iter().enumerate() {
+                match *ev {
+                    FaultEvent::DeviceFailure { device, batch }
+                        if batch < ckp.batch_seq && fs.live[device] =>
+                    {
+                        fs.kill(device);
+                    }
+                    FaultEvent::Straggler { from_batch, .. } if from_batch < ckp.batch_seq => {
+                        fs.episode_emitted[i] = true;
+                    }
+                    FaultEvent::DegradedLink { from_batch, .. } if from_batch < ckp.batch_seq => {
+                        fs.episode_emitted[i] = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Total modeled GPU seconds.

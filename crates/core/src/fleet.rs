@@ -19,19 +19,35 @@
 use crate::model::{GpuWorkModel, ProfileSkeleton};
 use crate::opts::GpuOptions;
 use crate::tally::{BatchTally, SvTally};
-use mbir_fleet::{Fleet, FleetReport, FleetSpec, ShardPlan};
+use mbir_fleet::{FaultSpec, Fleet, FleetReport, FleetSpec, ShardPlan};
 use supervoxel::plan::{SvPlan, SvPlanSet};
 use supervoxel::tiling::Tiling;
 
-/// Sharding plan, per-SV exchange payloads, and the fleet clocks for
-/// one GPU-ICD run.
+/// Sharding plan, per-SV exchange payloads, liveness, fault schedule,
+/// and the fleet clocks for one GPU-ICD run.
 pub struct FleetState {
+    /// Partition of SVs over *shard slots*; [`FleetState::device_ids`]
+    /// maps a slot to the physical device holding it (the identity map
+    /// until a failure shrinks the fleet).
     pub(crate) shard: ShardPlan,
+    /// Shard slot -> physical device id (one entry per live device).
+    pub(crate) device_ids: Vec<usize>,
+    /// Per physical device: still alive?
+    pub(crate) live: Vec<bool>,
+    /// Modeled per-SV cost the shard is balanced by — retained so a
+    /// failure can re-run the LPT partition over the survivors.
+    pub(crate) costs: Vec<f64>,
     /// Per SV: bytes the owning device publishes after a batch touching
     /// it — the SV's error-band delta plane plus its boundary-voxel
     /// image halo.
     pub(crate) payload_bytes: Vec<u64>,
     pub(crate) fleet: Fleet,
+    /// Scheduled adverse events (empty = healthy run, priced on the
+    /// exact pre-fault path).
+    pub(crate) faults: FaultSpec,
+    /// Per fault event: already surfaced to the telemetry fault lane?
+    /// (Episodes spanning many batches are reported once, at onset.)
+    pub(crate) episode_emitted: Vec<bool>,
 }
 
 impl FleetState {
@@ -60,7 +76,17 @@ impl FleetState {
                 plan.svb_bytes as u64 + halo
             })
             .collect();
-        FleetState { shard, payload_bytes, fleet: Fleet::new(spec) }
+        let devices = spec.devices;
+        FleetState {
+            shard,
+            device_ids: (0..devices).collect(),
+            live: vec![true; devices],
+            costs,
+            payload_bytes,
+            fleet: Fleet::new(spec),
+            faults: FaultSpec::none(),
+            episode_emitted: Vec::new(),
+        }
     }
 
     /// The sharding plan in force.
@@ -68,8 +94,39 @@ impl FleetState {
         &self.shard
     }
 
+    /// Physical device currently owning `sv`.
+    pub fn device_of(&self, sv: usize) -> usize {
+        self.device_ids[self.shard.device_of(sv)]
+    }
+
+    /// Install a fault schedule (validated against the device count).
+    pub(crate) fn set_faults(&mut self, spec: FaultSpec) {
+        self.episode_emitted = vec![false; spec.events.len()];
+        self.faults = spec;
+    }
+
+    /// Devices still alive.
+    pub fn live_devices(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Mark `device` dead and re-run the LPT partition of *all* SVs
+    /// over the survivors (the retained per-SV costs make the new plan
+    /// deterministic and as balanced as the original). Panics if it
+    /// would leave no survivor — [`FaultSpec::validate`] rules that
+    /// out for any schedule reaching the driver.
+    pub(crate) fn kill(&mut self, device: usize) {
+        assert!(self.live[device], "device {device} already dead");
+        self.live[device] = false;
+        let survivors = self.live_devices();
+        assert!(survivors >= 1, "fault schedule left no survivor");
+        self.device_ids =
+            self.live.iter().enumerate().filter(|(_, &l)| l).map(|(d, _)| d).collect();
+        self.shard = ShardPlan::balanced(&self.costs, survivors);
+    }
+
     /// Snapshot of the fleet ledger (wall seconds, exchange bytes,
-    /// per-device utilization).
+    /// per-device utilization, fault/recovery counters).
     pub fn report(&self) -> FleetReport {
         self.fleet.report()
     }
@@ -155,6 +212,35 @@ mod tests {
         let (fs, n) = state(2);
         assert_eq!(fs.payload_bytes.len(), n);
         assert!(fs.payload_bytes.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn kill_reshards_all_svs_over_survivors() {
+        let (mut fs, n) = state(3);
+        assert_eq!(fs.live_devices(), 3);
+        fs.kill(1);
+        assert_eq!(fs.live_devices(), 2);
+        assert!(!fs.live[1]);
+        assert_eq!(fs.device_ids, vec![0, 2], "slots map to the survivors");
+        assert_eq!(fs.shard().svs(), n, "every SV still owned");
+        for sv in 0..n {
+            let d = fs.device_of(sv);
+            assert!(d == 0 || d == 2, "sv {sv} owned by dead device {d}");
+        }
+        // The new plan is the same LPT partition a 2-device fleet
+        // would have been given from the start.
+        let (two, _) = state(2);
+        for sv in 0..n {
+            assert_eq!(fs.shard().device_of(sv), two.shard().device_of(sv));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already dead")]
+    fn double_kill_is_a_bug() {
+        let (mut fs, _) = state(2);
+        fs.kill(0);
+        fs.kill(0);
     }
 
     #[test]

@@ -39,14 +39,18 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod driver;
+pub mod error;
 pub mod fleet;
 pub mod kernels;
 pub mod model;
 pub mod opts;
 pub mod tally;
 
+pub use checkpoint::Checkpoint;
 pub use driver::{plan_config, GpuIcd, GpuIterationReport};
+pub use error::MbirError;
 pub use fleet::FleetState;
 pub use model::{GpuWorkModel, ProfileSkeleton};
 pub use opts::{AMatrixMode, GpuOptions, L2ReadWidth, Layout, RegisterMode};

@@ -9,12 +9,30 @@ use crate::sinogram::Sinogram;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+/// Refuse PGM payloads beyond this many pixels — far above any grid
+/// this project reconstructs, small enough that a hostile header
+/// cannot make `read_pgm` allocate gigabytes.
+const MAX_PGM_PIXELS: u64 = 1 << 28;
+
+fn invalid(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
 /// Write an image as a binary 8-bit PGM, windowed to `[lo, hi]`
 /// (values clamp). Use [`crate::hu`] conversions to pick clinically
-/// meaningful windows.
+/// meaningful windows. A non-finite pixel is an error, not a silently
+/// windowed artifact: NaN would otherwise quantize to an arbitrary
+/// byte and round-trip as a plausible-looking value.
 pub fn write_pgm(path: &Path, img: &Image, lo: f32, hi: f32) -> std::io::Result<()> {
     assert!(hi > lo, "window must be nonempty");
     let grid = img.grid();
+    if let Some(pos) = img.data().iter().position(|v| !v.is_finite()) {
+        let (row, col) = (pos / grid.nx, pos % grid.nx);
+        return Err(invalid(format!(
+            "non-finite pixel {} at ({row}, {col}) cannot be windowed to PGM",
+            img.data()[pos]
+        )));
+    }
     let f = std::fs::File::create(path)?;
     let mut w = BufWriter::new(f);
     writeln!(w, "P5")?;
@@ -28,6 +46,11 @@ pub fn write_pgm(path: &Path, img: &Image, lo: f32, hi: f32) -> std::io::Result<
 }
 
 /// Read a binary 8-bit PGM back into an image on `[lo, hi]`.
+///
+/// Hardened against hostile headers: dimensions multiply through a
+/// checked path capped at [`MAX_PGM_PIXELS`], zero-sized grids and any
+/// maxval other than 255 (the only depth [`write_pgm`] produces) are
+/// [`std::io::ErrorKind::InvalidData`] — never a panic or an OOM.
 pub fn read_pgm(path: &Path, pixel_size: f32, lo: f32, hi: f32) -> std::io::Result<Image> {
     let f = std::fs::File::open(path)?;
     let mut r = BufReader::new(f);
@@ -35,26 +58,30 @@ pub fn read_pgm(path: &Path, pixel_size: f32, lo: f32, hi: f32) -> std::io::Resu
     // Magic, dimensions, maxval (no comment support — we wrote it).
     r.read_line(&mut header)?;
     if header.trim() != "P5" {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "not a binary PGM"));
+        return Err(invalid("not a binary PGM"));
     }
     let mut dims = String::new();
     r.read_line(&mut dims)?;
     let mut it = dims.split_whitespace();
-    let nx: usize = it
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad dims"))?;
-    let ny: usize = it
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad dims"))?;
+    let nx: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| invalid("bad dims"))?;
+    let ny: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| invalid("bad dims"))?;
+    let pixels = match nx.checked_mul(ny) {
+        Some(n) if n > 0 && n <= MAX_PGM_PIXELS => n as usize,
+        _ => return Err(invalid(format!("implausible PGM dimensions {nx} x {ny}"))),
+    };
     let mut maxval = String::new();
     r.read_line(&mut maxval)?;
-    let mut bytes = vec![0u8; nx * ny];
+    if maxval.trim() != "255" {
+        return Err(invalid(format!(
+            "unsupported maxval `{}` (only 8-bit PGMs with maxval 255)",
+            maxval.trim()
+        )));
+    }
+    let mut bytes = vec![0u8; pixels];
     r.read_exact(&mut bytes)?;
     let scale = (hi - lo) / 255.0;
     let data = bytes.iter().map(|&b| lo + b as f32 * scale).collect();
-    Ok(Image::from_vec(ImageGrid { nx, ny, pixel_size }, data))
+    Ok(Image::from_vec(ImageGrid { nx: nx as usize, ny: ny as usize, pixel_size }, data))
 }
 
 /// Write a sinogram as CSV (one row per view), full precision.
@@ -188,5 +215,39 @@ mod tests {
         let path = tmp("empty.csv");
         std::fs::write(&path, "").unwrap();
         assert!(read_sinogram_csv(&path).is_err());
+    }
+
+    #[test]
+    fn hostile_pgm_headers_error_without_allocating() {
+        let cases: &[(&str, &[u8])] = &[
+            // nx * ny overflows usize multiplication on 64-bit too.
+            ("overflow.pgm", b"P5\n18446744073709551615 2\n255\n"),
+            // Huge-but-representable product must hit the cap, not OOM.
+            ("huge.pgm", b"P5\n1000000000 1000000000\n255\n"),
+            ("zero.pgm", b"P5\n0 5\n255\n"),
+            ("maxval16.pgm", b"P5\n2 2\n16\n\x00\x01\x02\x03"),
+            ("maxval65535.pgm", b"P5\n2 2\n65535\n\x00\x01\x02\x03"),
+            ("nonnumeric.pgm", b"P5\nab cd\n255\n"),
+        ];
+        for (name, bytes) in cases {
+            let path = tmp(name);
+            std::fs::write(&path, bytes).unwrap();
+            let err = read_pgm(&path, 1.0, 0.0, 1.0).expect_err(name);
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{name}");
+        }
+    }
+
+    #[test]
+    fn non_finite_pixels_refuse_to_window() {
+        let g = Geometry::tiny_scale();
+        let mut img = Phantom::shepp_logan().render(g.grid, 1);
+        img.data_mut()[3] = f32::NAN;
+        let path = tmp("nan.pgm");
+        let err = write_pgm(&path, &img, 0.0, 1.0).expect_err("NaN must not serialize");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("(0, 3)"), "{err}");
+
+        img.data_mut()[3] = f32::INFINITY;
+        assert!(write_pgm(&path, &img, 0.0, 1.0).is_err());
     }
 }

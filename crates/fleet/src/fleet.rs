@@ -58,6 +58,15 @@ pub struct FleetReport {
     pub exchange_bytes: u64,
     /// Number of sharded batches priced.
     pub batches: u64,
+    /// Injected faults the timeline absorbed (device failures,
+    /// straggler episodes, degraded-link episodes).
+    pub faults: u64,
+    /// Seconds of the timeline spent recovering from device failures
+    /// (detection backoff plus the resharded retry spans).
+    pub recovery_seconds: f64,
+    /// Per-device compute seconds thrown away at failure barriers
+    /// (work a failed device had finished that had to be re-run).
+    pub lost_seconds: f64,
     /// Per-device busy/idle/utilization, indexed by device id.
     pub per_device: Vec<DeviceReport>,
 }
@@ -71,6 +80,9 @@ pub struct Fleet {
     exchange_seconds: f64,
     exchange_bytes: u64,
     batches: u64,
+    faults: u64,
+    recovery_seconds: f64,
+    lost_seconds: f64,
     busy: Vec<f64>,
 }
 
@@ -87,6 +99,9 @@ impl Fleet {
             exchange_seconds: 0.0,
             exchange_bytes: 0,
             batches: 0,
+            faults: 0,
+            recovery_seconds: 0.0,
+            lost_seconds: 0.0,
             busy,
         }
     }
@@ -112,20 +127,87 @@ impl Fleet {
     /// peers (error-band delta + image halo). Returns the priced cost
     /// and leaves the ledger updated.
     pub fn batch(&mut self, kernel_seconds: &[f64], payload_bytes: &[u64]) -> BatchCost {
-        assert_eq!(kernel_seconds.len(), self.devices(), "one kernel time per device");
-        assert_eq!(payload_bytes.len(), self.devices(), "one payload per device");
-        let slowest = kernel_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
-        let exchange = self.interconnect.allgather_seconds(payload_bytes);
-        let bytes = self.interconnect.allgather_bytes(payload_bytes);
+        self.batch_among(kernel_seconds, payload_bytes, None, 1.0)
+    }
 
-        for (b, &k) in self.busy.iter_mut().zip(kernel_seconds) {
-            *b += k;
-        }
-        self.wall_seconds += slowest + exchange;
+    /// [`Fleet::batch`] for a partially-live fleet: devices marked
+    /// dead in `live` are out of the exchange ring (and must carry
+    /// zero kernel time — they hold no shard), and the interconnect
+    /// bandwidth is scaled by `bandwidth_factor` (degraded-link
+    /// episodes pass `1/factor`). `live` of `None` with factor 1
+    /// prices bitwise identically to [`Fleet::batch`].
+    pub fn batch_among(
+        &mut self,
+        kernel_seconds: &[f64],
+        payload_bytes: &[u64],
+        live: Option<&[bool]>,
+        bandwidth_factor: f64,
+    ) -> BatchCost {
+        assert_eq!(payload_bytes.len(), self.devices(), "one payload per device");
+        let slowest = self.span(kernel_seconds);
+        let exchange =
+            self.interconnect.allgather_seconds_among(payload_bytes, live, bandwidth_factor);
+        let bytes = self.interconnect.allgather_bytes_among(payload_bytes, live);
+
+        self.wall_seconds += exchange;
         self.exchange_seconds += exchange;
         self.exchange_bytes += bytes;
         self.batches += 1;
         BatchCost { kernel_seconds: slowest, exchange_seconds: exchange, exchange_bytes: bytes }
+    }
+
+    /// Advance the timeline by one bulk-synchronous compute span
+    /// without an exchange or a batch count: all devices run, the
+    /// slowest sets the span, busy time accrues per device. The
+    /// recovery path uses this for the doomed first attempt of a
+    /// failure batch (whose exchange never happens) and for the
+    /// resharded retry. Returns the span seconds.
+    pub fn span(&mut self, kernel_seconds: &[f64]) -> f64 {
+        assert_eq!(kernel_seconds.len(), self.devices(), "one kernel time per device");
+        let slowest = kernel_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+        for (b, &k) in self.busy.iter_mut().zip(kernel_seconds) {
+            *b += k;
+        }
+        self.wall_seconds += slowest;
+        slowest
+    }
+
+    /// Price a recovery penalty: `seconds` of wall time every device
+    /// sits through (failure detection at the barrier, communicator
+    /// re-initialization) with no compute and no exchange.
+    pub fn penalty(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "penalties only add time");
+        self.wall_seconds += seconds;
+        self.recovery_seconds += seconds;
+    }
+
+    /// Record `seconds` of per-device compute thrown away at a failure
+    /// barrier (finished work that must be re-run elsewhere).
+    pub fn record_lost(&mut self, seconds: f64) {
+        self.lost_seconds += seconds;
+    }
+
+    /// Count one absorbed fault (failure, straggler episode, or
+    /// degraded-link episode) in the ledger.
+    pub fn record_fault(&mut self) {
+        self.faults += 1;
+    }
+
+    /// Count retry compute as recovery time in the ledger (the wall
+    /// advance itself comes from the [`Fleet::span`] that priced it).
+    pub fn record_recovery(&mut self, seconds: f64) {
+        self.recovery_seconds += seconds;
+    }
+
+    /// Jump the wall clock forward to `seconds` — used when resuming
+    /// from a checkpoint, so spans priced after the resume start where
+    /// the interrupted run left off. The per-device busy ledger is not
+    /// reconstructed (a resumed run's utilization report covers only
+    /// the post-resume stretch). No-op if the clock is already past.
+    pub fn fast_forward_to(&mut self, seconds: f64) {
+        if seconds > self.wall_seconds {
+            self.wall_seconds = seconds;
+        }
     }
 
     /// Snapshot the ledger. Idle is everything on the timeline a
@@ -149,6 +231,9 @@ impl Fleet {
             exchange_seconds: self.exchange_seconds,
             exchange_bytes: self.exchange_bytes,
             batches: self.batches,
+            faults: self.faults,
+            recovery_seconds: self.recovery_seconds,
+            lost_seconds: self.lost_seconds,
             per_device,
         }
     }
@@ -216,5 +301,81 @@ mod tests {
     #[should_panic(expected = "one kernel time per device")]
     fn mismatched_kernel_vector_is_rejected() {
         fleet(2).batch(&[0.1], &[0, 0]);
+    }
+
+    #[test]
+    fn batch_among_all_live_matches_batch_bitwise() {
+        let k = [0.1, 0.3, 0.2];
+        let p = [1u64 << 20, 1 << 19, 1 << 18];
+        let mut a = fleet(3);
+        let mut b = fleet(3);
+        let ca = a.batch(&k, &p);
+        let cb = b.batch_among(&k, &p, Some(&[true, true, true]), 1.0);
+        assert_eq!(ca, cb);
+        assert_eq!(a.wall_seconds(), b.wall_seconds());
+    }
+
+    #[test]
+    fn dead_device_leaves_the_exchange_ring() {
+        let mut healthy = fleet(3);
+        let mut faulty = fleet(3);
+        let p = [1u64 << 20, 1 << 20, 1 << 20];
+        let ch = healthy.batch(&[0.1, 0.1, 0.1], &p);
+        // Device 2 dead: no kernel time, no chunk, a 2-ring exchange.
+        let cf = faulty.batch_among(&[0.15, 0.15, 0.0], &p, Some(&[true, true, false]), 1.0);
+        assert!(cf.exchange_seconds < ch.exchange_seconds, "smaller ring, fewer steps");
+        assert!(cf.exchange_bytes < ch.exchange_bytes);
+        assert_eq!(faulty.report().per_device[2].busy_seconds, 0.0);
+    }
+
+    #[test]
+    fn recovery_primitives_feed_the_ledger() {
+        let mut f = fleet(2);
+        // Doomed attempt: compute happens, exchange never does.
+        let attempt = f.span(&[0.2, 0.1]);
+        assert_eq!(attempt, 0.2);
+        f.record_lost(0.1);
+        f.record_fault();
+        // Detection + communicator re-init.
+        f.penalty(0.5);
+        // Resharded retry on the survivor, then the batch completes.
+        let retry = f.span(&[0.15, 0.0]);
+        f.record_recovery(retry);
+        let cost = f.batch_among(&[0.0, 0.0], &[1 << 10, 0], Some(&[true, false]), 1.0);
+        assert_eq!(cost.exchange_seconds, 0.0, "one survivor exchanges nothing");
+        let r = f.report();
+        assert_eq!(r.faults, 1);
+        assert_eq!(r.batches, 1);
+        assert!((r.recovery_seconds - (0.5 + 0.15)).abs() < 1e-15);
+        assert_eq!(r.lost_seconds, 0.1);
+        assert!((r.wall_seconds - (0.2 + 0.5 + 0.15)).abs() < 1e-15);
+        // Busy + idle still tiles the timeline per device.
+        for d in &r.per_device {
+            assert!((d.busy_seconds + d.idle_seconds - r.wall_seconds).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fast_forward_only_moves_the_clock_forward() {
+        let mut f = fleet(2);
+        f.batch(&[0.1, 0.1], &[0, 0]);
+        let wall = f.wall_seconds();
+        f.fast_forward_to(wall - 0.05);
+        assert_eq!(f.wall_seconds(), wall, "never rewinds");
+        f.fast_forward_to(wall + 1.0);
+        assert_eq!(f.wall_seconds(), wall + 1.0);
+    }
+
+    #[test]
+    fn degraded_link_stretches_only_the_exchange() {
+        let k = [0.1, 0.1];
+        let p = [1u64 << 22, 1 << 22];
+        let mut nominal = fleet(2);
+        let mut degraded = fleet(2);
+        let cn = nominal.batch(&k, &p);
+        let cd = degraded.batch_among(&k, &p, None, 0.5);
+        assert_eq!(cd.kernel_seconds, cn.kernel_seconds);
+        assert!(cd.exchange_seconds > cn.exchange_seconds);
+        assert_eq!(cd.exchange_bytes, cn.exchange_bytes, "bytes moved are bytes moved");
     }
 }

@@ -2,10 +2,14 @@
 //!
 //! After a batch, every device must see its peers' error-sinogram band
 //! deltas and boundary-voxel (halo) image updates before the next
-//! batch gathers its SVBs. The fleet models this as a ring all-gather:
-//! each of `N-1` steps forwards the largest outstanding payload one
-//! hop, costing `latency + bytes / bandwidth`. A single device never
-//! exchanges anything.
+//! batch gathers its SVBs. The fleet models this as a ring all-gather
+//! priced step by step: each of the `N-1` synchronous steps costs one
+//! hop — `latency + bytes / bandwidth` — of the largest chunk in
+//! flight during that step (which, with every chunk moving every step,
+//! is the largest live payload). A single device never exchanges
+//! anything. Fault episodes plug in through the `_among` variants: a
+//! dead device drops out of the ring (fewer chunks *and* fewer steps)
+//! and a degraded link scales the bandwidth term.
 
 use crate::spec::InterconnectSpec;
 
@@ -30,37 +34,94 @@ impl Interconnect {
     /// `latency + bytes / bandwidth`. Zero bytes still pays the
     /// latency (a zero-length transfer is still a transfer).
     pub fn transfer_seconds(&self, bytes: u64) -> f64 {
-        self.spec.latency_us * 1e-6 + bytes as f64 / (self.spec.link_gbps * 1e9)
+        self.transfer_seconds_scaled(bytes, 1.0)
+    }
+
+    /// [`Interconnect::transfer_seconds`] with the link bandwidth
+    /// scaled by `bandwidth_factor` (1 = nominal, 0.5 = half speed —
+    /// a degraded-link episode). Latency is a property of the fabric
+    /// and does not scale. A factor of exactly 1 prices bitwise
+    /// identically to the unscaled path.
+    pub fn transfer_seconds_scaled(&self, bytes: u64, bandwidth_factor: f64) -> f64 {
+        assert!(
+            bandwidth_factor > 0.0 && bandwidth_factor.is_finite(),
+            "bandwidth factor must be finite and positive"
+        );
+        self.spec.latency_us * 1e-6 + bytes as f64 / (self.spec.link_gbps * 1e9 * bandwidth_factor)
     }
 
     /// Seconds for a ring all-gather across `devices` devices where
     /// each device `d` contributes `payload_bytes[d]` bytes.
     ///
-    /// The ring runs `devices - 1` synchronous steps; every step each
-    /// device forwards the chunk it most recently received, so the
-    /// step's duration is set by the largest chunk in flight. With
-    /// every payload eventually traversing every link, the bound used
-    /// here — `(devices - 1)` steps each priced at the *maximum*
-    /// single-device payload — is the exact completion time of the
-    /// synchronous ring. One device (or none) costs zero: there is
-    /// nothing to exchange.
+    /// Each of the `devices - 1` synchronous steps is priced by the
+    /// largest chunk actually in flight during that step. In a ring
+    /// all-gather every device forwards the chunk it most recently
+    /// received on every step, so *all* chunks are in flight at every
+    /// step and the per-step maximum is the global maximum payload —
+    /// the total, `(N-1) × T(max)`, is therefore *exact* for the
+    /// synchronous ring, not merely an upper bound. It is also a lower
+    /// bound for any asynchronous schedule: the largest chunk must
+    /// make `N-1` serial hops to reach every peer. One device (or
+    /// none) costs zero: there is nothing to exchange.
     pub fn allgather_seconds(&self, payload_bytes: &[u64]) -> f64 {
-        let devices = payload_bytes.len();
-        if devices <= 1 {
-            return 0.0;
+        self.allgather_seconds_among(payload_bytes, None, 1.0)
+    }
+
+    /// [`Interconnect::allgather_seconds`] over the sub-ring of
+    /// devices marked `true` in `live` (all of them when `live` is
+    /// `None`), with bandwidth scaled by `bandwidth_factor`. Dead
+    /// devices neither contribute chunks nor extend the ring, so a
+    /// shrunken ring runs fewer steps — this is what the recovery path
+    /// prices after a device failure. `live` all-`true` with factor 1
+    /// prices bitwise identically to the full-ring call.
+    pub fn allgather_seconds_among(
+        &self,
+        payload_bytes: &[u64],
+        live: Option<&[bool]>,
+        bandwidth_factor: f64,
+    ) -> f64 {
+        let chunks = live_chunks(payload_bytes, live);
+        let steps = chunks.len().saturating_sub(1);
+        // Price step by step: every live chunk is in flight on every
+        // step (each device forwards what it just received), so each
+        // step costs one hop of the largest live chunk. Summing the
+        // steps keeps the model's shape honest and lets per-episode
+        // bandwidth scaling slot in without special cases.
+        let mut seconds = 0.0;
+        for _step in 0..steps {
+            let in_flight = chunks.iter().copied().max().unwrap_or(0);
+            seconds += self.transfer_seconds_scaled(in_flight, bandwidth_factor);
         }
-        let max_payload = *payload_bytes.iter().max().unwrap();
-        (devices - 1) as f64 * self.transfer_seconds(max_payload)
+        seconds
     }
 
     /// Total bytes a ring all-gather moves across all links: every
     /// device's payload crosses `devices - 1` links.
     pub fn allgather_bytes(&self, payload_bytes: &[u64]) -> u64 {
-        let devices = payload_bytes.len() as u64;
+        self.allgather_bytes_among(payload_bytes, None)
+    }
+
+    /// [`Interconnect::allgather_bytes`] over the sub-ring of live
+    /// devices: every live payload crosses `live_count - 1` links.
+    pub fn allgather_bytes_among(&self, payload_bytes: &[u64], live: Option<&[bool]>) -> u64 {
+        let chunks = live_chunks(payload_bytes, live);
+        let devices = chunks.len() as u64;
         if devices <= 1 {
             return 0;
         }
-        payload_bytes.iter().sum::<u64>() * (devices - 1)
+        chunks.iter().sum::<u64>() * (devices - 1)
+    }
+}
+
+/// The payloads of live devices. `live` must match `payload_bytes` in
+/// length when given.
+fn live_chunks(payload_bytes: &[u64], live: Option<&[bool]>) -> Vec<u64> {
+    match live {
+        None => payload_bytes.to_vec(),
+        Some(mask) => {
+            assert_eq!(mask.len(), payload_bytes.len(), "one liveness flag per device");
+            payload_bytes.iter().zip(mask).filter(|&(_, &l)| l).map(|(&p, _)| p).collect()
+        }
     }
 }
 
@@ -107,6 +168,82 @@ mod tests {
         let base = ic.allgather_seconds(&[1 << 16, 1 << 16]);
         assert!(ic.allgather_seconds(&[1 << 17, 1 << 16]) > base);
         assert!(ic.allgather_seconds(&[1 << 16, 1 << 16, 1 << 16]) > base);
+    }
+
+    #[test]
+    fn skewed_payloads_price_every_step_by_the_chunk_in_flight() {
+        // Regression for the per-step pricing semantics: with heavily
+        // skewed payloads, brute-force the synchronous ring — chunk c
+        // sits at ring position (c + s) mod n on step s, every chunk
+        // moves every step, so each step costs one hop of the largest
+        // chunk — and check the closed pricing matches it exactly.
+        let ic = pcie();
+        let payloads = [1u64 << 22, 16, 16, 16];
+        let n = payloads.len();
+        let mut expect = 0.0;
+        for step in 0..n - 1 {
+            let in_flight = (0..n)
+                .map(|c| {
+                    let _position = (c + step) % n; // every chunk is somewhere on the ring
+                    payloads[c]
+                })
+                .max()
+                .unwrap();
+            expect += ic.transfer_seconds(in_flight);
+        }
+        let got = ic.allgather_seconds(&payloads);
+        assert_eq!(got, expect);
+        // (N-1) x T(max) is exact, not an upper bound: the max chunk
+        // needs N-1 serial hops, which the synchronous schedule
+        // achieves with no idle steps.
+        assert!((got - 3.0 * ic.transfer_seconds(1 << 22)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_devices_shrink_the_ring() {
+        let ic = pcie();
+        let payloads = [1u64 << 20, 1 << 22, 1 << 18, 1 << 19];
+        // Killing the device with the largest payload removes its
+        // chunk from every step AND removes one step.
+        let live = [true, false, true, true];
+        let among = ic.allgather_seconds_among(&payloads, Some(&live), 1.0);
+        let expect = ic.allgather_seconds(&[1 << 20, 1 << 18, 1 << 19]);
+        assert_eq!(among, expect);
+        assert!(among < ic.allgather_seconds(&payloads));
+        assert_eq!(
+            ic.allgather_bytes_among(&payloads, Some(&live)),
+            ((1u64 << 20) + (1 << 18) + (1 << 19)) * 2
+        );
+        // One survivor exchanges nothing.
+        let lone = [false, true, false, false];
+        assert_eq!(ic.allgather_seconds_among(&payloads, Some(&lone), 1.0), 0.0);
+        assert_eq!(ic.allgather_bytes_among(&payloads, Some(&lone)), 0);
+    }
+
+    #[test]
+    fn all_live_factor_one_matches_full_ring_bitwise() {
+        let ic = pcie();
+        let payloads = [123_456u64, 987_654, 555_555];
+        let live = [true, true, true];
+        assert_eq!(
+            ic.allgather_seconds_among(&payloads, Some(&live), 1.0),
+            ic.allgather_seconds(&payloads),
+        );
+    }
+
+    #[test]
+    fn degraded_bandwidth_stretches_the_byte_term_only() {
+        let ic = pcie();
+        let spec = ic.spec().clone();
+        // Half bandwidth doubles the byte term; latency is untouched.
+        let nominal = ic.transfer_seconds(12_000_000);
+        let degraded = ic.transfer_seconds_scaled(12_000_000, 0.5);
+        let expect = spec.latency_us * 1e-6 + 2e-3;
+        assert!((degraded - expect).abs() < 1e-12, "{degraded} vs {expect}");
+        assert!(degraded > nominal);
+        // And it propagates through the ring pricing.
+        let payloads = [1u64 << 20, 1 << 20];
+        assert!(ic.allgather_seconds_among(&payloads, None, 0.5) > ic.allgather_seconds(&payloads));
     }
 
     #[test]

@@ -33,13 +33,24 @@
 //! into one report with a deterministic order (stable sort by start
 //! cycle, device id as tiebreak — see `mbir_telemetry::ProfileReport`).
 
+//!
+//! Fault tolerance: [`FaultSpec`] schedules deterministic adverse
+//! events (device failures, straggler episodes, degraded-link
+//! episodes) against the batch sequence; the `_among` interconnect and
+//! fleet entry points price shrunken rings and scaled bandwidth, and
+//! the ledger gains fault / recovery / lost-time counters. Faults bend
+//! only the modeled timeline — the functional reconstruction stays
+//! bitwise identical to a healthy run.
+
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod fleet;
 pub mod interconnect;
 pub mod shard;
 pub mod spec;
 
+pub use fault::{FaultEvent, FaultSpec, DEFAULT_BACKOFF_SECONDS};
 pub use fleet::{BatchCost, DeviceReport, Fleet, FleetReport};
 pub use interconnect::Interconnect;
 pub use shard::ShardPlan;

@@ -34,14 +34,33 @@ impl QuantizedColumn {
     /// Quantize a column to `bits` in `1..=8` (levels stored in a byte;
     /// used by the bit-width ablation to show 8 bits is enough).
     pub fn quantize_bits(col: &ColumnView<'_>, bits: u32) -> QuantizedColumn {
+        Self::from_values(col.values_flat(), col.max_value(), bits)
+    }
+
+    /// Quantize raw `values` against `scale` at `bits`, with the edge
+    /// cases pinned down: a zero, negative, or non-finite scale
+    /// quantizes everything to code 0 (and stores scale 0.0, so
+    /// dequantization yields exactly 0.0 rather than NaN), and every
+    /// code is explicitly clamped to `[0, levels]` so a value above
+    /// `scale` — or a NaN, which maps to 0 — cannot land outside the
+    /// code range.
+    pub fn from_values(values: &[f32], scale: f32, bits: u32) -> QuantizedColumn {
         assert!((1..=8).contains(&bits));
         let levels = ((1u32 << bits) - 1) as f32;
-        let scale = col.max_value();
-        let codes = if scale > 0.0 {
-            col.values_flat().iter().map(|&a| ((a / scale) * levels + 0.5) as u8).collect()
-        } else {
-            vec![0u8; col.nnz()]
-        };
+        if !(scale.is_finite() && scale > 0.0) {
+            return QuantizedColumn { scale: 0.0, levels, codes: vec![0u8; values.len()] };
+        }
+        let codes = values
+            .iter()
+            .map(|&a| {
+                let code = (a / scale) * levels + 0.5;
+                if code.is_nan() {
+                    0
+                } else {
+                    code.clamp(0.0, levels) as u8
+                }
+            })
+            .collect();
         QuantizedColumn { scale, levels, codes }
     }
 
@@ -140,6 +159,51 @@ mod tests {
         for bits in [2u32, 4, 6, 8] {
             let q = QuantizedColumn::quantize_bits(&col, bits);
             assert_eq!(*q.codes.iter().max().unwrap() as u32, (1 << bits) - 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_scales_quantize_to_zero() {
+        for scale in [0.0f32, -1.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let q = QuantizedColumn::from_values(&[0.5, 1.0, 2.0], scale, 8);
+            assert!(q.codes.iter().all(|&c| c == 0), "scale {scale}");
+            assert_eq!(q.scale, 0.0);
+            assert_eq!(q.dequantize_all(), vec![0.0; 3], "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_into_the_code_range() {
+        // Values above the scale (callers lying about the max) and NaN
+        // entries must land on a valid code, not wrap.
+        let q = QuantizedColumn::from_values(&[-3.0, 0.0, 5.0, 1e30, f32::NAN], 1.0, 4);
+        assert_eq!(q.codes, vec![0, 0, 15, 15, 0]);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn roundtrip_bound_holds_for_arbitrary_columns(
+                values in prop::collection::vec(0.0f32..1e4, 1..64),
+                bits in 1u32..=8,
+            ) {
+                let scale = values.iter().cloned().fold(0.0f32, f32::max);
+                let q = QuantizedColumn::from_values(&values, scale, bits);
+                let bound = q.error_bound() + scale * 1e-6;
+                for (k, &orig) in values.iter().enumerate() {
+                    let err = (q.dequant(k) - orig).abs();
+                    prop_assert!(
+                        err <= bound,
+                        "entry {} @ {} bits: err {} > bound {}",
+                        k, bits, err, bound
+                    );
+                }
+            }
         }
     }
 

@@ -19,7 +19,11 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 /// (device 0 is pid 1) and each kernel class its own `tid`, so a fleet
 /// run renders as one process lane per device with the three kernels
 /// of a batch stacked inside it; metadata events name every process
-/// and thread.
+/// and thread. Fault / recovery events (schema v3) render in their own
+/// `faults` process lane at pid 0, above the device lanes: events with
+/// a modeled duration (recoveries pricing backoff + retry) as complete
+/// `"X"` spans, zero-duration markers (failure detection, episode
+/// onsets) as instant `"i"` events.
 pub fn chrome_trace(report: &ProfileReport) -> String {
     let mut tids: Vec<String> = Vec::new();
     let mut devices: Vec<u64> = Vec::new();
@@ -69,6 +73,40 @@ pub fn chrome_trace(report: &ProfileReport) -> String {
         ]));
     }
 
+    for f in &report.faults {
+        let ph = if f.duration_seconds > 0.0 { "X" } else { "i" };
+        let mut fields = vec![
+            ("name", Value::Str(f.kind.clone())),
+            ("cat", Value::Str("fault".into())),
+            ("ph", Value::Str(ph.into())),
+            ("ts", Value::F64(f.start_seconds * 1e6)),
+        ];
+        if f.duration_seconds > 0.0 {
+            fields.push(("dur", Value::F64(f.duration_seconds * 1e6)));
+        } else {
+            // Instant events need a scope; "p" (process) spans the lane.
+            fields.push(("s", Value::Str("p".into())));
+        }
+        fields.push(("pid", Value::U64(0)));
+        fields.push(("tid", Value::U64(0)));
+        fields.push((
+            "args",
+            obj(vec![
+                (
+                    "device",
+                    match f.device {
+                        Some(d) => Value::U64(d),
+                        None => Value::Null,
+                    },
+                ),
+                ("iteration", Value::U64(f.iteration)),
+                ("batch", Value::U64(f.batch)),
+                ("detail", Value::Str(f.detail.clone())),
+            ]),
+        ));
+        events.push(obj(fields));
+    }
+
     // Metadata: one named process per device, kernel-class threads in
     // each. An empty report still names device 0 so the trace opens.
     if devices.is_empty() {
@@ -76,6 +114,21 @@ pub fn chrome_trace(report: &ProfileReport) -> String {
     }
     devices.sort_unstable();
     let mut meta = Vec::new();
+    if !report.faults.is_empty() {
+        meta.push(obj(vec![
+            ("name", Value::Str("process_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::U64(0)),
+            ("args", obj(vec![("name", Value::Str(format!("{} · faults", report.name)))])),
+        ]));
+        meta.push(obj(vec![
+            ("name", Value::Str("thread_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::U64(0)),
+            ("tid", Value::U64(0)),
+            ("args", obj(vec![("name", Value::Str("faults".into()))])),
+        ]));
+    }
     for &d in &devices {
         let pname = if devices.len() > 1 {
             format!("{} · device {d}", report.name)
@@ -142,12 +195,15 @@ mod tests {
             tex_hit_rate: 1.0,
             l2_hit_rate: 0.5,
         }];
-        let report = ProfileReport::from_parts("gpu-icd", spans, Vec::new(), Vec::new());
+        let report =
+            ProfileReport::from_parts("gpu-icd", spans, Vec::new(), Vec::new(), Vec::new());
         let s = chrome_trace(&report);
         assert!(s.contains("\"traceEvents\""));
         assert!(s.contains("\"ph\":\"X\""));
         assert!(s.contains("\"thread_name\""));
         assert!(s.contains("\"mbir_update\""));
+        // Healthy run: no fault lane.
+        assert!(!s.contains("\"faults\""));
         // Round-trips through the crate's own parser.
         let v = crate::json::parse(&s).expect("valid JSON");
         match v {
@@ -156,5 +212,41 @@ mod tests {
             }
             _ => panic!("trace root must be an object"),
         }
+    }
+
+    #[test]
+    fn fault_lane_renders_at_pid_zero() {
+        use crate::sink::FaultRecord;
+        let faults = vec![
+            FaultRecord {
+                kind: "device_failure".into(),
+                device: Some(1),
+                iteration: 2,
+                batch: 5,
+                start_seconds: 1e-3,
+                duration_seconds: 0.0,
+                detail: "device 1 lost".into(),
+            },
+            FaultRecord {
+                kind: "recovery".into(),
+                device: Some(1),
+                iteration: 2,
+                batch: 5,
+                start_seconds: 1e-3,
+                duration_seconds: 4e-3,
+                detail: "resharded over 3 survivors".into(),
+            },
+        ];
+        let report =
+            ProfileReport::from_parts("gpu-icd", Vec::new(), Vec::new(), Vec::new(), faults);
+        let s = chrome_trace(&report);
+        // Marker renders as an instant event, recovery as a complete span.
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"ph\":\"X\""));
+        // The fault lane is pid 0 and is named.
+        assert!(s.contains("\"pid\":0"));
+        assert!(s.contains("faults"));
+        assert!(s.contains("resharded over 3 survivors"));
+        crate::json::parse(&s).expect("valid JSON");
     }
 }

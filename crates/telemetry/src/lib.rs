@@ -35,7 +35,8 @@ pub mod report;
 pub mod sink;
 
 pub use chrome::chrome_trace;
-pub use report::{KernelClassAgg, ProfileReport, Totals};
+pub use report::{KernelClassAgg, ProfileReport, Totals, SCHEMA_VERSION};
 pub use sink::{
-    ConvergencePoint, IterationSample, KernelSpan, LaunchCtx, NullSink, ProfileSink, RecordingSink,
+    ConvergencePoint, FaultRecord, IterationSample, KernelSpan, LaunchCtx, NullSink, ProfileSink,
+    RecordingSink,
 };

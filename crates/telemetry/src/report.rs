@@ -1,13 +1,15 @@
 //! Aggregation of recorded telemetry into a structured JSON report.
 
-use crate::sink::{ConvergencePoint, IterationSample, KernelSpan};
+use crate::sink::{ConvergencePoint, FaultRecord, IterationSample, KernelSpan};
 use serde::Serialize;
 
 /// Schema version stamped into every report (bump when the report
 /// shape changes; `schemas/profile.schema.json` tracks it).
 /// v2: kernel spans carry a `device` id and are ordered by
 /// (start time, device) rather than raw emission order.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: reports carry a `faults` lane (injected fault / recovery
+/// events on the modeled fleet timeline) and `totals.faults`.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Per-kernel-class aggregate over every launch of that kernel — the
 /// run-level analogue of the paper's Table 2/3 counter columns.
@@ -82,6 +84,8 @@ pub struct Totals {
     pub final_equits: Option<f64>,
     /// Final RMSE in HU (last convergence point), if any.
     pub final_rmse_hu: Option<f64>,
+    /// Injected fault / recovery events recorded during the run.
+    pub faults: u64,
 }
 
 /// The structured profiling report: spans, per-class aggregates,
@@ -101,6 +105,9 @@ pub struct ProfileReport {
     pub iterations: Vec<IterationSample>,
     /// Convergence trace (empty unless the run recorded one).
     pub convergence: Vec<ConvergencePoint>,
+    /// Fault / recovery events on the modeled fleet timeline, ordered
+    /// by start time (empty for healthy runs).
+    pub faults: Vec<FaultRecord>,
     /// Whole-run totals.
     pub totals: Totals,
 }
@@ -119,7 +126,11 @@ impl ProfileReport {
         mut spans: Vec<KernelSpan>,
         iterations: Vec<IterationSample>,
         convergence: Vec<ConvergencePoint>,
+        mut faults: Vec<FaultRecord>,
     ) -> ProfileReport {
+        faults.sort_by(|a, b| {
+            a.start_seconds.total_cmp(&b.start_seconds).then(a.batch.cmp(&b.batch))
+        });
         spans.sort_by(|a, b| {
             a.start_seconds.total_cmp(&b.start_seconds).then(a.device.cmp(&b.device))
         });
@@ -198,6 +209,7 @@ impl ProfileReport {
             tex_bytes: spans.iter().map(|s| s.tex_bytes).sum(),
             final_equits: iterations.last().map(|i| i.equits),
             final_rmse_hu: convergence.last().map(|c| c.rmse_hu),
+            faults: faults.len() as u64,
         };
 
         ProfileReport {
@@ -207,6 +219,7 @@ impl ProfileReport {
             spans,
             iterations,
             convergence,
+            faults,
             totals,
         }
     }
@@ -264,7 +277,7 @@ mod tests {
             span("mbir_update", 1.0, 10, 6),
             span("svb_create", 0.5, 0, 0),
         ];
-        let r = ProfileReport::from_parts("t", spans, Vec::new(), Vec::new());
+        let r = ProfileReport::from_parts("t", spans, Vec::new(), Vec::new(), Vec::new());
         assert_eq!(r.kernels.len(), 2);
         let mbir = r.kernel("mbir_update").unwrap();
         assert_eq!(mbir.launches, 2);
@@ -278,12 +291,41 @@ mod tests {
 
     #[test]
     fn empty_report_is_well_formed() {
-        let r = ProfileReport::from_parts("empty", Vec::new(), Vec::new(), Vec::new());
+        let r = ProfileReport::from_parts("empty", Vec::new(), Vec::new(), Vec::new(), Vec::new());
         assert!(r.kernels.is_empty());
         assert_eq!(r.totals.seconds, 0.0);
+        assert_eq!(r.totals.faults, 0);
         // Zero-division edges must stay finite all the way to JSON.
         let s = r.to_json_pretty();
-        assert!(s.contains("\"schema_version\": 2"));
+        assert!(s.contains("\"schema_version\": 3"));
+    }
+
+    #[test]
+    fn faults_sort_by_start_then_batch_and_count_into_totals() {
+        use crate::sink::FaultRecord;
+        let mk = |kind: &str, batch: u64, start: f64| FaultRecord {
+            kind: kind.into(),
+            device: Some(1),
+            iteration: 1,
+            batch,
+            start_seconds: start,
+            duration_seconds: 0.0,
+            detail: String::new(),
+        };
+        let faults =
+            vec![mk("recovery", 3, 0.2), mk("device_failure", 3, 0.1), mk("straggler", 1, 0.1)];
+        let r = ProfileReport::from_parts("t", Vec::new(), Vec::new(), Vec::new(), faults);
+        let order: Vec<(String, u64)> =
+            r.faults.iter().map(|f| (f.kind.clone(), f.batch)).collect();
+        assert_eq!(
+            order,
+            [
+                ("straggler".to_string(), 1),
+                ("device_failure".to_string(), 3),
+                ("recovery".to_string(), 3)
+            ]
+        );
+        assert_eq!(r.totals.faults, 3);
     }
 
     #[test]
@@ -300,8 +342,8 @@ mod tests {
         let a = vec![mk(1, 0.2), mk(0, 0.1), mk(1, 0.1), mk(0, 0.2)];
         let mut b = a.clone();
         b.reverse();
-        let ra = ProfileReport::from_parts("t", a, Vec::new(), Vec::new());
-        let rb = ProfileReport::from_parts("t", b, Vec::new(), Vec::new());
+        let ra = ProfileReport::from_parts("t", a, Vec::new(), Vec::new(), Vec::new());
+        let rb = ProfileReport::from_parts("t", b, Vec::new(), Vec::new(), Vec::new());
         let order: Vec<(u64, f64)> = ra.spans.iter().map(|s| (s.device, s.start_seconds)).collect();
         assert_eq!(order, [(0, 0.1), (1, 0.1), (0, 0.2), (1, 0.2)]);
         let other: Vec<(u64, f64)> = rb.spans.iter().map(|s| (s.device, s.start_seconds)).collect();

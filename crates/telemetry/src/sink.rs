@@ -110,6 +110,32 @@ pub struct IterationSample {
     pub equits: f64,
 }
 
+/// One injected-fault or recovery event on the modeled fleet
+/// timeline (schema v3). Fault records are observe-only, like every
+/// other telemetry record: the functional reconstruction is bitwise
+/// identical with or without injected faults — only the modeled
+/// timeline (and this lane of the profile) changes.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultRecord {
+    /// Event kind: `device_failure`, `straggler`, `degraded_link`, or
+    /// `recovery`.
+    pub kind: String,
+    /// Affected device, when the event is device-scoped (`None` for
+    /// fabric-wide events such as a degraded interconnect).
+    pub device: Option<u64>,
+    /// 1-based outer iteration during which the event fired.
+    pub iteration: u64,
+    /// 0-based global SV-batch sequence number the event fired at.
+    pub batch: u64,
+    /// Modeled start time of the event, seconds from run start.
+    pub start_seconds: f64,
+    /// Modeled seconds the event added to the fleet timeline (backoff
+    /// plus retry for a recovery; 0 for marker events).
+    pub duration_seconds: f64,
+    /// Human-readable description (slowdown factor, reshard summary).
+    pub detail: String,
+}
+
 /// One convergence-trace sample (recorded by `run_to_rmse`).
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct ConvergencePoint {
@@ -136,6 +162,9 @@ pub trait ProfileSink: Send + Sync {
 
     /// One convergence-trace sample was recorded.
     fn convergence(&self, _point: &ConvergencePoint) {}
+
+    /// One fault or recovery event landed on the modeled timeline.
+    fn fault(&self, _record: &FaultRecord) {}
 }
 
 /// The no-op sink: profiling plumbing with zero recording cost, used
@@ -150,6 +179,7 @@ struct Recorded {
     spans: Vec<KernelSpan>,
     iterations: Vec<IterationSample>,
     convergence: Vec<ConvergencePoint>,
+    faults: Vec<FaultRecord>,
 }
 
 /// An in-memory sink recording every event, aggregated on demand into
@@ -182,6 +212,11 @@ impl RecordingSink {
         self.inner.lock().unwrap().convergence.clone()
     }
 
+    /// Recorded fault/recovery events, in emission order.
+    pub fn faults(&self) -> Vec<FaultRecord> {
+        self.inner.lock().unwrap().faults.clone()
+    }
+
     /// Aggregate everything recorded so far into a report.
     pub fn report(&self, name: &str) -> ProfileReport {
         let r = self.inner.lock().unwrap();
@@ -190,6 +225,7 @@ impl RecordingSink {
             r.spans.clone(),
             r.iterations.clone(),
             r.convergence.clone(),
+            r.faults.clone(),
         )
     }
 }
@@ -205,6 +241,10 @@ impl ProfileSink for RecordingSink {
 
     fn convergence(&self, point: &ConvergencePoint) {
         self.inner.lock().unwrap().convergence.push(*point);
+    }
+
+    fn fault(&self, record: &FaultRecord) {
+        self.inner.lock().unwrap().faults.push(record.clone());
     }
 }
 

@@ -137,7 +137,7 @@ fn nvlink_never_loses_to_pcie() {
         let mut gpu =
             GpuIcd::new(&s.a, &s.scan.y, &s.scan.weights, &s.prior, s.init.clone(), opts(4));
         if let Some(spec) = spec {
-            gpu.set_fleet_spec(spec);
+            gpu.set_fleet_spec(spec).expect("valid fleet spec");
         }
         for _ in 0..3 {
             gpu.iteration();
