@@ -48,6 +48,7 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "resume",
             "checkpoint-every",
             "faults",
+            "simd",
         ]),
         "fan-demo" => Some(&["out"]),
         "volume" => Some(&["slices", "sigma", "passes", "out"]),
@@ -59,7 +60,7 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
 fn usage() {
     eprintln!("usage: mbirctl <scan|reconstruct|fan-demo|volume|info> [--scale tiny|test|harness|paper] [--threads N] ...");
     eprintln!("  scan        --phantom shepp-logan|water|baggage:<seed> --out <sino.csv> [--truth <t.pgm>] [--i0 <dose>]");
-    eprintln!("  reconstruct --sino <sino.csv> --algo fbp|sequential|psv|gpu --out <img.pgm> [--csv <img.csv>] [--profile <report.json>] [--devices N]");
+    eprintln!("  reconstruct --sino <sino.csv> --algo fbp|sequential|psv|gpu --out <img.pgm> [--csv <img.csv>] [--profile <report.json>] [--devices N] [--simd auto|scalar|lanes]");
     eprintln!("              [--checkpoint <dir> [--checkpoint-every N] [--resume]] [--faults fail:<d>@<b>,slow:<d>@<a>..<b>x<f>,link:<a>..<b>x<f>,backoff:<s>|random:<seed>]");
     eprintln!("  fan-demo    (fan acquisition -> rebin -> reconstruction demo)");
     eprintln!("  volume      --slices <n> (3-D multi-slice reconstruction demo)");
@@ -97,6 +98,9 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("mbirctl: {e}");
+            if matches!(e, MbirError::Usage(_)) {
+                usage();
+            }
             ExitCode::FAILURE
         }
     }
@@ -196,6 +200,15 @@ fn cmd_reconstruct(args: &Args) -> Result<(), MbirError> {
             return Err(usage_err("--faults requires --devices >= 2 (a fleet to degrade)"));
         }
     }
+    // SIMD lane backend for the hot paths. Every backend is bitwise
+    // identical, so this is a speed knob, never a correctness one; the
+    // process-wide default covers FBP/sysmat while the per-run options
+    // carry the choice into the ICD drivers.
+    let simd_str = args.get("simd").unwrap_or("auto");
+    let simd = mbir_simd::SimdBackend::parse(simd_str).ok_or_else(|| {
+        usage_err(format!("unknown --simd backend '{simd_str}' (auto, scalar, lanes)"))
+    })?;
+    mbir_simd::set_backend(simd);
 
     let y = io::read_sinogram_csv(&sino_path).map_err(|e| MbirError::io(&sino_path, e))?;
     if y.num_views() != geom.num_views || y.num_channels() != geom.num_channels {
@@ -209,7 +222,7 @@ fn cmd_reconstruct(args: &Args) -> Result<(), MbirError> {
         )));
     }
 
-    let (img, note) = reconstruct(&geom, &y, algo, profile, devices, args)?;
+    let (img, note) = reconstruct(&geom, &y, algo, profile, devices, simd, args)?;
     io::write_pgm(&out, &img, mu_from_hu(-1000.0), mu_from_hu(1500.0))
         .map_err(|e| MbirError::io(&out, e))?;
     eprintln!("wrote {} — {note}", out.display());
@@ -228,10 +241,12 @@ fn reconstruct(
     algo: &str,
     profile: Option<&str>,
     devices: usize,
+    simd: mbir_simd::SimdBackend,
     args: &Args,
 ) -> Result<(Image, String), MbirError> {
+    let simd_name = mbir_simd::resolve(simd).name();
     if algo == "fbp" {
-        return Ok((fbp::reconstruct(geom, y), "FBP (direct method)".into()));
+        return Ok((fbp::reconstruct(geom, y), format!("FBP (direct method), simd {simd_name}")));
     }
     eprintln!("computing system matrix...");
     let a = SystemMatrix::compute_parallel(geom, 0);
@@ -263,6 +278,7 @@ fn reconstruct(
                 sv_side: cpu_side,
                 threads: 0,
                 profile: profile.is_some(),
+                simd,
                 ..Default::default()
             };
             let mut psv = PsvIcd::new(&a, y, &w, &prior, init, config);
@@ -276,7 +292,7 @@ fn reconstruct(
                 write_profile(path, &rec.report("psv-icd"))?;
             }
             let note = format!(
-                "PSV-ICD, {:.1} equits, modeled 16-core time {:.3} s",
+                "PSV-ICD, {:.1} equits, modeled 16-core time {:.3} s, simd {simd_name}",
                 psv.equits(),
                 psv.modeled_seconds()
             );
@@ -286,6 +302,7 @@ fn reconstruct(
             let opts = gpu_icd::GpuOptions {
                 profile: profile.is_some(),
                 devices,
+                simd,
                 ..gpu_options_for(scale)
             };
             let mut gpu = GpuIcd::new(&a, y, &w, &prior, init, opts);
@@ -303,7 +320,7 @@ fn reconstruct(
                 write_profile(path, &rec.report("gpu-icd"))?;
             }
             let mut note = format!(
-                "GPU-ICD, {:.1} equits, modeled Titan X time {:.4} s",
+                "GPU-ICD, {:.1} equits, modeled Titan X time {:.4} s, simd {simd_name}",
                 gpu.equits(),
                 gpu.modeled_seconds()
             );

@@ -82,6 +82,92 @@ fn devices_rejects_non_gpu_algorithms() {
 }
 
 #[test]
+fn simd_unknown_backend_is_rejected_with_usage() {
+    let out =
+        mbirctl(&["reconstruct", "--sino", "missing.csv", "--out", "x.pgm", "--simd", "fast"]);
+    assert!(!out.status.success(), "unknown --simd value must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown --simd backend 'fast'"), "stderr: {err}");
+    assert!(err.contains("auto, scalar, lanes"), "stderr: {err}");
+    assert!(err.contains("usage: mbirctl"), "stderr: {err}");
+}
+
+#[test]
+fn simd_belongs_to_reconstruct_only() {
+    let out = mbirctl(&["scan", "--out", "/dev/null", "--simd", "lanes"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag(s): --simd"));
+}
+
+/// End-to-end `--simd` coverage: every accepted value runs, and the
+/// summary line names the backend the run resolved to (Auto resolves
+/// to lanes).
+#[test]
+fn simd_backends_run_and_are_named_in_summary() {
+    let dir = std::env::temp_dir().join(format!("mbirctl-simd-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sino = dir.join("sino.csv");
+    let out = mbirctl(&["scan", "--scale", "tiny", "--out", sino.to_str().unwrap()]);
+    assert!(out.status.success(), "scan: {}", String::from_utf8_lossy(&out.stderr));
+    for (value, resolved) in
+        [("scalar", "simd scalar"), ("lanes", "simd lanes"), ("auto", "simd lanes")]
+    {
+        let img = dir.join(format!("rec-{value}.pgm"));
+        let out = mbirctl(&[
+            "reconstruct",
+            "--scale",
+            "tiny",
+            "--sino",
+            sino.to_str().unwrap(),
+            "--out",
+            img.to_str().unwrap(),
+            "--algo",
+            "fbp",
+            "--simd",
+            value,
+        ]);
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "--simd {value}: {err}");
+        assert!(err.contains(resolved), "--simd {value} summary must name backend: {err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The fleet summary line names the active SIMD backend alongside the
+/// device count.
+#[test]
+fn fleet_summary_names_simd_backend() {
+    let dir = std::env::temp_dir().join(format!("mbirctl-fleet-simd-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sino = dir.join("sino.csv");
+    let out = mbirctl(&["scan", "--scale", "tiny", "--out", sino.to_str().unwrap()]);
+    assert!(out.status.success(), "scan: {}", String::from_utf8_lossy(&out.stderr));
+    let img = dir.join("rec.pgm");
+    let out = mbirctl(&[
+        "reconstruct",
+        "--scale",
+        "tiny",
+        "--sino",
+        sino.to_str().unwrap(),
+        "--out",
+        img.to_str().unwrap(),
+        "--algo",
+        "gpu",
+        "--devices",
+        "2",
+        "--max-iters",
+        "2",
+        "--simd",
+        "scalar",
+    ]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "gpu run: {err}");
+    assert!(err.contains("simd scalar"), "stderr: {err}");
+    assert!(err.contains("on 2 devices"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn profile_rejects_unprofiled_algorithms() {
     let out = mbirctl(&[
         "reconstruct",

@@ -28,7 +28,6 @@ use gpu_sim::timing::KernelTiming;
 use mbir::convergence::ConvergenceTrace;
 use mbir::prior::{clique_weight, Prior};
 use mbir::sequential::IcdStats;
-use mbir::update::WeightedError;
 use mbir_fleet::{FaultEvent, FaultSpec, FleetReport, FleetSpec};
 use mbir_telemetry::{ConvergencePoint, FaultRecord, IterationSample, ProfileSink, RecordingSink};
 use rand::rngs::StdRng;
@@ -42,6 +41,7 @@ use supervoxel::quant::QuantizedColumn;
 use supervoxel::selection::{select_svs, Selection};
 use supervoxel::svb::{Svb, SvbLayout};
 use supervoxel::tiling::Tiling;
+use supervoxel::LaneTables;
 
 /// The [`PlanConfig`] implied by a set of GPU options.
 ///
@@ -182,6 +182,10 @@ pub struct GpuIcd<'a, P: Prior> {
     opts: GpuOptions,
     tiling: Tiling,
     plan: Arc<SvPlanSet>,
+    /// Folded `w*a` tables for the lane backend, indexed `[sv][vi]` in
+    /// plan-voxel order (empty when the resolved backend is scalar);
+    /// see [`supervoxel::LaneTables`].
+    lane_tables: Vec<Vec<LaneTables>>,
     skeleton: ProfileSkeleton,
     image: Image,
     error: Sinogram,
@@ -228,6 +232,19 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         let tiling = Tiling::new(init.grid(), opts.sv_side);
         assert_eq!(plan.config(), plan_config(&opts), "plan built for different options");
         assert_eq!(plan.plans().len(), tiling.len(), "plan built for different tiling");
+        // One-time fold of the iteration-invariant theta streams for
+        // the lane backend (bitwise-neutral; the scalar backend keeps
+        // the canonical per-element walk as the honest baseline).
+        let lane_tables = if mbir_simd::resolve(opts.simd) == mbir_simd::SimdBackend::Lanes {
+            let quant_bits = if opts.amatrix.quantized() { Some(opts.amatrix_bits) } else { None };
+            let layout = match opts.layout {
+                Layout::Naive => SvbLayout::SensorMajor,
+                Layout::Chunked { .. } => SvbLayout::Transposed,
+            };
+            LaneTables::build_for_plan(a, weights, quant_bits, &plan, layout, opts.threads)
+        } else {
+            Vec::new()
+        };
         let ax = a.forward(&init);
         let mut error = y.clone();
         for (e, axv) in error.data_mut().iter_mut().zip(ax.data()) {
@@ -257,6 +274,7 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
             opts,
             tiling,
             plan,
+            lane_tables,
             skeleton,
             image: init,
             error,
@@ -494,6 +512,7 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         let prior = self.prior;
         let opts = &self.opts;
         let iter = self.iter;
+        let lane_tables = &self.lane_tables[..];
         let workers = if opts.checkerboard { opts.threads } else { 1 };
         let shared = self.image.as_shared();
         let results: Vec<(Svb<'_>, SvTally)> = mbir_parallel::par_map(workers, batch.len(), |bi| {
@@ -505,6 +524,7 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
                 prior,
                 opts,
                 plan.plan(sv),
+                lane_tables.get(sv).map_or(&[][..], |v| &v[..]),
                 iter,
                 &mut svb,
                 rounds,
@@ -1047,6 +1067,10 @@ fn update_sv<P: Prior>(
     prior: &P,
     opts: &GpuOptions,
     plan: &SvPlan,
+    // This SV's folded lane tables, in plan-voxel order (empty when the
+    // backend is scalar). Per-SV because boundary voxels shared between
+    // adjacent SVs need distinct band offsets per covering SV.
+    lane_tables: &[LaneTables],
     iter: u64,
     svb: &mut Svb<'_>,
     rounds: usize,
@@ -1069,6 +1093,9 @@ fn update_sv<P: Prior>(
         Layout::Naive => None,
     };
     let quantized = if opts.amatrix.quantized() { Some(opts.amatrix_bits) } else { None };
+    // Resolve the lane-kernel backend once per SV (the env fallback is
+    // not free) and hand the concrete choice to every voxel visit.
+    let simd = mbir_simd::resolve(opts.simd);
     let nviews = plan.shape.num_views();
 
     let mut t = SvTally {
@@ -1100,11 +1127,13 @@ fn update_sv<P: Prior>(
     // extreme block-to-voxel ratios that the hardware self-limits.
     let window = (rounds / 2).clamp(1, (order.len() / 16).max(1));
     let mut fifo: std::collections::VecDeque<(u32, f32)> = std::collections::VecDeque::new();
+    let lanes = simd == mbir_simd::SimdBackend::Lanes;
     let commit = |svb: &mut Svb<'_>, oi: u32, delta: f32| {
         if delta != 0.0 {
             let vp = &vox[oi as usize];
             image.set(vp.voxel, image.get(vp.voxel) + delta);
-            apply_delta_quant(a, vp, svb, delta, quantized, cached);
+            let tables = if lanes { lane_tables.get(oi as usize) } else { None };
+            apply_delta_quant(a, vp, svb, delta, quantized, cached, tables, simd);
         }
     };
     for (pos, &oi) in order.iter().enumerate() {
@@ -1119,7 +1148,9 @@ fn update_sv<P: Prior>(
             commit(svb, oj, d);
         }
         let col = a.column(j);
-        let delta = compute_delta(image, prior, opts, vp, &col, svb, quantized, cached);
+        let tables = if lanes { lane_tables.get(oi as usize) } else { None };
+        let delta =
+            compute_delta(image, prior, opts, vp, &col, svb, quantized, cached, tables, simd);
         t.updates += 1;
         t.abs_delta += delta.abs() as f64;
         t.nnz += vp.nnz as f64;
@@ -1150,31 +1181,10 @@ fn update_sv<P: Prior>(
     t
 }
 
-/// Accumulate thetas over a quantized column: a flat walk of the CSR
-/// slices, dequantizing each code with the running entry index (same
-/// order and arithmetic as the old per-segment walk).
-fn quantized_thetas(col: &ColumnView<'_>, q: &QuantizedColumn, svb: &Svb<'_>) -> (f32, f32) {
-    let mut t1 = 0.0f32;
-    let mut t2 = 0.0f32;
-    let first = col.first_channels();
-    let count = col.counts();
-    let mut k = 0usize;
-    for view in 0..first.len() {
-        let n = count[view] as usize;
-        let fc = first[view] as usize;
-        for kk in 0..n {
-            let a = q.dequant(k);
-            k += 1;
-            let (e, w) = svb.get(view, fc + kk);
-            t1 -= w * a * e;
-            t2 += w * a * a;
-        }
-    }
-    (t1, t2)
-}
-
 /// Compute a voxel's step without committing it (thetas against the
-/// current SVB state, prior against the current image).
+/// current SVB state, prior against the current image). The theta
+/// accumulation dispatches on the already-resolved `simd` backend via
+/// the SVB lane-kernel methods — bitwise identical for every backend.
 #[allow(clippy::too_many_arguments)]
 fn compute_delta<P: Prior>(
     image: &SharedImage<'_>,
@@ -1185,8 +1195,15 @@ fn compute_delta<P: Prior>(
     svb: &Svb<'_>,
     quantized: Option<u32>,
     cached: bool,
+    tables: Option<&LaneTables>,
+    simd: mbir_simd::SimdBackend,
 ) -> f32 {
-    let (theta1, theta2) = if let Some(bits) = quantized {
+    // The lane backend's fast path: the folded `w*a` tables built at
+    // driver setup (bitwise-equal to the walks below by construction;
+    // orthogonal to `cached`, which covers the plan's quantized codes).
+    let th = if let Some(t) = tables {
+        svb.thetas_tabled(t)
+    } else if let Some(bits) = quantized {
         let fresh;
         let q = if cached {
             vp.quant.as_ref().expect("plan caches quantized columns")
@@ -1194,11 +1211,11 @@ fn compute_delta<P: Prior>(
             fresh = QuantizedColumn::quantize_bits(col, bits);
             &fresh
         };
-        quantized_thetas(col, q, svb)
+        svb.thetas_quant(col, q, simd)
     } else {
-        let th = mbir::update::compute_thetas(col, svb);
-        (th.theta1, th.theta2)
+        svb.thetas(col, simd)
     };
+    let (theta1, theta2) = (th.theta1, th.theta2);
 
     let v = image.get(vp.voxel);
     let nb = image.neighbors8(vp.voxel);
@@ -1212,7 +1229,10 @@ fn compute_delta<P: Prior>(
 }
 
 /// Commit a voxel's error update into the SVB (atomic adds on the real
-/// hardware), with the same quantized A used for the thetas.
+/// hardware), with the same quantized A used for the thetas. Dispatches
+/// on the already-resolved `simd` backend; the update is element-wise,
+/// so every backend performs identical ops.
+#[allow(clippy::too_many_arguments)]
 fn apply_delta_quant(
     a: &SystemMatrix,
     vp: &VoxelPlan,
@@ -1220,7 +1240,17 @@ fn apply_delta_quant(
     delta: f32,
     quantized: Option<u32>,
     cached: bool,
+    tables: Option<&LaneTables>,
+    simd: mbir_simd::SimdBackend,
 ) {
+    // Lane fast path: one branchless scatter through the precomputed
+    // flat offsets; the table's A entries skip the per-element
+    // `code * scale / levels` divide, rounding identically (folded
+    // once at setup).
+    if let Some(t) = tables {
+        svb.apply_tabled(t, delta);
+        return;
+    }
     let col = a.column(vp.voxel);
     if let Some(bits) = quantized {
         let fresh;
@@ -1230,20 +1260,9 @@ fn apply_delta_quant(
             fresh = QuantizedColumn::quantize_bits(&col, bits);
             &fresh
         };
-        let first = col.first_channels();
-        let count = col.counts();
-        let mut k = 0usize;
-        for view in 0..first.len() {
-            let n = count[view] as usize;
-            let fc = first[view] as usize;
-            for kk in 0..n {
-                let av = q.dequant(k);
-                k += 1;
-                svb.sub(view, fc + kk, av * delta);
-            }
-        }
+        svb.apply_quant_delta(&col, q, delta, simd);
     } else {
-        mbir::update::apply_delta(&col, svb, delta);
+        svb.apply_col_delta(&col, delta, simd);
     }
 }
 

@@ -17,6 +17,16 @@ pub fn reconstruct(geom: &Geometry, y: &Sinogram) -> Image {
 }
 
 /// Apply the discrete ramp filter to every view.
+///
+/// Each output sample is a sliding-window dot of the mirrored full
+/// kernel against the view row, reduced with the canonical 8-lane tree
+/// ([`mbir_simd::dot`]) and dispatched on the process-wide SIMD
+/// backend — bitwise-identical output for every backend. Zero taps
+/// (even nonzero `k`) participate in the dot: a `hk * p` term of `+0.0`
+/// or `-0.0` added to a lane partial never changes its value, and the
+/// partials start at `+0.0`, which no mix of `±0.0` additions can flip
+/// to `-0.0` — so including them is bit-safe and keeps the inner loop
+/// branch-free.
 pub fn filter(geom: &Geometry, y: &Sinogram) -> Sinogram {
     let c = geom.num_channels;
     let dc = geom.channel_spacing;
@@ -27,22 +37,23 @@ pub fn filter(geom: &Geometry, y: &Sinogram) -> Sinogram {
         let pk = std::f32::consts::PI * k as f32 * dc;
         *hk = -1.0 / (pk * pk);
     }
+    // Mirror into the full kernel: hfull[k] = h[|k - (c-1)|], so that
+    // out[i] = sum_j h[|i-j|] y[j] = dot(hfull[c-1-i ..], row).
+    let mut hfull = vec![0.0f32; 2 * c - 1];
+    for (k, hf) in hfull.iter_mut().enumerate() {
+        *hf = h[k.abs_diff(c - 1)];
+    }
+    let backend = mbir_simd::active();
     // Views are independent convolutions: each worker computes whole
     // output rows, so any thread count yields bitwise-identical
     // sinograms.
+    let hfull = &hfull;
     let rows: Vec<Vec<f32>> = mbir_parallel::par_map(0, geom.num_views, |v| {
         let row = y.view(v);
         let mut orow = vec![0.0f32; c];
         for (i, o) in orow.iter_mut().enumerate() {
-            let mut acc = 0.0f32;
-            for (j, &p) in row.iter().enumerate() {
-                let k = i.abs_diff(j);
-                let hk = h[k];
-                if hk != 0.0 {
-                    acc += hk * p;
-                }
-            }
-            *o = acc * dc;
+            let win = &hfull[c - 1 - i..2 * c - 1 - i];
+            *o = mbir_simd::dot(backend, win, row) * dc;
         }
         orow
     });
@@ -54,6 +65,14 @@ pub fn filter(geom: &Geometry, y: &Sinogram) -> Sinogram {
 }
 
 /// Back-project filtered views with linear interpolation.
+///
+/// Per pixel, the per-view interpolation endpoints `(a, b, frac)` are
+/// staged into flat per-row buffers and reduced with the canonical
+/// 8-lane lerp sum ([`mbir_simd::lerp_sum`]); views whose ray falls
+/// outside the detector contribute an exact-zero `(0, 0, 0)` term —
+/// lane partials are unchanged by `+0.0` adds, so the staged form
+/// keeps every view's lane assignment while matching the historical
+/// "skip out-of-range views" semantics.
 pub fn backproject(geom: &Geometry, q: &Sinogram) -> Image {
     let mut img = Image::zeros(geom.grid);
     let scale = std::f32::consts::PI / geom.num_views as f32;
@@ -63,29 +82,36 @@ pub fn backproject(geom: &Geometry, q: &Sinogram) -> Image {
             (th.cos(), th.sin())
         })
         .collect();
+    let backend = mbir_simd::active();
     // Image rows are independent gathers from the (read-only) filtered
     // sinogram — bitwise identical at any thread count.
     let trig = &trig;
     let rows: Vec<Vec<f32>> = mbir_parallel::par_map(0, geom.grid.ny, |row| {
         let yy = geom.grid.y_of(row);
+        let nv = trig.len();
+        let mut av = vec![0.0f32; nv];
+        let mut bv = vec![0.0f32; nv];
+        let mut fv = vec![0.0f32; nv];
         let mut out = vec![0.0f32; geom.grid.nx];
         for (col, o) in out.iter_mut().enumerate() {
             let xx = geom.grid.x_of(col);
-            let mut acc = 0.0f32;
             for (v, &(cv, sv)) in trig.iter().enumerate() {
                 let t = xx * cv + yy * sv;
                 let ch = geom.channel_of(t);
                 if ch < 0.0 || ch > (geom.num_channels - 1) as f32 {
+                    av[v] = 0.0;
+                    bv[v] = 0.0;
+                    fv[v] = 0.0;
                     continue;
                 }
                 let c0 = ch.floor() as usize;
-                let frac = ch - c0 as f32;
                 let row_q = q.view(v);
                 let a = row_q[c0];
-                let b = if c0 + 1 < geom.num_channels { row_q[c0 + 1] } else { a };
-                acc += a + frac * (b - a);
+                av[v] = a;
+                bv[v] = if c0 + 1 < geom.num_channels { row_q[c0 + 1] } else { a };
+                fv[v] = ch - c0 as f32;
             }
-            *o = acc * scale;
+            *o = mbir_simd::lerp_sum(backend, &av, &bv, &fv) * scale;
         }
         out
     });

@@ -74,6 +74,44 @@ impl Trapezoid {
         }
     }
 
+    /// Branchless [`Trapezoid::cumulative`]: every branch's exact
+    /// expression is computed and the right one selected, so the result
+    /// is bitwise-identical to the branchy form (the proptest below
+    /// pins this) while the straight-line body lets the system-matrix
+    /// lane backend vectorize across channels. A degenerate `ramp == 0`
+    /// (axis-aligned view) makes the unselected ramp expressions
+    /// inf/NaN, which is fine in Rust — they are discarded by the
+    /// selects, exactly as the branchy form never evaluates them:
+    /// interior `u` then satisfies `-hp <= u <= hp` (plateau selected),
+    /// and exterior `u` hits the 0/area overrides.
+    #[inline]
+    pub fn cumulative_select(&self, u: f32) -> f32 {
+        let hb = self.half_base;
+        let hp = self.half_plateau;
+        let h = self.height;
+        let ramp = hb - hp;
+        let tr = u + hb;
+        let rising = h * tr * tr / (2.0 * ramp);
+        let plateau = h * ramp / 2.0 + h * (u + hp);
+        let tf = hb - u;
+        let area = self.area();
+        let falling = area - h * tf * tf / (2.0 * ramp);
+        let mut f = if u < -hp {
+            rising
+        } else if u <= hp {
+            plateau
+        } else {
+            falling
+        };
+        if u <= -hb {
+            f = 0.0;
+        }
+        if u >= hb {
+            f = area;
+        }
+        f
+    }
+
     /// Integral of the profile over `[a, b]` (with `a <= b`).
     pub fn integral(&self, a: f32, b: f32) -> f32 {
         debug_assert!(a <= b);
@@ -145,6 +183,50 @@ mod tests {
         let whole = t.integral(-3.0, 3.0);
         let split = t.integral(-3.0, 0.2) + t.integral(0.2, 3.0);
         assert!((whole - split).abs() < 1e-5);
+    }
+
+    #[test]
+    fn select_form_matches_branchy_at_edges() {
+        // Exact boundary hits, including the degenerate axis-aligned
+        // trapezoid (ramp == 0, where the unselected ramp expressions
+        // are inf/NaN and must be discarded).
+        for theta in [0.0f32, PI / 2.0, PI / 4.0, 0.3, 1.2] {
+            let t = Trapezoid::at_angle(theta, 1.0);
+            for u in [
+                -t.half_base,
+                -t.half_plateau,
+                0.0,
+                t.half_plateau,
+                t.half_base,
+                -t.half_base - 0.1,
+                t.half_base + 0.1,
+            ] {
+                assert_eq!(
+                    t.cumulative(u).to_bits(),
+                    t.cumulative_select(u).to_bits(),
+                    "theta={theta} u={u}"
+                );
+            }
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(1024))]
+
+            #[test]
+            fn select_form_is_bitwise_equal(
+                theta in 0.0f32..std::f32::consts::PI,
+                pixel in 0.1f32..5.0,
+                u in -10.0f32..10.0,
+            ) {
+                let t = Trapezoid::at_angle(theta, pixel);
+                prop_assert_eq!(t.cumulative(u).to_bits(), t.cumulative_select(u).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -43,68 +43,14 @@ impl SystemMatrix {
     /// Cost is `O(nvox * num_views)`; at the paper's 512x512/720-view
     /// scale this builds ~500M entries (~2 GB), matching the paper's
     /// observation that the A-matrix stream is the memory bottleneck.
+    ///
+    /// The inner loop dispatches on the process-wide
+    /// [`mbir_simd::active`] backend; every backend produces the
+    /// identical matrix (the lane path's branchless channel math is
+    /// proven bitwise-equal to the branchy scalar form), so the knob
+    /// only changes build wall-clock.
     pub fn compute(geom: &Geometry) -> Self {
-        let nvox = geom.grid.num_voxels();
-        let nviews = geom.num_views;
-
-        // Per-view trig and footprints are voxel-independent.
-        let per_view: Vec<(f32, f32, Trapezoid)> = (0..nviews)
-            .map(|v| {
-                let th = geom.angle(v);
-                let (c, s) = (th.cos(), th.sin());
-                (c, s, Trapezoid::from_cos_sin(c.abs(), s.abs(), geom.grid.pixel_size))
-            })
-            .collect();
-
-        let mut voxel_offset = Vec::with_capacity(nvox + 1);
-        let mut first_channel = vec![0u16; nvox * nviews];
-        let mut count = vec![0u16; nvox * nviews];
-        // ~3 entries per (voxel, view) at unit channel pitch.
-        let mut values = Vec::with_capacity(nvox * nviews * 3);
-        voxel_offset.push(0u64);
-
-        let half_c = geom.channel_spacing / 2.0;
-        for j in 0..nvox {
-            let (row, col) = geom.grid.row_col(j);
-            let x = geom.grid.x_of(col);
-            let y = geom.grid.y_of(row);
-            for (v, &(cv, sv, trap)) in per_view.iter().enumerate() {
-                let tc = x * cv + y * sv;
-                // Channels whose interval intersects the footprint.
-                let lo = geom.channel_of(tc - trap.half_base);
-                let hi = geom.channel_of(tc + trap.half_base);
-                let c0 = (lo.floor().max(0.0)) as usize;
-                let c1 = (hi.ceil() as isize).min(geom.num_channels as isize - 1);
-                let mut first = 0usize;
-                let mut n = 0usize;
-                if c1 >= c0 as isize {
-                    for ch in c0..=(c1 as usize) {
-                        let t0 = geom.channel_center(ch) - half_c - tc;
-                        let a = trap.mean_over(t0, t0 + geom.channel_spacing);
-                        if a > MIN_ENTRY {
-                            if n == 0 {
-                                first = ch;
-                            }
-                            // Keep the run contiguous: interior zeros
-                            // cannot occur for a concave profile, but
-                            // guard anyway.
-                            if n > 0 || a > MIN_ENTRY {
-                                values.push(a);
-                                n += 1;
-                            }
-                        } else if n > 0 {
-                            break;
-                        }
-                    }
-                }
-                let idx = j * nviews + v;
-                first_channel[idx] = first as u16;
-                count[idx] = n as u16;
-            }
-            voxel_offset.push(values.len() as u64);
-        }
-        values.shrink_to_fit();
-        SystemMatrix { geom: *geom, voxel_offset, first_channel, count, values }
+        Self::compute_range(geom, 0, geom.grid.num_voxels())
     }
 
     /// Compute the system matrix with `threads` worker threads
@@ -150,16 +96,35 @@ impl SystemMatrix {
     }
 
     /// Compute the columns of voxels `lo..hi` only (a building block of
-    /// [`SystemMatrix::compute_parallel`]; offsets are local).
+    /// [`SystemMatrix::compute_parallel`]; offsets are local),
+    /// dispatching on the process-wide SIMD backend. Backends are
+    /// bitwise-identical, so even a mid-build backend switch (another
+    /// thread flipping the knob between chunks) cannot change results.
     fn compute_range(geom: &Geometry, lo: usize, hi: usize) -> Self {
-        let nviews = geom.num_views;
-        let per_view: Vec<(f32, f32, Trapezoid)> = (0..nviews)
+        match mbir_simd::active() {
+            mbir_simd::SimdBackend::Lanes => Self::compute_range_lanes(geom, lo, hi),
+            _ => Self::compute_range_scalar(geom, lo, hi),
+        }
+    }
+
+    /// Per-view trig and footprints — voxel-independent, shared by both
+    /// build backends.
+    fn per_view_traps(geom: &Geometry) -> Vec<(f32, f32, Trapezoid)> {
+        (0..geom.num_views)
             .map(|v| {
                 let th = geom.angle(v);
                 let (c, s) = (th.cos(), th.sin());
                 (c, s, Trapezoid::from_cos_sin(c.abs(), s.abs(), geom.grid.pixel_size))
             })
-            .collect();
+            .collect()
+    }
+
+    /// Scalar build: the canonical per-channel walk — branchy
+    /// [`Trapezoid::mean_over`] per candidate channel, pushing the run
+    /// as it goes.
+    fn compute_range_scalar(geom: &Geometry, lo: usize, hi: usize) -> Self {
+        let nviews = geom.num_views;
+        let per_view = Self::per_view_traps(geom);
         let n = hi - lo;
         let mut voxel_offset = Vec::with_capacity(n + 1);
         let mut first_channel = vec![0u16; n * nviews];
@@ -200,6 +165,143 @@ impl SystemMatrix {
             }
             voxel_offset.push(values.len() as u64);
         }
+        SystemMatrix { geom: *geom, voxel_offset, first_channel, count, values }
+    }
+
+    /// Voxel block size of the lane build's view-outer staging. Big
+    /// enough that one view's staged candidates (~3 per voxel) fill the
+    /// vector units, small enough that the staging buffers stay in L1.
+    const LANE_BLOCK: usize = 64;
+
+    /// Lane build: process voxels in blocks with the *view* loop
+    /// outermost. For one view, every candidate channel of the block
+    /// shares the same trapezoid, so only the channel offset `t0` is
+    /// staged — the footprint constants stay in registers and the
+    /// integral pass over the view's staged range is a straight-line
+    /// branchless loop ([`Trapezoid::cumulative_select`], bitwise-equal
+    /// to the branchy form; the packed divides are where the lane
+    /// throughput is). Per-view spans then drive a voxel-major run
+    /// extraction with the same threshold/break logic as the scalar
+    /// build, so the output bits and entry order are identical by
+    /// construction.
+    fn compute_range_lanes(geom: &Geometry, lo: usize, hi: usize) -> Self {
+        let nviews = geom.num_views;
+        let per_view = Self::per_view_traps(geom);
+        let n = hi - lo;
+        let mut voxel_offset = Vec::with_capacity(n + 1);
+        let mut first_channel = vec![0u16; n * nviews];
+        let mut count = vec![0u16; n * nviews];
+        let mut values = Vec::with_capacity(n * nviews * 3);
+        voxel_offset.push(0u64);
+        let half_c = geom.channel_spacing / 2.0;
+        let spacing = geom.channel_spacing;
+
+        const BLOCK: usize = SystemMatrix::LANE_BLOCK;
+        // Per-block staging, reused across blocks: candidate channel
+        // offsets (t0) and evaluated entries, view-major within the
+        // block; spans[b * nviews + v] = (first candidate channel,
+        // start, len) into them for voxel b of the block at view v.
+        let mut t0s: Vec<f32> = Vec::with_capacity(BLOCK * nviews * 4);
+        let mut entries: Vec<f32> = Vec::with_capacity(BLOCK * nviews * 4);
+        let mut spans: Vec<(u32, u32, u32)> = vec![(0, 0, 0); BLOCK * nviews];
+        let mut xs = [0.0f32; BLOCK];
+        let mut ys = [0.0f32; BLOCK];
+        let mut tcs = [0.0f32; BLOCK];
+        let mut c0s = [0i32; BLOCK];
+        let mut c1s = [0i32; BLOCK];
+
+        let mut block_lo = lo;
+        while block_lo < hi {
+            let bn = (hi - block_lo).min(BLOCK);
+            for (b, item) in xs.iter_mut().take(bn).enumerate() {
+                let (row, col) = geom.grid.row_col(block_lo + b);
+                *item = geom.grid.x_of(col);
+                ys[b] = geom.grid.y_of(row);
+            }
+
+            t0s.clear();
+            entries.clear();
+            for (v, &(cv, sv, trap)) in per_view.iter().enumerate() {
+                let vs_start = t0s.len();
+                let hb = trap.half_base;
+                let nch1 = geom.num_channels as i32 - 1;
+                // Uniform per-voxel setup — no data-dependent control
+                // flow, so the projections and channel-range clamps
+                // pack across the block. The range clamps run in i32
+                // (saturating casts agree with the scalar build's isize
+                // path for every representable channel index).
+                for b in 0..bn {
+                    let tc = xs[b] * cv + ys[b] * sv;
+                    let lo_ch = geom.channel_of(tc - hb);
+                    let hi_ch = geom.channel_of(tc + hb);
+                    tcs[b] = tc;
+                    c0s[b] = (lo_ch.floor().max(0.0)) as i32;
+                    c1s[b] = (hi_ch.ceil() as i32).min(nch1);
+                }
+                for b in 0..bn {
+                    let tc = tcs[b];
+                    let (c0, c1) = (c0s[b], c1s[b]);
+                    let start = t0s.len();
+                    if c1 >= c0 {
+                        // Exclusive range: c0 >= 0 rules out overflow,
+                        // and its TrustedLen extend skips the inclusive
+                        // range's per-step exhaustion flag.
+                        t0s.extend(
+                            (c0..c1 + 1).map(|ch| geom.channel_center(ch as usize) - half_c - tc),
+                        );
+                    }
+                    spans[b * nviews + v] = (c0 as u32, start as u32, (t0s.len() - start) as u32);
+                }
+                // Evaluate this view's staged range in one branchless
+                // pass: the canonical mean_over(t0, t0 + spacing)
+                // arithmetic with cumulative() replaced by its
+                // bitwise-equal select form and the view's trapezoid
+                // held in registers. Written through a pre-sized slice
+                // (not push) so the loop stays free of capacity checks
+                // and the lanes pack.
+                entries.resize(t0s.len(), 0.0);
+                for (o, &a) in entries[vs_start..].iter_mut().zip(&t0s[vs_start..]) {
+                    let b = a + spacing;
+                    let w = b - a;
+                    let integral = (trap.cumulative_select(b) - trap.cumulative_select(a)).max(0.0);
+                    let e = integral / w;
+                    *o = if w <= 0.0 { 0.0 } else { e };
+                }
+            }
+
+            // Voxel-major run extraction: the scalar walk keeps the
+            // contiguous streak of above-threshold entries starting at
+            // the first qualifying channel and stops at the first gap.
+            // Locating the streak bounds first lets the entries land as
+            // one slice copy instead of per-element pushes.
+            for b in 0..bn {
+                let local = block_lo - lo + b;
+                for v in 0..nviews {
+                    let (c0, start, len) = spans[b * nviews + v];
+                    let evs = &entries[start as usize..(start + len) as usize];
+                    let mut s = 0usize;
+                    while s < evs.len() && evs[s] <= MIN_ENTRY {
+                        s += 1;
+                    }
+                    let mut e = s;
+                    while e < evs.len() && evs[e] > MIN_ENTRY {
+                        e += 1;
+                    }
+                    let idx = local * nviews + v;
+                    if e > s {
+                        first_channel[idx] = (c0 as usize + s) as u16;
+                        count[idx] = (e - s) as u16;
+                        values.extend_from_slice(&evs[s..e]);
+                    } else {
+                        first_channel[idx] = 0;
+                        count[idx] = 0;
+                    }
+                }
+                voxel_offset.push(values.len() as u64);
+            }
+            block_lo += bn;
+        }
+        values.shrink_to_fit();
         SystemMatrix { geom: *geom, voxel_offset, first_channel, count, values }
     }
 
@@ -524,6 +626,23 @@ mod tests {
         let (_, a) = small();
         let m = a.mean_channels_per_view();
         assert!((1.5..=3.5).contains(&m), "mean {m}");
+    }
+
+    #[test]
+    fn lane_build_is_bit_identical_to_scalar() {
+        // The tentpole invariant for the build: the staged branchless
+        // backend reproduces the branchy walk bit for bit, including a
+        // detector-clipped geometry where corner runs are truncated.
+        for g in [Geometry::tiny_scale(), Geometry::new(16, 36, 1.0, ImageGrid::square(24, 1.0))] {
+            let scalar = SystemMatrix::compute_range_scalar(&g, 0, g.grid.num_voxels());
+            let lanes = SystemMatrix::compute_range_lanes(&g, 0, g.grid.num_voxels());
+            assert_eq!(scalar.voxel_offset, lanes.voxel_offset);
+            assert_eq!(scalar.first_channel, lanes.first_channel);
+            assert_eq!(scalar.count, lanes.count);
+            let sb: Vec<u32> = scalar.values.iter().map(|v| v.to_bits()).collect();
+            let lb: Vec<u32> = lanes.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, lb);
+        }
     }
 
     #[test]

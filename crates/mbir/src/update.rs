@@ -58,12 +58,14 @@ impl WeightedError for SinogramPair<'_> {
 /// Accumulate `theta1`, `theta2` over a voxel's footprint
 /// (steps 3-6 of Algorithm 1).
 ///
-/// Walks the raw CSR slices directly (same order, same arithmetic as
-/// the `segments()` formulation — bitwise-identical results) to keep
-/// this innermost loop free of per-view iterator construction.
+/// Walks the raw CSR slices directly to keep this innermost loop free
+/// of per-view iterator construction. Entry `k` of the column's flat
+/// value stream lands in canonical lane `k % 8` of an
+/// [`mbir_simd::ThetaAcc`], so this element-at-a-time walk is the
+/// scalar reference the staged lane kernels
+/// ([`mbir_simd::theta_flat_lanes`]) must — and do — match bitwise.
 pub fn compute_thetas<E: WeightedError>(col: &ColumnView<'_>, ew: &E) -> Thetas {
-    let mut t1 = 0.0f32;
-    let mut t2 = 0.0f32;
+    let mut acc = mbir_simd::ThetaAcc::new();
     let first = col.first_channels();
     let count = col.counts();
     let values = col.values_flat();
@@ -73,12 +75,12 @@ pub fn compute_thetas<E: WeightedError>(col: &ColumnView<'_>, ew: &E) -> Thetas 
         let fc = first[view] as usize;
         for (k, &a) in values[off..off + n].iter().enumerate() {
             let (e, w) = ew.get(view, fc + k);
-            t1 -= w * a * e;
-            t2 += w * a * a;
+            acc.push(a, e, w);
         }
         off += n;
     }
-    Thetas { theta1: t1, theta2: t2 }
+    let (theta1, theta2) = acc.finish();
+    Thetas { theta1, theta2 }
 }
 
 /// Scatter `e -= A * delta` over the voxel's footprint

@@ -9,7 +9,6 @@ use ct_core::sysmat::{ColumnView, SystemMatrix};
 use mbir::convergence::ConvergenceTrace;
 use mbir::prior::{clique_weight, Prior};
 use mbir::sequential::{IcdConfig, IcdStats};
-use mbir::update::{apply_delta, compute_thetas};
 use mbir_telemetry::{ConvergencePoint, IterationSample, KernelSpan, ProfileSink, RecordingSink};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -49,6 +48,10 @@ pub struct PsvConfig {
     /// [`RecordingSink`]. Observe-only: results and modeled seconds are
     /// bitwise identical either way.
     pub profile: bool,
+    /// Host SIMD lane-kernel backend for the functional execution.
+    /// `Auto` defers to the process-wide `mbir_simd` setting; results
+    /// are bitwise identical for every choice.
+    pub simd: mbir_simd::SimdBackend,
     /// Shared ICD knobs.
     pub icd: IcdConfig,
 }
@@ -62,6 +65,7 @@ impl Default for PsvConfig {
             plan_cache: true,
             selection_seed: 0xc0ffee,
             profile: false,
+            simd: mbir_simd::SimdBackend::Auto,
             icd: IcdConfig::default(),
         }
     }
@@ -109,6 +113,10 @@ pub struct PsvIcd<'a, P: Prior> {
     config: PsvConfig,
     tiling: Tiling,
     plan: Arc<SvPlanSet>,
+    /// Folded `w*a` tables for the lane backend, indexed `[sv][vi]` in
+    /// plan-voxel order (empty when the resolved backend is scalar);
+    /// see [`supervoxel::LaneTables`].
+    lane_tables: Vec<Vec<supervoxel::LaneTables>>,
     image: AtomicImage,
     error: Sinogram,
     update_amount: Vec<f64>,
@@ -160,6 +168,21 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
         let n = tiling.len();
         let recording = config.profile.then(|| Arc::new(RecordingSink::new()));
         let sink = recording.clone().map(|r| r as Arc<dyn ProfileSink>);
+        // One-time fold of the iteration-invariant theta streams for
+        // the lane backend (bitwise-neutral; PSV runs f32 columns in
+        // sensor-major buffers).
+        let lane_tables = if mbir_simd::resolve(config.simd) == mbir_simd::SimdBackend::Lanes {
+            supervoxel::LaneTables::build_for_plan(
+                a,
+                weights,
+                None,
+                &plan,
+                SvbLayout::SensorMajor,
+                config.threads,
+            )
+        } else {
+            Vec::new()
+        };
         PsvIcd {
             a,
             weights,
@@ -167,6 +190,7 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
             config,
             tiling,
             plan,
+            lane_tables,
             image: AtomicImage::from_image(&init),
             error,
             update_amount: vec![0.0; n],
@@ -258,6 +282,10 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
             let cached = self.config.plan_cache;
             let randomize = self.config.icd.randomize;
             let positivity = self.config.icd.positivity;
+            // Resolve the lane-kernel backend once per group (the env
+            // fallback is not free) and hand it to every voxel visit.
+            let simd = mbir_simd::resolve(self.config.simd);
+            let lane_tables = &self.lane_tables[..];
             let results: Vec<(Svb<'_>, SvVisit)> =
                 mbir_parallel::par_map(self.config.threads, group.len(), |i| {
                     let sv = group[i];
@@ -282,8 +310,12 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
                             continue;
                         }
                         let col = a.column(j);
-                        let delta =
-                            update_voxel_shared(j, image, &col, &mut svb, prior, positivity);
+                        let tables = (simd == mbir_simd::SimdBackend::Lanes)
+                            .then(|| lane_tables.get(sv).and_then(|v| v.get(oi as usize)))
+                            .flatten();
+                        let delta = update_voxel_shared(
+                            j, image, &col, &mut svb, prior, positivity, simd, tables,
+                        );
                         visit.updates += 1;
                         visit.abs_delta += delta.abs() as f64;
                         // Entry counts are integers, exact in f64: the
@@ -431,7 +463,10 @@ impl<'a, P: Prior> PsvIcd<'a, P> {
 }
 
 /// The single-voxel update against a shared image and a private SVB —
-/// Algorithm 1 with the image reads/writes going through atomics.
+/// Algorithm 1 with the image reads/writes going through atomics. The
+/// theta/apply inner loops dispatch on the already-resolved `simd`
+/// backend (bitwise identical for every choice).
+#[allow(clippy::too_many_arguments)]
 fn update_voxel_shared<P: Prior>(
     j: usize,
     image: &AtomicImage,
@@ -439,9 +474,16 @@ fn update_voxel_shared<P: Prior>(
     svb: &mut Svb<'_>,
     prior: &P,
     positivity: bool,
+    simd: mbir_simd::SimdBackend,
+    tables: Option<&supervoxel::LaneTables>,
 ) -> f32 {
     let v = image.get(j);
-    let th = compute_thetas(col, svb);
+    // The folded tables are the lane backend's fast path (bitwise-equal
+    // to the walk; see `supervoxel::LaneTables`).
+    let th = match tables {
+        Some(t) => svb.thetas_tabled(t),
+        None => svb.thetas(col, simd),
+    };
     let nb = Neighbors8::of_grid(image.grid(), j);
     let mut neigh = nb.iter().map(|(k, edge)| (image.get(k), clique_weight(edge)));
     let mut delta = prior.step(v, th.theta1, th.theta2, &mut neigh);
@@ -451,7 +493,10 @@ fn update_voxel_shared<P: Prior>(
     }
     if delta != 0.0 {
         image.set(j, v + delta);
-        apply_delta(col, svb, delta);
+        match tables {
+            Some(t) => svb.apply_tabled(t, delta),
+            None => svb.apply_col_delta(col, delta, simd),
+        }
     }
     delta
 }

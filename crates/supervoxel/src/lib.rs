@@ -25,6 +25,7 @@
 
 pub mod checkerboard;
 pub mod chunks;
+pub mod lanes;
 pub mod plan;
 pub mod quant;
 pub mod selection;
@@ -33,6 +34,7 @@ pub mod tiling;
 
 pub use checkerboard::checkerboard_groups;
 pub use chunks::{chunk_column, Chunk, PaddedColumn};
+pub use lanes::LaneTables;
 pub use plan::{PlanConfig, RowTransactions, SvPlan, SvPlanSet, VoxelPlan};
 pub use quant::QuantizedColumn;
 pub use selection::{select_svs, Selection};

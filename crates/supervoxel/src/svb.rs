@@ -16,10 +16,14 @@
 //!   boundaries ("we make the SVB perfectly rectangular by
 //!   zero-padding, and place each row at an aligned address").
 
+use std::cell::RefCell;
+
+use crate::quant::QuantizedColumn;
 use crate::tiling::Tiling;
 use ct_core::sinogram::Sinogram;
-use ct_core::sysmat::SystemMatrix;
-use mbir::update::WeightedError;
+use ct_core::sysmat::{ColumnView, SystemMatrix};
+use mbir::update::{Thetas, WeightedError};
+use mbir_simd::SimdBackend;
 
 /// Floats per 32-byte alignment sector; padded row widths are rounded
 /// up to this.
@@ -108,6 +112,20 @@ impl SvbShape {
         self.padded_width * self.num_views()
     }
 
+    /// Buffer offset of `(view, channel)` in the given layout;
+    /// `channel` is absolute. The pure-shape form of [`Svb::index`],
+    /// usable before any buffer is gathered (the lane tables
+    /// precompute these offsets once per voxel).
+    #[inline]
+    pub fn index_of(&self, layout: SvbLayout, view: usize, ch: usize) -> usize {
+        let rel = ch - self.first[view] as usize;
+        debug_assert!(rel < self.width[view] as usize, "channel {ch} outside band at view {view}");
+        match layout {
+            SvbLayout::SensorMajor => self.row_offset[view] as usize + rel,
+            SvbLayout::Transposed => view * self.padded_width + rel,
+        }
+    }
+
     /// Bytes of one f32 buffer in the given layout (the paper's SVB
     /// size; `e` and `w` double it).
     pub fn bytes(&self, layout: SvbLayout) -> usize {
@@ -167,20 +185,17 @@ impl<'a> Svb<'a> {
     /// Buffer index of `(view, channel)`; `channel` is absolute.
     #[inline]
     pub fn index(&self, view: usize, ch: usize) -> usize {
-        let rel = ch - self.shape.first[view] as usize;
-        debug_assert!(
-            rel < self.shape.width[view] as usize,
-            "channel {ch} outside band at view {view}"
-        );
-        match self.layout {
-            SvbLayout::SensorMajor => self.shape.row_offset[view] as usize + rel,
-            SvbLayout::Transposed => view * self.shape.padded_width + rel,
-        }
+        self.shape.index_of(self.layout, view, ch)
     }
 
     /// Add `self - orig` back into the global error sinogram (PSV-ICD
     /// lines 16-19 / the GPU-ICD write-back kernel). Additive deltas
     /// commute across SVs that share boundary sinogram cells.
+    ///
+    /// Scatters through [`mbir_simd::add_diff`] — one element-wise
+    /// kernel shared by every backend (untouched cells add an exact
+    /// `+0.0`; see `add_diff` for the zero-sign note), so the scatter
+    /// is backend-invariant by construction and free to vectorize.
     pub fn scatter_delta(&self, orig: &Svb<'_>, e: &mut Sinogram) {
         assert_eq!(self.layout, orig.layout);
         for v in 0..self.shape.num_views() {
@@ -191,14 +206,201 @@ impl<'a> Svb<'a> {
                 SvbLayout::Transposed => v * self.shape.padded_width,
             };
             let row = e.view_mut(v);
-            for k in 0..wd {
-                let d = self.e[base + k] - orig.e[base + k];
-                if d != 0.0 {
-                    row[fc + k] += d;
+            mbir_simd::add_diff(
+                &mut row[fc..fc + wd],
+                &self.e[base..base + wd],
+                &orig.e[base..base + wd],
+            );
+        }
+    }
+
+    /// Stage the error/weight entries under a voxel column's runs into
+    /// flat buffers aligned with [`ColumnView::values_flat`]. Per-view
+    /// runs are contiguous in both layouts, so this is a handful of
+    /// `memcpy`s per view — the staging that lets the lane kernels run
+    /// one long vectorized loop instead of a per-element indexed walk.
+    fn stage_column(&self, col: &ColumnView<'_>, es: &mut Vec<f32>, ws: &mut Vec<f32>) {
+        es.clear();
+        ws.clear();
+        es.reserve(col.nnz());
+        ws.reserve(col.nnz());
+        let first = col.first_channels();
+        let count = col.counts();
+        for v in 0..first.len() {
+            let n = count[v] as usize;
+            if n == 0 {
+                continue;
+            }
+            let i0 = self.index(v, first[v] as usize);
+            es.extend_from_slice(&self.e[i0..i0 + n]);
+            ws.extend_from_slice(&self.w[i0..i0 + n]);
+        }
+    }
+
+    /// Theta accumulation via a voxel's folded [`crate::LaneTables`] —
+    /// the lane backend's fast path. Gathers the error band through the
+    /// precomputed flat offsets (one branchless loop, no per-view
+    /// bookkeeping — the weights and A entries are already folded into
+    /// `t`) and runs the two-flop 8-wide kernel. Bitwise-identical to
+    /// the scalar walk: the fold memoizes `(w * a)` exactly as
+    /// `w * a * e` rounds it (see `mbir_simd::theta_tables_ref`), and
+    /// the gather reads the same cells in the same flat order.
+    pub fn thetas_tabled(&self, t: &crate::LaneTables) -> Thetas {
+        STAGE.with(|s| {
+            let (es, _) = &mut *s.borrow_mut();
+            es.resize(t.idx.len(), 0.0);
+            for (o, &i) in es.iter_mut().zip(&t.idx) {
+                *o = self.e[i as usize];
+            }
+            let (theta1, theta2) = mbir_simd::theta_tables_lanes(&t.wa, &t.waa, es);
+            Thetas { theta1, theta2 }
+        })
+    }
+
+    /// Write-back via the table: `e[idx[k]] -= adq[k] * delta`, with
+    /// `adq[k]` rounded at fold time exactly as the per-visit
+    /// dequantization rounds — bitwise-equal to
+    /// [`Svb::apply_quant_delta`] / [`Svb::apply_col_delta`], minus
+    /// their per-element divides and per-view bookkeeping. A column's
+    /// cells are distinct, so the scatter order is immaterial; the
+    /// flat order used here is the scalar walk's order anyway.
+    pub fn apply_tabled(&mut self, t: &crate::LaneTables, delta: f32) {
+        for (&i, &av) in t.idx.iter().zip(&t.adq) {
+            self.e[i as usize] -= av * delta;
+        }
+    }
+
+    /// Theta accumulation over a voxel's column (Algorithm 1 steps
+    /// 3-6), backend-dispatched. `Scalar` walks element-at-a-time
+    /// through the [`WeightedError`] view (the canonical reference);
+    /// `Lanes` stages the band into flat buffers and runs the chunked
+    /// 8-wide kernel. Bitwise-identical results either way.
+    pub fn thetas(&self, col: &ColumnView<'_>, backend: SimdBackend) -> Thetas {
+        match mbir_simd::resolve(backend) {
+            SimdBackend::Lanes => STAGE.with(|s| {
+                let (es, ws) = &mut *s.borrow_mut();
+                self.stage_column(col, es, ws);
+                let (theta1, theta2) = mbir_simd::theta_flat_lanes(col.values_flat(), es, ws);
+                Thetas { theta1, theta2 }
+            }),
+            _ => mbir::update::compute_thetas(col, self),
+        }
+    }
+
+    /// Theta accumulation over a u8-quantized column (paper Section
+    /// 4.3.1), backend-dispatched; dequantization stays in the
+    /// canonical `code * scale / levels` per-entry order.
+    pub fn thetas_quant(
+        &self,
+        col: &ColumnView<'_>,
+        q: &QuantizedColumn,
+        backend: SimdBackend,
+    ) -> Thetas {
+        match mbir_simd::resolve(backend) {
+            SimdBackend::Lanes => STAGE.with(|s| {
+                let (es, ws) = &mut *s.borrow_mut();
+                self.stage_column(col, es, ws);
+                let (theta1, theta2) =
+                    mbir_simd::theta_quant_flat_lanes(&q.codes, q.scale, q.levels, es, ws);
+                Thetas { theta1, theta2 }
+            }),
+            _ => {
+                let first = col.first_channels();
+                let count = col.counts();
+                let mut acc = mbir_simd::ThetaAcc::new();
+                let mut k = 0usize;
+                for v in 0..first.len() {
+                    let n = count[v] as usize;
+                    let fc = first[v] as usize;
+                    for kk in 0..n {
+                        let (e, w) = self.get(v, fc + kk);
+                        acc.push_quant(q.codes[k], q.scale, q.levels, e, w);
+                        k += 1;
+                    }
+                }
+                let (theta1, theta2) = acc.finish();
+                Thetas { theta1, theta2 }
+            }
+        }
+    }
+
+    /// Scatter `e -= A * delta` over the voxel's footprint (Algorithm 1
+    /// steps 9-11), backend-dispatched. The update is element-wise
+    /// (`e[k] -= a[k] * delta`, no reduction), so the backends perform
+    /// identical ops; `Lanes` just runs them on contiguous run slices.
+    pub fn apply_col_delta(&mut self, col: &ColumnView<'_>, delta: f32, backend: SimdBackend) {
+        match mbir_simd::resolve(backend) {
+            SimdBackend::Lanes => {
+                let first = col.first_channels();
+                let count = col.counts();
+                let values = col.values_flat();
+                let mut off = 0usize;
+                for v in 0..first.len() {
+                    let n = count[v] as usize;
+                    if n > 0 {
+                        let i0 = self.index(v, first[v] as usize);
+                        mbir_simd::sub_scaled(
+                            &mut self.e[i0..i0 + n],
+                            &values[off..off + n],
+                            delta,
+                        );
+                    }
+                    off += n;
+                }
+            }
+            _ => mbir::update::apply_delta(col, self, delta),
+        }
+    }
+
+    /// Quantized-column variant of [`Svb::apply_col_delta`].
+    pub fn apply_quant_delta(
+        &mut self,
+        col: &ColumnView<'_>,
+        q: &QuantizedColumn,
+        delta: f32,
+        backend: SimdBackend,
+    ) {
+        let first = col.first_channels();
+        let count = col.counts();
+        match mbir_simd::resolve(backend) {
+            SimdBackend::Lanes => {
+                let mut off = 0usize;
+                for v in 0..first.len() {
+                    let n = count[v] as usize;
+                    if n > 0 {
+                        let i0 = self.index(v, first[v] as usize);
+                        mbir_simd::sub_scaled_quant(
+                            &mut self.e[i0..i0 + n],
+                            &q.codes[off..off + n],
+                            q.scale,
+                            q.levels,
+                            delta,
+                        );
+                    }
+                    off += n;
+                }
+            }
+            _ => {
+                let mut k = 0usize;
+                for v in 0..first.len() {
+                    let n = count[v] as usize;
+                    let fc = first[v] as usize;
+                    for kk in 0..n {
+                        let av = q.dequant(k);
+                        self.sub(v, fc + kk, av * delta);
+                        k += 1;
+                    }
                 }
             }
         }
     }
+}
+
+thread_local! {
+    /// Per-thread staging buffers for the lane backend: the (e, w)
+    /// entries under one voxel column, flattened to `values_flat`
+    /// order. Reused across voxel visits to keep staging allocation-free.
+    static STAGE: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
 impl WeightedError for Svb<'_> {
@@ -357,6 +559,74 @@ mod tests {
             }
         }
         assert_eq!(changed, shape.packed_len());
+    }
+
+    #[test]
+    fn theta_backends_bitwise_equal_on_real_columns() {
+        let (_g, a, t, y, w) = setup();
+        for layout in [SvbLayout::SensorMajor, SvbLayout::Transposed] {
+            for sv in [0, 4, t.len() - 1] {
+                let shape = SvbShape::compute(&a, &t, sv);
+                let svb = Svb::gather(&shape, layout, &y, &w);
+                for j in t.voxels(sv) {
+                    let col = a.column(j);
+                    let q = QuantizedColumn::quantize(&col);
+                    let s = svb.thetas(&col, SimdBackend::Scalar);
+                    let l = svb.thetas(&col, SimdBackend::Lanes);
+                    assert_eq!(s.theta1.to_bits(), l.theta1.to_bits(), "sv {sv} voxel {j}");
+                    assert_eq!(s.theta2.to_bits(), l.theta2.to_bits(), "sv {sv} voxel {j}");
+                    let sq = svb.thetas_quant(&col, &q, SimdBackend::Scalar);
+                    let lq = svb.thetas_quant(&col, &q, SimdBackend::Lanes);
+                    assert_eq!(sq.theta1.to_bits(), lq.theta1.to_bits(), "quant sv {sv} voxel {j}");
+                    assert_eq!(sq.theta2.to_bits(), lq.theta2.to_bits(), "quant sv {sv} voxel {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_backends_bitwise_equal_on_real_columns() {
+        let (_, a, t, y, w) = setup();
+        let sv = 4;
+        let shape = SvbShape::compute(&a, &t, sv);
+        for layout in [SvbLayout::SensorMajor, SvbLayout::Transposed] {
+            let mut svb_s = Svb::gather(&shape, layout, &y, &w);
+            let mut svb_l = svb_s.clone();
+            for (step, j) in t.voxels(sv).enumerate() {
+                let col = a.column(j);
+                let q = QuantizedColumn::quantize(&col);
+                let delta = 0.001 + step as f32 * 0.0007;
+                if step % 2 == 0 {
+                    svb_s.apply_col_delta(&col, delta, SimdBackend::Scalar);
+                    svb_l.apply_col_delta(&col, delta, SimdBackend::Lanes);
+                } else {
+                    svb_s.apply_quant_delta(&col, &q, delta, SimdBackend::Scalar);
+                    svb_l.apply_quant_delta(&col, &q, delta, SimdBackend::Lanes);
+                }
+            }
+            let bs: Vec<u32> = svb_s.e.iter().map(|v| v.to_bits()).collect();
+            let bl: Vec<u32> = svb_l.e.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bs, bl);
+        }
+    }
+
+    #[test]
+    fn thetas_dispatch_matches_generic_walk() {
+        // The Scalar backend must be literally the generic
+        // compute_thetas walk, and Lanes must equal it bitwise.
+        let (_, a, t, y, w) = setup();
+        let sv = 2;
+        let shape = SvbShape::compute(&a, &t, sv);
+        let svb = Svb::gather(&shape, SvbLayout::Transposed, &y, &w);
+        for j in t.voxels(sv) {
+            let col = a.column(j);
+            let reference = compute_thetas(&col, &svb);
+            for backend in [SimdBackend::Scalar, SimdBackend::Lanes] {
+                let got = svb.thetas(&col, backend);
+                assert_eq!(got.theta1.to_bits(), reference.theta1.to_bits());
+                assert_eq!(got.theta2.to_bits(), reference.theta2.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,10 @@ use serde::Serialize;
 /// (start time, device) rather than raw emission order.
 /// v3: reports carry a `faults` lane (injected fault / recovery
 /// events on the modeled fleet timeline) and `totals.faults`.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: reports carry a `backend` field naming the SIMD lane backend
+/// ("scalar" or "lanes") the run resolved to — a speed label only,
+/// since every backend produces bitwise-identical results.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Per-kernel-class aggregate over every launch of that kernel — the
 /// run-level analogue of the paper's Table 2/3 counter columns.
@@ -96,6 +99,9 @@ pub struct ProfileReport {
     pub schema_version: u64,
     /// Run label (algorithm / scale, chosen by the producer).
     pub name: String,
+    /// Resolved SIMD lane backend the process ran with ("scalar" or
+    /// "lanes"). Purely informational: backends are bitwise-identical.
+    pub backend: String,
     /// Per-kernel-class aggregates, in order of first appearance.
     pub kernels: Vec<KernelClassAgg>,
     /// Every recorded kernel launch, ordered by modeled start time
@@ -215,6 +221,7 @@ impl ProfileReport {
         ProfileReport {
             schema_version: SCHEMA_VERSION,
             name: name.to_string(),
+            backend: mbir_simd::active().name().to_string(),
             kernels,
             spans,
             iterations,
@@ -297,7 +304,9 @@ mod tests {
         assert_eq!(r.totals.faults, 0);
         // Zero-division edges must stay finite all the way to JSON.
         let s = r.to_json_pretty();
-        assert!(s.contains("\"schema_version\": 3"));
+        assert!(s.contains("\"schema_version\": 4"));
+        // Reports name the SIMD backend they resolved to.
+        assert!(s.contains("\"backend\": \"scalar\"") || s.contains("\"backend\": \"lanes\""));
     }
 
     #[test]
