@@ -9,18 +9,18 @@
 
 use ct_core::fbp;
 use ct_core::geometry::Geometry;
-use ct_core::hu::{hu_from_mu, mu_from_hu};
+use ct_core::hu::{hu_from_mu, mu_from_hu, rmse_hu};
 use ct_core::image::Image;
 use ct_core::io;
 use ct_core::phantom::Phantom;
 use ct_core::project::{scan, NoiseModel};
 use ct_core::sinogram::Sinogram;
 use ct_core::sysmat::SystemMatrix;
-use gpu_icd::{Checkpoint, GpuIcd, MbirError};
+use gpu_icd::{BoundaryAction, Checkpoint, GpuIcd, MbirError};
 use mbir::prior::QggmrfPrior;
 use mbir::sequential::{golden_image, IcdConfig, SequentialIcd};
 use mbir_bench::{gpu_options_for, Args};
-use mbir_fleet::FaultSpec;
+use mbir_fleet::{FaultSpec, FleetSpec};
 use mbir_telemetry::{chrome_trace, ProfileReport};
 use psv_icd::{PsvConfig, PsvIcd};
 use std::path::{Path, PathBuf};
@@ -52,6 +52,7 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
         ]),
         "fan-demo" => Some(&["out"]),
         "volume" => Some(&["slices", "sigma", "passes", "out"]),
+        "serve" => Some(&["jobs", "devices", "fleet", "out", "profile"]),
         "info" => Some(&[]),
         _ => None,
     }
@@ -64,6 +65,7 @@ fn usage() {
     eprintln!("              [--checkpoint <dir> [--checkpoint-every N] [--resume]] [--faults fail:<d>@<b>,slow:<d>@<a>..<b>x<f>,link:<a>..<b>x<f>,backoff:<s>|random:<seed>]");
     eprintln!("  fan-demo    (fan acquisition -> rebin -> reconstruction demo)");
     eprintln!("  volume      --slices <n> (3-D multi-slice reconstruction demo)");
+    eprintln!("  serve       --jobs <workload.json> [--devices N | --fleet <fleet.json>] [--out <report.json>] [--profile <p.json>]");
     eprintln!("  info        (geometry and system-matrix statistics)");
 }
 
@@ -91,6 +93,7 @@ fn main() -> ExitCode {
         "reconstruct" => cmd_reconstruct(&args),
         "fan-demo" => cmd_fan_demo(&args),
         "volume" => cmd_volume(&args),
+        "serve" => cmd_serve(&args),
         "info" => cmd_info(&args),
         _ => unreachable!("allowed_flags vetted the subcommand"),
     };
@@ -348,9 +351,9 @@ fn reconstruct(
 
 /// Run the GPU driver to convergence, threading the `--checkpoint`,
 /// `--checkpoint-every`, and `--resume` flags through: the run saves
-/// its state every N iterations (atomically, so an interrupt never
-/// corrupts the file) and `--resume` restarts from the saved state,
-/// continuing bitwise identically to an uninterrupted run.
+/// its state every N iteration boundaries (atomically, so an interrupt
+/// never corrupts the file) and `--resume` restarts from the saved
+/// state, continuing bitwise identically to an uninterrupted run.
 fn run_gpu<P: mbir::prior::Prior + Sync>(
     gpu: &mut GpuIcd<'_, P>,
     golden: &Image,
@@ -369,17 +372,21 @@ fn run_gpu<P: mbir::prior::Prior + Sync>(
         eprintln!("resumed from {} at iteration {}", path.display(), gpu.iterations());
     }
     let every = args.get_or("checkpoint-every", 1u64).max(1);
-    let max_iters = max_iters as u64;
-    while gpu.iterations() < max_iters {
-        let chunk = every.min(max_iters - gpu.iterations()) as usize;
-        let before = gpu.iterations();
-        gpu.run_to_rmse(golden, 10.0, chunk);
-        gpu.checkpoint().save(&path)?;
-        if gpu.iterations() == before {
-            break; // converged before the chunk ran anything
-        }
+    let start = gpu.iterations();
+    let remaining = (max_iters as u64).saturating_sub(start) as usize;
+    if remaining > 0 && rmse_hu(gpu.image(), golden) >= 10.0 {
+        gpu.run_with_boundary(remaining, |gpu, _report| {
+            if (gpu.iterations() - start).is_multiple_of(every) {
+                gpu.checkpoint().save(&path)?;
+            }
+            Ok(if rmse_hu(gpu.image(), golden) < 10.0 {
+                BoundaryAction::Stop
+            } else {
+                BoundaryAction::Continue
+            })
+        })?;
     }
-    Ok(())
+    gpu.checkpoint().save(&path)
 }
 
 /// The checkpoint file inside a `--checkpoint` directory.
@@ -458,6 +465,84 @@ fn cmd_volume(args: &Args) -> Result<(), MbirError> {
                 .map_err(|e| MbirError::io(&path, e))?;
         }
         eprintln!("wrote {nz} slice images with prefix {prefix}");
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), MbirError> {
+    use mbir_serve::{Server, WorkloadSpec};
+    use mbir_telemetry::RecordingSink;
+    use std::sync::Arc;
+    if args.has("fleet") && args.has("devices") {
+        return Err(usage_err("pass either --devices or --fleet, not both"));
+    }
+    let jobs_path =
+        args.get("jobs").ok_or_else(|| usage_err("serve requires --jobs <workload.json>"))?;
+    let text = std::fs::read_to_string(jobs_path).map_err(|e| MbirError::io(jobs_path, e))?;
+    let workload = WorkloadSpec::parse(&text)
+        .map_err(|e| usage_err(format!("bad workload '{jobs_path}': {e}")))?;
+    let fleet = match args.get("fleet") {
+        Some(path) => {
+            let t = std::fs::read_to_string(path).map_err(|e| MbirError::io(path, e))?;
+            let v = mbir_telemetry::json::parse(&t)
+                .map_err(|e| usage_err(format!("bad fleet spec '{path}': {e}")))?;
+            FleetSpec::from_json(&v)
+                .map_err(|e| usage_err(format!("bad fleet spec '{path}': {e}")))?
+        }
+        None => {
+            let devices = args.get_or("devices", 2usize);
+            if devices == 0 {
+                return Err(usage_err("--devices must be at least 1"));
+            }
+            FleetSpec::titan_x_pcie(devices)
+        }
+    };
+    let sink = args.get("profile").map(|_| Arc::new(RecordingSink::new()));
+    let outcome = Server::new(fleet, workload).run(sink.as_ref())?;
+    let r = &outcome.report;
+    println!(
+        "serve: {} devices, {} completed, {} rejected, {} preemption(s), \
+         {:.1} jobs/h, p50 {:.4}s, p99 {:.4}s, utilization {:.1}%, jain {:.3}",
+        r.devices,
+        r.completed,
+        r.rejected,
+        r.preemptions,
+        r.jobs_per_hour,
+        r.p50_latency_seconds,
+        r.p99_latency_seconds,
+        100.0 * r.utilization,
+        r.fairness_jain
+    );
+    for j in &r.jobs {
+        match j.status.as_str() {
+            "completed" => println!(
+                "  {:<12} {:<10} pri {:>3}  {}d  latency {:.4}s  queue {:.4}s  \
+                 {} preemption(s){}{}",
+                j.id,
+                j.tenant,
+                j.priority,
+                j.devices,
+                j.latency_seconds,
+                j.queue_seconds,
+                j.preemptions,
+                if j.ingest_hidden_seconds > 0.0 {
+                    format!("  ingest hid {:.4}s", j.ingest_hidden_seconds)
+                } else {
+                    String::new()
+                },
+                if j.missed_deadline { "  MISSED DEADLINE" } else { "" },
+            ),
+            _ => println!("  {:<12} {:<10} REJECTED: {}", j.id, j.tenant, j.reason),
+        }
+    }
+    if let Some(path) = args.get("out") {
+        let s = serde_json::to_string_pretty(r)
+            .map_err(|e| MbirError::InvalidData(format!("report serialization: {e}")))?;
+        std::fs::write(path, s).map_err(|e| MbirError::io(path, e))?;
+        eprintln!("wrote {path} (serve report)");
+    }
+    if let (Some(path), Some(sink)) = (args.get("profile"), &sink) {
+        write_profile(path, &sink.report("serve"))?;
     }
     Ok(())
 }

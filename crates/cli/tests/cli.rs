@@ -183,3 +183,85 @@ fn profile_rejects_unprofiled_algorithms() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--profile supports --algo psv|gpu"));
 }
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mbirctl-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn serve_requires_a_workload() {
+    let out = mbirctl(&["serve"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("serve requires --jobs"));
+}
+
+#[test]
+fn serve_runs_the_checked_in_mixed_workload() {
+    let spec = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/serve_mixed.json");
+    let dir = temp_dir("serve");
+    let report = dir.join("report.json");
+    let out =
+        mbirctl(&["serve", "--jobs", spec, "--devices", "2", "--out", report.to_str().unwrap()]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "serve: {err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The mixed workload exercises every scheduler path: a rejection,
+    // a preemption, and completions across three tenants.
+    assert!(stdout.contains("1 rejected"), "stdout: {stdout}");
+    assert!(stdout.contains("1 preemption(s),"), "stdout: {stdout}");
+    assert!(stdout.contains("REJECTED: lease of 64 devices"), "stdout: {stdout}");
+    let text = std::fs::read_to_string(&report).expect("report written");
+    for key in ["jobs_per_hour", "fairness_jain", "p99_latency_seconds", "tenants"] {
+        assert!(text.contains(key), "report lacks {key}: {text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_a_hostile_workload_gracefully() {
+    let dir = temp_dir("serve-bad-jobs");
+    let path = dir.join("jobs.json");
+    for (bad, needle) in [
+        (r#"{"jobs": [{"id": "a", "arrival_seconds": 1e400}]}"#, "not finite"),
+        (r#"{"jobs": [{"id": "a"}, {"id": "a"}]}"#, "duplicate job id"),
+        (r#"{"jobs": ["#, "bad workload"),
+    ] {
+        std::fs::write(&path, bad).expect("write workload");
+        let out = mbirctl(&["serve", "--jobs", path.to_str().unwrap()]);
+        assert!(!out.status.success(), "hostile workload accepted: {bad}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "stderr {err:?} lacks {needle:?} for {bad}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_a_hostile_fleet_spec_without_truncation() {
+    let dir = temp_dir("serve-bad-fleet");
+    let jobs = dir.join("jobs.json");
+    std::fs::write(&jobs, r#"{"jobs": [{"id": "a"}]}"#).expect("write workload");
+    let fleet = dir.join("fleet.json");
+    // 2^32 + 1000: `as u32` used to truncate this to 1000 silently.
+    std::fs::write(
+        &fleet,
+        r#"{"devices": 2, "interconnect": {}, "gpu": {"name": "evil", "num_smm": 4294968296}}"#,
+    )
+    .expect("write fleet");
+    let out =
+        mbirctl(&["serve", "--jobs", jobs.to_str().unwrap(), "--fleet", fleet.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("does not fit in u32"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_fleet_and_devices_flags_are_exclusive() {
+    let out = mbirctl(&["serve", "--jobs", "x.json", "--fleet", "f.json", "--devices", "2"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("pass either --devices or --fleet, not both")
+    );
+}

@@ -68,6 +68,16 @@ pub fn plan_config(opts: &GpuOptions) -> PlanConfig {
     }
 }
 
+/// What a boundary hook (see [`GpuIcd::run_with_boundary`]) tells the
+/// driver to do after this iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryAction {
+    /// Keep iterating.
+    Continue,
+    /// Stop at this boundary (converged, preempted, or out of budget).
+    Stop,
+}
+
 /// What one outer iteration did.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuIterationReport {
@@ -891,6 +901,31 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
             self.emit_convergence(&trace);
         }
         trace
+    }
+
+    /// Run up to `max_iters` further iterations, invoking `hook` at
+    /// every iteration boundary — the only point where a checkpoint
+    /// captures a bitwise-resumable state. The hook sees the driver
+    /// immutably (snapshot a [`Checkpoint`], inspect progress, save to
+    /// disk) and decides whether to continue; errors abort the run.
+    /// This is the preemption point the serve layer stops victims at,
+    /// and the cadence `mbirctl --checkpoint-every` saves on.
+    ///
+    /// Returns the number of iterations actually run.
+    pub fn run_with_boundary(
+        &mut self,
+        max_iters: usize,
+        mut hook: impl FnMut(&Self, &GpuIterationReport) -> Result<BoundaryAction, MbirError>,
+    ) -> Result<u64, MbirError> {
+        let start = self.iter;
+        for _ in 0..max_iters {
+            let report = self.iteration();
+            match hook(self, &report)? {
+                BoundaryAction::Continue => {}
+                BoundaryAction::Stop => break,
+            }
+        }
+        Ok(self.iter - start)
     }
 
     /// Forward the latest trace point to the sink, if any.

@@ -49,7 +49,7 @@ pub mod opts;
 pub mod tally;
 
 pub use checkpoint::Checkpoint;
-pub use driver::{plan_config, GpuIcd, GpuIterationReport};
+pub use driver::{plan_config, BoundaryAction, GpuIcd, GpuIterationReport};
 pub use error::MbirError;
 pub use fleet::FleetState;
 pub use model::{GpuWorkModel, ProfileSkeleton};

@@ -1,0 +1,160 @@
+//! Per-tenant utilization and fairness accounting.
+//!
+//! [`FleetReport`](crate::FleetReport) answers "how busy was each
+//! device"; the serve layer also has to answer "who used the fleet".
+//! [`UsageLedger`] accrues device-seconds per tenant as leased jobs
+//! iterate, and summarizes them as shares of the consumed capacity
+//! plus a Jain fairness index — the numbers a multi-tenant operator
+//! bills and alerts on.
+
+use serde::Serialize;
+
+/// One tenant's row in the ledger summary.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct TenantUsage {
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs the tenant completed.
+    pub jobs_completed: u64,
+    /// Times one of the tenant's jobs was preempted.
+    pub preemptions: u64,
+    /// Device-seconds charged (lease size x modeled busy seconds).
+    pub device_seconds: f64,
+    /// Fraction of all charged device-seconds this tenant consumed.
+    pub share: f64,
+    /// Fraction of total fleet capacity (devices x wall seconds) this
+    /// tenant consumed; the gap between `share` and this is idle/
+    /// scheduling overhead, not another tenant.
+    pub capacity_fraction: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    tenant: String,
+    device_seconds: f64,
+    jobs_completed: u64,
+    preemptions: u64,
+}
+
+/// Accrues per-tenant device-seconds over a serve run.
+///
+/// Tenants appear in first-charge order, which the scheduler makes
+/// deterministic, so the summary order is reproducible.
+#[derive(Debug, Default, Clone)]
+pub struct UsageLedger {
+    entries: Vec<Entry>,
+}
+
+impl UsageLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(&mut self, tenant: &str) -> &mut Entry {
+        if let Some(i) = self.entries.iter().position(|e| e.tenant == tenant) {
+            return &mut self.entries[i];
+        }
+        self.entries.push(Entry {
+            tenant: tenant.to_string(),
+            device_seconds: 0.0,
+            jobs_completed: 0,
+            preemptions: 0,
+        });
+        self.entries.last_mut().expect("just pushed")
+    }
+
+    /// Charge `device_seconds` (lease size x busy seconds) to a tenant.
+    pub fn charge(&mut self, tenant: &str, device_seconds: f64) {
+        self.entry(tenant).device_seconds += device_seconds;
+    }
+
+    /// Record a completed job for a tenant.
+    pub fn complete(&mut self, tenant: &str) {
+        self.entry(tenant).jobs_completed += 1;
+    }
+
+    /// Record a preemption against a tenant's job.
+    pub fn preempt(&mut self, tenant: &str) {
+        self.entry(tenant).preemptions += 1;
+    }
+
+    /// Device-seconds charged to one tenant so far.
+    pub fn device_seconds(&self, tenant: &str) -> f64 {
+        self.entries.iter().find(|e| e.tenant == tenant).map(|e| e.device_seconds).unwrap_or(0.0)
+    }
+
+    /// Jain fairness index over per-tenant device-seconds:
+    /// `(Σx)² / (n·Σx²)` — 1.0 when every tenant consumed the same
+    /// amount, approaching `1/n` as one tenant monopolizes the fleet.
+    pub fn jain_fairness(&self) -> f64 {
+        let n = self.entries.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let sum: f64 = self.entries.iter().map(|e| e.device_seconds).sum();
+        let sq: f64 = self.entries.iter().map(|e| e.device_seconds * e.device_seconds).sum();
+        if sq == 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (n as f64 * sq)
+    }
+
+    /// Summarize the ledger against the fleet's total capacity
+    /// (`devices x wall seconds`), in first-charge tenant order.
+    pub fn summarize(&self, capacity_device_seconds: f64) -> Vec<TenantUsage> {
+        let total: f64 = self.entries.iter().map(|e| e.device_seconds).sum();
+        self.entries
+            .iter()
+            .map(|e| TenantUsage {
+                tenant: e.tenant.clone(),
+                jobs_completed: e.jobs_completed,
+                preemptions: e.preemptions,
+                device_seconds: e.device_seconds,
+                share: if total > 0.0 { e.device_seconds / total } else { 0.0 },
+                capacity_fraction: if capacity_device_seconds > 0.0 {
+                    e.device_seconds / capacity_device_seconds
+                } else {
+                    0.0
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_tenant_in_first_charge_order() {
+        let mut l = UsageLedger::new();
+        l.charge("b", 2.0);
+        l.charge("a", 1.0);
+        l.charge("b", 2.0);
+        l.complete("b");
+        l.preempt("a");
+        assert_eq!(l.device_seconds("b"), 4.0);
+        assert_eq!(l.device_seconds("a"), 1.0);
+        assert_eq!(l.device_seconds("nobody"), 0.0);
+        let rows = l.summarize(10.0);
+        assert_eq!(rows[0].tenant, "b");
+        assert_eq!(rows[1].tenant, "a");
+        assert_eq!(rows[0].jobs_completed, 1);
+        assert_eq!(rows[1].preemptions, 1);
+        assert!((rows[0].share - 0.8).abs() < 1e-12);
+        assert!((rows[0].capacity_fraction - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_index_brackets() {
+        let mut l = UsageLedger::new();
+        assert_eq!(l.jain_fairness(), 1.0);
+        l.charge("a", 3.0);
+        l.charge("b", 3.0);
+        assert!((l.jain_fairness() - 1.0).abs() < 1e-12);
+        l.charge("a", 6.0);
+        // Two tenants, 9:3 split -> (12)^2 / (2*(81+9)) = 0.8.
+        assert!((l.jain_fairness() - 0.8).abs() < 1e-12);
+    }
+}

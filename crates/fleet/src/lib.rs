@@ -47,11 +47,13 @@
 pub mod fault;
 pub mod fleet;
 pub mod interconnect;
+pub mod ledger;
 pub mod shard;
 pub mod spec;
 
 pub use fault::{FaultEvent, FaultSpec, DEFAULT_BACKOFF_SECONDS};
 pub use fleet::{BatchCost, DeviceReport, Fleet, FleetReport};
 pub use interconnect::Interconnect;
+pub use ledger::{TenantUsage, UsageLedger};
 pub use shard::ShardPlan;
 pub use spec::{FleetSpec, InterconnectSpec};

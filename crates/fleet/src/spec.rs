@@ -85,11 +85,28 @@ impl FleetSpec {
     pub fn from_json(v: &Value) -> Result<Self, String> {
         let gpu = field(v, "gpu")?;
         let ic = field(v, "interconnect")?;
+        let devices = get_usize(v, "devices")?;
+        if devices == 0 {
+            return Err("field 'devices' must be at least 1".into());
+        }
         Ok(FleetSpec {
-            devices: get_u64(v, "devices")? as usize,
+            devices,
             gpu: gpu_from_json(gpu)?,
             interconnect: InterconnectSpec::from_json(ic)?,
         })
+    }
+
+    /// Carve a sub-fleet lease of `devices` devices out of this fleet:
+    /// same per-device machine and interconnect, smaller ring. The
+    /// serve layer prices each leased job's exchanges against this.
+    pub fn carve(&self, devices: usize) -> Result<Self, String> {
+        if devices == 0 {
+            return Err("a lease needs at least one device".into());
+        }
+        if devices > self.devices {
+            return Err(format!("lease of {devices} devices exceeds fleet size {}", self.devices));
+        }
+        Ok(FleetSpec { devices, gpu: self.gpu.clone(), interconnect: self.interconnect.clone() })
     }
 }
 
@@ -112,12 +129,19 @@ fn get_str(v: &Value, key: &str) -> Result<String, String> {
 }
 
 fn get_f64(v: &Value, key: &str) -> Result<f64, String> {
-    match field(v, key)? {
-        Value::F64(x) => Ok(*x),
-        Value::U64(x) => Ok(*x as f64),
-        Value::I64(x) => Ok(*x as f64),
-        other => Err(format!("field '{key}' is not a number: {other:?}")),
+    let x = match field(v, key)? {
+        Value::F64(x) => *x,
+        Value::U64(x) => *x as f64,
+        Value::I64(x) => *x as f64,
+        other => return Err(format!("field '{key}' is not a number: {other:?}")),
+    };
+    // JSON happily encodes `1e400`, which parses to infinity; a
+    // non-finite bandwidth or latency would turn every downstream
+    // makespan into NaN/inf, so refuse it at the boundary.
+    if !x.is_finite() {
+        return Err(format!("field '{key}' is not finite: {x}"));
     }
+    Ok(x)
 }
 
 fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
@@ -128,24 +152,37 @@ fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
     }
 }
 
+/// Checked narrowing to `u32`: a hostile or fat-fingered spec with
+/// `"clock_mhz": 4294968296` used to silently truncate to 1000 via
+/// `as u32`; now it is a parse error naming the field and value.
+fn get_u32(v: &Value, key: &str) -> Result<u32, String> {
+    let x = get_u64(v, key)?;
+    u32::try_from(x).map_err(|_| format!("field '{key}' value {x} does not fit in u32"))
+}
+
+fn get_usize(v: &Value, key: &str) -> Result<usize, String> {
+    let x = get_u64(v, key)?;
+    usize::try_from(x).map_err(|_| format!("field '{key}' value {x} does not fit in usize"))
+}
+
 fn gpu_from_json(v: &Value) -> Result<GpuSpec, String> {
     Ok(GpuSpec {
         name: get_str(v, "name")?,
-        num_smm: get_u64(v, "num_smm")? as u32,
-        cores_per_smm: get_u64(v, "cores_per_smm")? as u32,
-        clock_mhz: get_u64(v, "clock_mhz")? as u32,
-        warp_size: get_u64(v, "warp_size")? as u32,
-        max_threads_per_smm: get_u64(v, "max_threads_per_smm")? as u32,
-        max_blocks_per_smm: get_u64(v, "max_blocks_per_smm")? as u32,
-        max_threads_per_block: get_u64(v, "max_threads_per_block")? as u32,
-        registers_per_smm: get_u64(v, "registers_per_smm")? as u32,
-        register_granularity: get_u64(v, "register_granularity")? as u32,
-        shared_mem_per_smm: get_u64(v, "shared_mem_per_smm")? as u32,
-        shared_mem_per_block: get_u64(v, "shared_mem_per_block")? as u32,
-        shared_mem_granularity: get_u64(v, "shared_mem_granularity")? as u32,
-        l1_tex_bytes_per_smm: get_u64(v, "l1_tex_bytes_per_smm")? as u32,
-        l2_bytes: get_u64(v, "l2_bytes")? as u32,
-        sector_bytes: get_u64(v, "sector_bytes")? as u32,
+        num_smm: get_u32(v, "num_smm")?,
+        cores_per_smm: get_u32(v, "cores_per_smm")?,
+        clock_mhz: get_u32(v, "clock_mhz")?,
+        warp_size: get_u32(v, "warp_size")?,
+        max_threads_per_smm: get_u32(v, "max_threads_per_smm")?,
+        max_blocks_per_smm: get_u32(v, "max_blocks_per_smm")?,
+        max_threads_per_block: get_u32(v, "max_threads_per_block")?,
+        registers_per_smm: get_u32(v, "registers_per_smm")?,
+        register_granularity: get_u32(v, "register_granularity")?,
+        shared_mem_per_smm: get_u32(v, "shared_mem_per_smm")?,
+        shared_mem_per_block: get_u32(v, "shared_mem_per_block")?,
+        shared_mem_granularity: get_u32(v, "shared_mem_granularity")?,
+        l1_tex_bytes_per_smm: get_u32(v, "l1_tex_bytes_per_smm")?,
+        l2_bytes: get_u32(v, "l2_bytes")?,
+        sector_bytes: get_u32(v, "sector_bytes")?,
         dram_gbps: get_f64(v, "dram_gbps")?,
         l2_gbps: get_f64(v, "l2_gbps")?,
         tex_gbps: get_f64(v, "tex_gbps")?,
@@ -203,5 +240,55 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_device_fleet_is_rejected() {
         FleetSpec::titan_x_pcie(0);
+    }
+
+    /// Serialize a preset, splice one field's value, and parse back —
+    /// the hostile-input harness for the narrowing/finiteness checks.
+    fn parse_with(field: &str, value: &str) -> Result<FleetSpec, String> {
+        let text = serde_json::to_string_pretty(&FleetSpec::titan_x_pcie(2)).unwrap();
+        let needle = format!("\"{field}\":");
+        let at = text.find(&needle).expect("field present") + needle.len();
+        let end = text[at..].find(['\n', ','].as_ref()).unwrap() + at;
+        let spliced = format!("{} {}{}", &text[..at], value, &text[end..]);
+        FleetSpec::from_json(&json::parse(&spliced).expect("still valid JSON"))
+    }
+
+    #[test]
+    fn oversized_u32_field_is_a_parse_error_not_truncation() {
+        // 2^32 + 1000: `as u32` used to truncate this to 1000 MHz.
+        let err = parse_with("clock_mhz", "4294968296").unwrap_err();
+        assert!(err.contains("clock_mhz"), "{err}");
+        assert!(err.contains("does not fit in u32"), "{err}");
+        // Negative values are rejected by the unsigned gate.
+        let err = parse_with("num_smm", "-3").unwrap_err();
+        assert!(err.contains("num_smm"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_bandwidth_is_rejected() {
+        // JSON `1e400` parses to +inf; it must not reach the timing
+        // model where it would poison every makespan.
+        let err = parse_with("link_gbps", "1e400").unwrap_err();
+        assert!(err.contains("link_gbps"), "{err}");
+        assert!(err.contains("not finite"), "{err}");
+        let err = parse_with("dram_gbps", "1e400").unwrap_err();
+        assert!(err.contains("dram_gbps"), "{err}");
+    }
+
+    #[test]
+    fn zero_devices_in_json_is_rejected() {
+        let err = parse_with("devices", "0").unwrap_err();
+        assert!(err.contains("devices"), "{err}");
+    }
+
+    #[test]
+    fn carve_bounds_the_lease() {
+        let fleet = FleetSpec::titan_x_pcie(4);
+        let lease = fleet.carve(2).unwrap();
+        assert_eq!(lease.devices, 2);
+        assert_eq!(lease.gpu, fleet.gpu);
+        assert_eq!(lease.interconnect, fleet.interconnect);
+        assert!(fleet.carve(0).is_err());
+        assert!(fleet.carve(5).unwrap_err().contains("exceeds fleet size"));
     }
 }

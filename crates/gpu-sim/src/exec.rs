@@ -20,15 +20,17 @@ pub fn makespan(block_times: &[f64], slots: usize) -> f64 {
     }
     let mut finish = vec![0.0f64; slots.min(block_times.len())];
     for &t in block_times {
-        // Assign to the earliest-finishing slot.
-        let (idx, _) = finish
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .expect("slots >= 1");
+        // Assign to the earliest-finishing slot. `total_cmp` keeps the
+        // schedule well-defined even if a NaN block time slips in (the
+        // spec-parse boundary rejects non-finite inputs, but a timing
+        // model bug must degrade to a NaN makespan, not a panic).
+        let (idx, _) =
+            finish.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).expect("slots >= 1");
         finish[idx] += t;
     }
-    finish.iter().copied().fold(0.0, f64::max)
+    // `f64::max` would silently drop a NaN slot; take the max under the
+    // total order instead so a poisoned schedule stays visible.
+    finish.iter().copied().max_by(f64::total_cmp).expect("non-empty")
 }
 
 /// Dispatches kernel launches on a GPU: turns per-block durations plus
@@ -123,6 +125,17 @@ mod tests {
     #[test]
     fn empty_is_zero() {
         assert_eq!(makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn nan_block_time_does_not_panic() {
+        // A NaN duration used to panic inside `partial_cmp(..).unwrap()`
+        // while picking the earliest-finishing slot. It must instead
+        // propagate as a NaN makespan the caller can observe.
+        let ms = makespan(&[1.0, f64::NAN, 2.0], 2);
+        assert!(ms.is_nan());
+        // Finite inputs around it still schedule normally.
+        assert_eq!(makespan(&[f64::INFINITY, 1.0], 2), f64::INFINITY);
     }
 
     #[test]

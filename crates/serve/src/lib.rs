@@ -1,0 +1,49 @@
+//! `mbir-serve` — a multi-tenant serving layer over the simulated
+//! fleet.
+//!
+//! A reconstruction service does not run one scan at a time: jobs of
+//! mixed sizes, priorities, and deadlines arrive while others run, and
+//! an operator has to decide who waits, who runs where, and who gets
+//! bumped. This crate models that operator against the same fleet the
+//! scaling study prices:
+//!
+//! - [`WorkloadSpec`] / [`JobSpec`]: the declarative workload — per
+//!   job: tenant, priority, deadline, problem scale, device lease
+//!   size, arrival time, and an optional streaming view rate.
+//! - [`Server`]: a discrete-event scheduler over the modeled
+//!   timeline. Admission control rejects jobs the fleet can never
+//!   hold; admitted jobs queue in strict priority order and run on
+//!   device leases carved from the [`FleetSpec`](mbir_fleet::FleetSpec)
+//!   via [`FleetSpec::carve`](mbir_fleet::FleetSpec::carve).
+//! - **Preemption**: when a higher-priority job cannot get its lease,
+//!   the lowest-priority running jobs are checkpointed at their next
+//!   iteration boundary (the PR-5 [`Checkpoint`](gpu_icd::Checkpoint)
+//!   machinery), their devices reclaimed, and they resume later —
+//!   bitwise identical to a run that was never interrupted, which the
+//!   tests assert image-for-image.
+//! - **Streaming ingestion**: a job with a `view_rate` overlaps view
+//!   arrival with FBP initialization and error-sinogram construction
+//!   (iFDK-style two-stage pipeline), so it reaches the queue earlier
+//!   than ingest-then-prepare would allow; the hidden seconds are
+//!   reported per job.
+//! - [`ServeReport`]: per-job latency/preemption/deadline outcomes,
+//!   throughput (jobs/hour), p50/p99 latency, fleet utilization, and
+//!   per-tenant [`TenantUsage`](mbir_fleet::TenantUsage) rows with a
+//!   Jain fairness index.
+//!
+//! Telemetry: job-lifecycle events land in the shared profile as
+//! schema-v5 `jobs` records, and each leased driver's kernel spans are
+//! remapped onto physical device ids and the global clock by
+//! [`LeaseSink`], so one Chrome trace shows the whole serve timeline.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod report;
+pub mod sink;
+pub mod spec;
+
+pub use engine::{solo_run, ServeOutcome, Server};
+pub use report::{JobReport, ServeReport};
+pub use sink::LeaseSink;
+pub use spec::{JobSpec, WorkloadSpec};

@@ -1,0 +1,109 @@
+//! Serve-run outcome reporting.
+
+use mbir_fleet::TenantUsage;
+use serde::Serialize;
+
+/// Outcome of one job.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobReport {
+    /// Job id.
+    pub id: String,
+    /// Tenant billed.
+    pub tenant: String,
+    /// Scheduling priority.
+    pub priority: i64,
+    /// Device lease size.
+    pub devices: usize,
+    /// `completed` or `rejected`.
+    pub status: String,
+    /// Rejection reason (empty for completed jobs).
+    pub reason: String,
+    /// Arrival on the serve clock, seconds.
+    pub arrival_seconds: f64,
+    /// When ingest + setup finished and the job entered the queue.
+    pub ready_seconds: f64,
+    /// First time the job held a lease (0 when rejected).
+    pub first_start_seconds: f64,
+    /// Completion time on the serve clock.
+    pub completed_seconds: f64,
+    /// `completed - arrival`: what the tenant experiences.
+    pub latency_seconds: f64,
+    /// Seconds spent queued or preempted (latency minus ingest wait
+    /// and busy execution).
+    pub queue_seconds: f64,
+    /// Modeled busy seconds across all stints (job-local).
+    pub busy_seconds: f64,
+    /// Job-local timeline end: bitwise equal to a solo run's
+    /// `modeled_seconds()` — the preemption-identity invariant.
+    pub modeled_seconds: f64,
+    /// Outer iterations run.
+    pub iterations: u64,
+    /// Times the job was checkpointed off its lease.
+    pub preemptions: u64,
+    /// Setup seconds hidden behind streaming view arrival.
+    pub ingest_hidden_seconds: f64,
+    /// Deadline, if one was declared.
+    pub deadline_seconds: Option<f64>,
+    /// Whether the job finished after its deadline.
+    pub missed_deadline: bool,
+}
+
+/// One serve run, aggregated.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Fleet size the workload ran against.
+    pub devices: usize,
+    /// Serve-clock end: last completion (or last rejection).
+    pub wall_seconds: f64,
+    /// Busy device-seconds over `devices * wall_seconds`.
+    pub utilization: f64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs rejected by admission control.
+    pub rejected: u64,
+    /// Total preemptions across the run.
+    pub preemptions: u64,
+    /// Completed jobs per hour of serve-clock time.
+    pub jobs_per_hour: f64,
+    /// Median completed-job latency (nearest-rank).
+    pub p50_latency_seconds: f64,
+    /// 99th-percentile completed-job latency (nearest-rank).
+    pub p99_latency_seconds: f64,
+    /// Jain fairness index over per-tenant device-seconds.
+    pub fairness_jain: f64,
+    /// Per-job outcomes, in workload order.
+    pub jobs: Vec<JobReport>,
+    /// Per-tenant usage rows, in first-charge order.
+    pub tenants: Vec<TenantUsage>,
+    /// Busy seconds per physical device.
+    pub per_device_busy_seconds: Vec<f64>,
+}
+
+/// Nearest-rank percentile (`p` in [0, 100]) of an unsorted sample;
+/// 0.0 for an empty sample.
+pub fn percentile(sample: &[f64], p: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    let mut v = sample.to_vec();
+    v.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+    v[rank.clamp(1, v.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 99.0), 4.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // NaN-proof ordering: total_cmp sorts NaN to the end instead
+        // of panicking mid-schedule.
+        assert!(percentile(&[1.0, f64::NAN], 99.0).is_nan());
+    }
+}

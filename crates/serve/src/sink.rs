@@ -1,0 +1,118 @@
+//! Remapping leased drivers' telemetry onto the serve timeline.
+//!
+//! Each leased [`GpuIcd`](gpu_icd::GpuIcd) driver numbers its devices
+//! `0..lease` and stamps spans on its own job-local clock (which
+//! restarts from the checkpointed `modeled_seconds` across stints).
+//! [`LeaseSink`] sits between a driver and the server's shared
+//! [`RecordingSink`], rewriting each kernel span's `device` to the
+//! physical device id of the lease slot and shifting `start_seconds`
+//! by the stint's offset onto the global serve clock — so one profile
+//! and one Chrome trace show every tenant's kernels on the devices
+//! they actually held, when they actually held them.
+
+use mbir_telemetry::{KernelSpan, ProfileSink, RecordingSink};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+#[derive(Debug, Default)]
+struct Lease {
+    /// Physical device id per driver-local device index.
+    devices: Vec<u64>,
+    /// Global serve clock minus the driver's local clock.
+    offset_seconds: f64,
+}
+
+/// A [`ProfileSink`] that forwards kernel spans into a shared
+/// [`RecordingSink`] after remapping them onto physical devices and
+/// the global clock. Iteration/convergence samples are dropped: each
+/// job's iteration numbering is private, and interleaving several
+/// jobs' counters in one profile would make the lanes meaningless.
+#[derive(Debug)]
+pub struct LeaseSink {
+    inner: Arc<RecordingSink>,
+    lease: Mutex<Lease>,
+}
+
+impl LeaseSink {
+    /// A sink forwarding into `inner` (one per job; the engine updates
+    /// the lease mapping at every grant and iteration boundary).
+    pub fn new(inner: Arc<RecordingSink>) -> LeaseSink {
+        LeaseSink { inner, lease: Mutex::new(Lease::default()) }
+    }
+
+    /// Install the current stint's device mapping and clock offset.
+    pub fn set_lease(&self, devices: Vec<u64>, offset_seconds: f64) {
+        let mut l = self.lock();
+        l.devices = devices;
+        l.offset_seconds = offset_seconds;
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Lease> {
+        self.lease.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl ProfileSink for LeaseSink {
+    fn kernel(&self, span: &KernelSpan) {
+        let mut s = span.clone();
+        {
+            let l = self.lock();
+            s.device = l.devices.get(span.device as usize).copied().unwrap_or(span.device);
+            s.start_seconds += l.offset_seconds;
+        }
+        self.inner.kernel(&s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(device: u64, start: f64) -> KernelSpan {
+        KernelSpan {
+            kernel: "mbir_update".into(),
+            device,
+            iteration: 1,
+            batch: 0,
+            svs: 1,
+            start_seconds: start,
+            seconds: 0.5,
+            cycles: 1.0,
+            occupancy: 1.0,
+            utilization: 1.0,
+            blocks: 1,
+            instructions: 0.0,
+            flops: 0.0,
+            l2_bytes: 0.0,
+            tex_bytes: 0.0,
+            dram_bytes: 0.0,
+            shared_bytes: 0.0,
+            atomics: 0.0,
+            l2_transactions: 0,
+            tex_transactions: 0,
+            l1_hits: 0,
+            l1_misses: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+            tex_hit_rate: 0.0,
+            l2_hit_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn spans_are_remapped_to_physical_devices_and_global_time() {
+        let rec = Arc::new(RecordingSink::new());
+        let sink = LeaseSink::new(rec.clone());
+        // Stint 1: lease on physical devices {2, 3}, 10 s into the run.
+        sink.set_lease(vec![2, 3], 10.0);
+        sink.kernel(&span(0, 0.25));
+        sink.kernel(&span(1, 0.25));
+        // Stint 2 after a preemption: different lease, later clock.
+        sink.set_lease(vec![0], 42.0);
+        sink.kernel(&span(0, 1.25));
+        let spans = rec.spans();
+        assert_eq!(
+            spans.iter().map(|s| (s.device, s.start_seconds)).collect::<Vec<_>>(),
+            vec![(2, 10.25), (3, 10.25), (0, 43.25)]
+        );
+    }
+}

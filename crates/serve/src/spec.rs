@@ -1,0 +1,298 @@
+//! Declarative workload specifications.
+//!
+//! A workload is a JSON document — `{"jobs": [...]}` or a bare array —
+//! parsed through the same hardened conventions as
+//! [`mbir_fleet::FleetSpec`]: unknown types are errors, numbers are
+//! range-checked at the boundary (no silent `as` narrowing), and
+//! non-finite times are rejected before they can poison the modeled
+//! timeline. The parser is CLI-reachable (`mbirctl serve --jobs`), so
+//! every error names the field and the offending value.
+
+use ct_core::phantom::Phantom;
+use mbir_bench::Scale;
+use serde::json::Value;
+
+/// One job in a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique job id (unique across the workload; enforced at parse).
+    pub id: String,
+    /// Tenant the job bills to.
+    pub tenant: String,
+    /// Scheduling priority; higher runs first and may preempt lower.
+    pub priority: i64,
+    /// Problem scale (`tiny|test|harness|paper`).
+    pub scale: Scale,
+    /// Phantom spec (`shepp-logan|water|baggage[:seed]`).
+    pub phantom: String,
+    /// Noise/selection RNG seed.
+    pub seed: u64,
+    /// Device lease size requested.
+    pub devices: usize,
+    /// Arrival time on the modeled clock, seconds.
+    pub arrival_seconds: f64,
+    /// Completion deadline on the modeled clock (reporting only —
+    /// missing a deadline is recorded, not enforced).
+    pub deadline_seconds: Option<f64>,
+    /// Outer ICD iterations to run.
+    pub iters: u64,
+    /// Streaming view arrival rate (views/second). `None` means the
+    /// scan is already on disk and only setup time precedes queueing.
+    pub view_rate: Option<f64>,
+    /// qGGMRF sigma for the prior.
+    pub sigma: f32,
+}
+
+impl JobSpec {
+    /// A job with every optional field at its default; tests and the
+    /// benchmark binary override what they need.
+    pub fn named(id: &str) -> JobSpec {
+        JobSpec {
+            id: id.to_string(),
+            tenant: "default".to_string(),
+            priority: 0,
+            scale: Scale::Tiny,
+            phantom: "shepp-logan".to_string(),
+            seed: 0,
+            devices: 1,
+            arrival_seconds: 0.0,
+            deadline_seconds: None,
+            iters: 4,
+            view_rate: None,
+            sigma: 0.002,
+        }
+    }
+
+    /// Resolve the phantom spec string.
+    pub fn resolve_phantom(&self) -> Result<Phantom, String> {
+        parse_phantom(&self.phantom)
+    }
+
+    fn from_json(v: &Value) -> Result<JobSpec, String> {
+        let id = get_str(v, "id")?;
+        let d = JobSpec::named(&id);
+        let spec = JobSpec {
+            id,
+            tenant: opt_str(v, "tenant")?.unwrap_or(d.tenant),
+            priority: opt_i64(v, "priority")?.unwrap_or(d.priority),
+            scale: match opt_str(v, "scale")? {
+                Some(s) => Scale::parse(&s)
+                    .ok_or_else(|| format!("unknown scale '{s}' (tiny|test|harness|paper)"))?,
+                None => d.scale,
+            },
+            phantom: opt_str(v, "phantom")?.unwrap_or(d.phantom),
+            seed: opt_u64(v, "seed")?.unwrap_or(d.seed),
+            devices: match opt_u64(v, "devices")? {
+                Some(n) => usize::try_from(n)
+                    .map_err(|_| format!("field 'devices' value {n} does not fit in usize"))?,
+                None => d.devices,
+            },
+            arrival_seconds: opt_f64(v, "arrival_seconds")?.unwrap_or(d.arrival_seconds),
+            deadline_seconds: opt_f64(v, "deadline_seconds")?,
+            iters: opt_u64(v, "iters")?.unwrap_or(d.iters),
+            view_rate: opt_f64(v, "view_rate")?,
+            sigma: opt_f64(v, "sigma")?.map(|x| x as f32).unwrap_or(d.sigma),
+        };
+        if spec.arrival_seconds < 0.0 {
+            return Err(format!(
+                "job '{}': arrival_seconds must be >= 0, got {}",
+                spec.id, spec.arrival_seconds
+            ));
+        }
+        if let Some(r) = spec.view_rate {
+            if r <= 0.0 {
+                return Err(format!("job '{}': view_rate must be > 0, got {r}", spec.id));
+            }
+        }
+        if !(spec.sigma.is_finite() && spec.sigma > 0.0) {
+            return Err(format!("job '{}': sigma must be > 0, got {}", spec.id, spec.sigma));
+        }
+        spec.resolve_phantom().map_err(|e| format!("job '{}': {e}", spec.id))?;
+        Ok(spec)
+    }
+}
+
+/// A full workload: the jobs the server is asked to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Jobs in file order (the scheduler orders by arrival/priority).
+    pub jobs: Vec<JobSpec>,
+}
+
+impl WorkloadSpec {
+    /// Parse a workload from JSON text.
+    pub fn parse(text: &str) -> Result<WorkloadSpec, String> {
+        Self::from_json(&mbir_telemetry::json::parse(text)?)
+    }
+
+    /// Build from a parsed JSON value: `{"jobs": [...]}` or `[...]`.
+    pub fn from_json(v: &Value) -> Result<WorkloadSpec, String> {
+        let items = match v {
+            Value::Array(items) => items,
+            Value::Object(_) => match field(v, "jobs")? {
+                Value::Array(items) => items,
+                other => return Err(format!("field 'jobs' is not an array: {other:?}")),
+            },
+            other => return Err(format!("workload must be an object or array, got {other:?}")),
+        };
+        let jobs: Vec<JobSpec> = items.iter().map(JobSpec::from_json).collect::<Result<_, _>>()?;
+        if jobs.is_empty() {
+            return Err("workload has no jobs".into());
+        }
+        for (i, a) in jobs.iter().enumerate() {
+            if jobs[..i].iter().any(|b| b.id == a.id) {
+                return Err(format!("duplicate job id '{}'", a.id));
+            }
+        }
+        Ok(WorkloadSpec { jobs })
+    }
+}
+
+/// Resolve a phantom spec string (same grammar as `mbirctl scan`).
+pub fn parse_phantom(spec: &str) -> Result<Phantom, String> {
+    if let Some(seed) = spec.strip_prefix("baggage:") {
+        let seed: u64 = seed.parse().map_err(|_| format!("bad baggage seed '{seed}'"))?;
+        return Ok(Phantom::baggage(seed));
+    }
+    match spec {
+        "shepp-logan" => Ok(Phantom::shepp_logan()),
+        "water" => Ok(Phantom::water_cylinder(0.6)),
+        "baggage" => Ok(Phantom::baggage(0)),
+        other => Err(format!("unknown phantom '{other}' (shepp-logan, water, baggage[:seed])")),
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    match v {
+        Value::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field '{key}'")),
+        _ => Err(format!("expected object looking up '{key}'")),
+    }
+}
+
+fn opt<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(fields) => fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .filter(|v| !matches!(v, Value::Null)),
+        _ => None,
+    }
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, String> {
+    match field(v, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(format!("field '{key}' is not a string: {other:?}")),
+    }
+}
+
+fn opt_str(v: &Value, key: &str) -> Result<Option<String>, String> {
+    match opt(v, key) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(format!("field '{key}' is not a string: {other:?}")),
+    }
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match opt(v, key) {
+        None => Ok(None),
+        Some(Value::U64(x)) => Ok(Some(*x)),
+        Some(Value::I64(x)) if *x >= 0 => Ok(Some(*x as u64)),
+        Some(other) => Err(format!("field '{key}' is not an unsigned integer: {other:?}")),
+    }
+}
+
+fn opt_i64(v: &Value, key: &str) -> Result<Option<i64>, String> {
+    match opt(v, key) {
+        None => Ok(None),
+        Some(Value::I64(x)) => Ok(Some(*x)),
+        Some(Value::U64(x)) => i64::try_from(*x)
+            .map(Some)
+            .map_err(|_| format!("field '{key}' value {x} does not fit in i64")),
+        Some(other) => Err(format!("field '{key}' is not an integer: {other:?}")),
+    }
+}
+
+fn opt_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    let x = match opt(v, key) {
+        None => return Ok(None),
+        Some(Value::F64(x)) => *x,
+        Some(Value::U64(x)) => *x as f64,
+        Some(Value::I64(x)) => *x as f64,
+        Some(other) => return Err(format!("field '{key}' is not a number: {other:?}")),
+    };
+    // `1e400` parses to infinity; a non-finite arrival or deadline
+    // would wedge the event loop, so refuse it at the boundary.
+    if !x.is_finite() {
+        return Err(format!("field '{key}' is not finite: {x}"));
+    }
+    Ok(Some(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"{"jobs": [{"id": "a"}]}"#;
+
+    #[test]
+    fn minimal_job_takes_defaults() {
+        let w = WorkloadSpec::parse(MINIMAL).expect("parses");
+        assert_eq!(w.jobs.len(), 1);
+        assert_eq!(w.jobs[0], JobSpec::named("a"));
+    }
+
+    #[test]
+    fn bare_array_and_full_fields_parse() {
+        let text = r#"[{
+            "id": "big", "tenant": "radiology", "priority": 2,
+            "scale": "tiny", "phantom": "baggage:7", "seed": 3,
+            "devices": 2, "arrival_seconds": 1.5,
+            "deadline_seconds": 60, "iters": 6, "view_rate": 100.0,
+            "sigma": 0.01
+        }]"#;
+        let w = WorkloadSpec::parse(text).expect("parses");
+        let j = &w.jobs[0];
+        assert_eq!(j.tenant, "radiology");
+        assert_eq!(j.priority, 2);
+        assert_eq!(j.devices, 2);
+        assert_eq!(j.deadline_seconds, Some(60.0));
+        assert_eq!(j.view_rate, Some(100.0));
+        assert_eq!(j.iters, 6);
+    }
+
+    #[test]
+    fn hostile_values_are_parse_errors_not_panics() {
+        let cases: &[(&str, &str)] = &[
+            (r#"{"jobs": []}"#, "no jobs"),
+            (r#"{"jobs": [{"id": "a"}, {"id": "a"}]}"#, "duplicate"),
+            (r#"{"jobs": [{"id": "a", "arrival_seconds": -1}]}"#, "arrival"),
+            (r#"{"jobs": [{"id": "a", "arrival_seconds": 1e400}]}"#, "not finite"),
+            (r#"{"jobs": [{"id": "a", "view_rate": 0}]}"#, "view_rate"),
+            (r#"{"jobs": [{"id": "a", "scale": "huge"}]}"#, "unknown scale"),
+            (r#"{"jobs": [{"id": "a", "phantom": "cube"}]}"#, "unknown phantom"),
+            (r#"{"jobs": [{"id": "a", "priority": 99999999999999999999}]}"#, ""),
+            (r#"{"jobs": [{"id": "a", "sigma": -0.5}]}"#, "sigma"),
+            (r#"{"jobs": [{"id": 7}]}"#, "not a string"),
+            (r#"{"nojobs": 1}"#, "missing field 'jobs'"),
+            ("[", ""),
+        ];
+        for (text, needle) in cases {
+            let err = WorkloadSpec::parse(text).expect_err(text);
+            assert!(err.contains(needle), "error {err:?} for {text} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn null_optionals_mean_absent() {
+        let w = WorkloadSpec::parse(r#"{"jobs": [{"id": "a", "deadline_seconds": null}]}"#)
+            .expect("parses");
+        assert_eq!(w.jobs[0].deadline_seconds, None);
+    }
+}

@@ -23,7 +23,10 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 /// `faults` process lane at pid 0, above the device lanes: events with
 /// a modeled duration (recoveries pricing backoff + retry) as complete
 /// `"X"` spans, zero-duration markers (failure detection, episode
-/// onsets) as instant `"i"` events.
+/// onsets) as instant `"i"` events. Job-lifecycle events (schema v5)
+/// share the pid-0 scheduler process: one named thread per job, with
+/// spanning events (ingest, completion latency) as `"X"` and marker
+/// events (submission, preemption, resume) as instants.
 pub fn chrome_trace(report: &ProfileReport) -> String {
     let mut tids: Vec<String> = Vec::new();
     let mut devices: Vec<u64> = Vec::new();
@@ -107,6 +110,44 @@ pub fn chrome_trace(report: &ProfileReport) -> String {
         events.push(obj(fields));
     }
 
+    // Job lanes: one thread per job inside the pid-0 scheduler
+    // process (tid 0 stays reserved for the fault lane).
+    let mut job_tids: Vec<String> = Vec::new();
+    for j in &report.jobs {
+        let tid = match job_tids.iter().position(|id| *id == j.job) {
+            Some(i) => i,
+            None => {
+                job_tids.push(j.job.clone());
+                job_tids.len() - 1
+            }
+        };
+        let ph = if j.duration_seconds > 0.0 { "X" } else { "i" };
+        let mut fields = vec![
+            ("name", Value::Str(j.event.clone())),
+            ("cat", Value::Str("job".into())),
+            ("ph", Value::Str(ph.into())),
+            ("ts", Value::F64(j.start_seconds * 1e6)),
+        ];
+        if j.duration_seconds > 0.0 {
+            fields.push(("dur", Value::F64(j.duration_seconds * 1e6)));
+        } else {
+            fields.push(("s", Value::Str("t".into())));
+        }
+        fields.push(("pid", Value::U64(0)));
+        fields.push(("tid", Value::U64(tid as u64 + 1)));
+        fields.push((
+            "args",
+            obj(vec![
+                ("job", Value::Str(j.job.clone())),
+                ("tenant", Value::Str(j.tenant.clone())),
+                ("devices", Value::U64(j.devices)),
+                ("priority", Value::I64(j.priority)),
+                ("detail", Value::Str(j.detail.clone())),
+            ]),
+        ));
+        events.push(obj(fields));
+    }
+
     // Metadata: one named process per device, kernel-class threads in
     // each. An empty report still names device 0 so the trace opens.
     if devices.is_empty() {
@@ -114,19 +155,31 @@ pub fn chrome_trace(report: &ProfileReport) -> String {
     }
     devices.sort_unstable();
     let mut meta = Vec::new();
-    if !report.faults.is_empty() {
+    if !report.faults.is_empty() || !report.jobs.is_empty() {
+        let lane = if report.jobs.is_empty() { "faults" } else { "scheduler" };
         meta.push(obj(vec![
             ("name", Value::Str("process_name".into())),
             ("ph", Value::Str("M".into())),
             ("pid", Value::U64(0)),
-            ("args", obj(vec![("name", Value::Str(format!("{} · faults", report.name)))])),
+            ("args", obj(vec![("name", Value::Str(format!("{} · {lane}", report.name)))])),
         ]));
+    }
+    if !report.faults.is_empty() {
         meta.push(obj(vec![
             ("name", Value::Str("thread_name".into())),
             ("ph", Value::Str("M".into())),
             ("pid", Value::U64(0)),
             ("tid", Value::U64(0)),
             ("args", obj(vec![("name", Value::Str("faults".into()))])),
+        ]));
+    }
+    for (i, id) in job_tids.iter().enumerate() {
+        meta.push(obj(vec![
+            ("name", Value::Str("thread_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::U64(0)),
+            ("tid", Value::U64(i as u64 + 1)),
+            ("args", obj(vec![("name", Value::Str(format!("job {id}")))])),
         ]));
     }
     for &d in &devices {
@@ -195,8 +248,14 @@ mod tests {
             tex_hit_rate: 1.0,
             l2_hit_rate: 0.5,
         }];
-        let report =
-            ProfileReport::from_parts("gpu-icd", spans, Vec::new(), Vec::new(), Vec::new());
+        let report = ProfileReport::from_parts(
+            "gpu-icd",
+            spans,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
         let s = chrome_trace(&report);
         assert!(s.contains("\"traceEvents\""));
         assert!(s.contains("\"ph\":\"X\""));
@@ -237,8 +296,14 @@ mod tests {
                 detail: "resharded over 3 survivors".into(),
             },
         ];
-        let report =
-            ProfileReport::from_parts("gpu-icd", Vec::new(), Vec::new(), Vec::new(), faults);
+        let report = ProfileReport::from_parts(
+            "gpu-icd",
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            faults,
+            Vec::new(),
+        );
         let s = chrome_trace(&report);
         // Marker renders as an instant event, recovery as a complete span.
         assert!(s.contains("\"ph\":\"i\""));
@@ -247,6 +312,44 @@ mod tests {
         assert!(s.contains("\"pid\":0"));
         assert!(s.contains("faults"));
         assert!(s.contains("resharded over 3 survivors"));
+        crate::json::parse(&s).expect("valid JSON");
+    }
+
+    #[test]
+    fn job_lane_renders_one_thread_per_job() {
+        use crate::sink::JobRecord;
+        let mk = |job: &str, event: &str, start: f64, dur: f64| JobRecord {
+            job: job.into(),
+            tenant: "lab".into(),
+            event: event.into(),
+            start_seconds: start,
+            duration_seconds: dur,
+            devices: 2,
+            priority: 1,
+            detail: String::new(),
+        };
+        let jobs = vec![
+            mk("scan-a", "submitted", 0.0, 0.0),
+            mk("scan-a", "preempted", 0.5, 0.0),
+            mk("scan-b", "completed", 0.9, 0.9),
+        ];
+        let report = ProfileReport::from_parts(
+            "serve",
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            jobs,
+        );
+        let s = chrome_trace(&report);
+        // Each job gets a named thread in the scheduler process.
+        assert!(s.contains("job scan-a"), "{s}");
+        assert!(s.contains("job scan-b"), "{s}");
+        assert!(s.contains("scheduler"), "{s}");
+        // Markers are instants, the completion latency is a span.
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"preempted\""));
         crate::json::parse(&s).expect("valid JSON");
     }
 }

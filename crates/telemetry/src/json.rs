@@ -166,11 +166,16 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
+                    // Consume one UTF-8 scalar. Truncated input must
+                    // surface as a parse error, never a panic — this
+                    // path is reachable from any profile JSON on disk.
                     let rest = &self.bytes[self.pos..];
                     let s_rest =
                         std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
-                    let c = s_rest.chars().next().unwrap();
+                    let c = s_rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| format!("unterminated string at byte {}", self.pos))?;
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -362,6 +367,27 @@ mod tests {
         assert!(parse("1 2").is_err());
         assert!(parse("\"open").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn every_truncation_of_a_profile_errors_without_panicking() {
+        // Chop a representative profile document at every byte
+        // boundary: each prefix must come back as a clean parse error
+        // (or, for a lucky few, a smaller valid document) — never a
+        // panic. This is the CLI-reachable path: `validate_profile`
+        // reads arbitrary files off disk.
+        let doc = r#"{"schema_version": 5, "name": "x \"esc\\", "spans": [{"seconds": 0.5, "kernel": "mbir_update\n"}], "rmse": null, "u": "A"}"#;
+        assert!(parse(doc).is_ok());
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = parse(&doc[..cut]); // must not panic
+        }
+        // The specific regression: input ending mid-escape / mid-string.
+        assert!(parse(r#"{"name": "ab"#).is_err());
+        assert!(parse("\"ab\\").is_err());
+        assert!(parse("\"ab\\u00").is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Aggregation of recorded telemetry into a structured JSON report.
 
-use crate::sink::{ConvergencePoint, FaultRecord, IterationSample, KernelSpan};
+use crate::sink::{ConvergencePoint, FaultRecord, IterationSample, JobRecord, KernelSpan};
 use serde::Serialize;
 
 /// Schema version stamped into every report (bump when the report
@@ -12,7 +12,10 @@ use serde::Serialize;
 /// v4: reports carry a `backend` field naming the SIMD lane backend
 /// ("scalar" or "lanes") the run resolved to — a speed label only,
 /// since every backend produces bitwise-identical results.
-pub const SCHEMA_VERSION: u64 = 4;
+/// v5: reports carry a `jobs` lane (job-lifecycle events on the serve
+/// layer's shared timeline: submission, admission, leases, preemption,
+/// completion) and `totals.jobs` counting completed jobs.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Per-kernel-class aggregate over every launch of that kernel — the
 /// run-level analogue of the paper's Table 2/3 counter columns.
@@ -89,6 +92,8 @@ pub struct Totals {
     pub final_rmse_hu: Option<f64>,
     /// Injected fault / recovery events recorded during the run.
     pub faults: u64,
+    /// Jobs completed during the run (serve-layer runs only).
+    pub jobs: u64,
 }
 
 /// The structured profiling report: spans, per-class aggregates,
@@ -114,6 +119,9 @@ pub struct ProfileReport {
     /// Fault / recovery events on the modeled fleet timeline, ordered
     /// by start time (empty for healthy runs).
     pub faults: Vec<FaultRecord>,
+    /// Job-lifecycle events on the serve timeline, ordered by start
+    /// time with job id as the tiebreak (empty outside serve runs).
+    pub jobs: Vec<JobRecord>,
     /// Whole-run totals.
     pub totals: Totals,
 }
@@ -133,10 +141,12 @@ impl ProfileReport {
         iterations: Vec<IterationSample>,
         convergence: Vec<ConvergencePoint>,
         mut faults: Vec<FaultRecord>,
+        mut jobs: Vec<JobRecord>,
     ) -> ProfileReport {
         faults.sort_by(|a, b| {
             a.start_seconds.total_cmp(&b.start_seconds).then(a.batch.cmp(&b.batch))
         });
+        jobs.sort_by(|a, b| a.start_seconds.total_cmp(&b.start_seconds).then(a.job.cmp(&b.job)));
         spans.sort_by(|a, b| {
             a.start_seconds.total_cmp(&b.start_seconds).then(a.device.cmp(&b.device))
         });
@@ -216,6 +226,7 @@ impl ProfileReport {
             final_equits: iterations.last().map(|i| i.equits),
             final_rmse_hu: convergence.last().map(|c| c.rmse_hu),
             faults: faults.len() as u64,
+            jobs: jobs.iter().filter(|j| j.event == "completed").count() as u64,
         };
 
         ProfileReport {
@@ -227,6 +238,7 @@ impl ProfileReport {
             iterations,
             convergence,
             faults,
+            jobs,
             totals,
         }
     }
@@ -284,7 +296,8 @@ mod tests {
             span("mbir_update", 1.0, 10, 6),
             span("svb_create", 0.5, 0, 0),
         ];
-        let r = ProfileReport::from_parts("t", spans, Vec::new(), Vec::new(), Vec::new());
+        let r =
+            ProfileReport::from_parts("t", spans, Vec::new(), Vec::new(), Vec::new(), Vec::new());
         assert_eq!(r.kernels.len(), 2);
         let mbir = r.kernel("mbir_update").unwrap();
         assert_eq!(mbir.launches, 2);
@@ -298,13 +311,20 @@ mod tests {
 
     #[test]
     fn empty_report_is_well_formed() {
-        let r = ProfileReport::from_parts("empty", Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let r = ProfileReport::from_parts(
+            "empty",
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
         assert!(r.kernels.is_empty());
         assert_eq!(r.totals.seconds, 0.0);
         assert_eq!(r.totals.faults, 0);
         // Zero-division edges must stay finite all the way to JSON.
         let s = r.to_json_pretty();
-        assert!(s.contains("\"schema_version\": 4"));
+        assert!(s.contains("\"schema_version\": 5"));
         // Reports name the SIMD backend they resolved to.
         assert!(s.contains("\"backend\": \"scalar\"") || s.contains("\"backend\": \"lanes\""));
     }
@@ -323,7 +343,8 @@ mod tests {
         };
         let faults =
             vec![mk("recovery", 3, 0.2), mk("device_failure", 3, 0.1), mk("straggler", 1, 0.1)];
-        let r = ProfileReport::from_parts("t", Vec::new(), Vec::new(), Vec::new(), faults);
+        let r =
+            ProfileReport::from_parts("t", Vec::new(), Vec::new(), Vec::new(), faults, Vec::new());
         let order: Vec<(String, u64)> =
             r.faults.iter().map(|f| (f.kind.clone(), f.batch)).collect();
         assert_eq!(
@@ -351,8 +372,8 @@ mod tests {
         let a = vec![mk(1, 0.2), mk(0, 0.1), mk(1, 0.1), mk(0, 0.2)];
         let mut b = a.clone();
         b.reverse();
-        let ra = ProfileReport::from_parts("t", a, Vec::new(), Vec::new(), Vec::new());
-        let rb = ProfileReport::from_parts("t", b, Vec::new(), Vec::new(), Vec::new());
+        let ra = ProfileReport::from_parts("t", a, Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let rb = ProfileReport::from_parts("t", b, Vec::new(), Vec::new(), Vec::new(), Vec::new());
         let order: Vec<(u64, f64)> = ra.spans.iter().map(|s| (s.device, s.start_seconds)).collect();
         assert_eq!(order, [(0, 0.1), (1, 0.1), (0, 0.2), (1, 0.2)]);
         let other: Vec<(u64, f64)> = rb.spans.iter().map(|s| (s.device, s.start_seconds)).collect();

@@ -2,7 +2,7 @@
 
 use crate::report::ProfileReport;
 use serde::Serialize;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Per-launch context the driver knows and the timing model does not:
 /// which iteration and SV batch a launch belongs to, where it starts
@@ -136,6 +136,33 @@ pub struct FaultRecord {
     pub detail: String,
 }
 
+/// One job-lifecycle event on the serve layer's shared timeline
+/// (schema v5). Like faults, job records are observe-only: they narrate
+/// scheduling (admission, leases, preemption) without feeding anything
+/// back into the reconstructions themselves.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobRecord {
+    /// Job id, unique within one serve run.
+    pub job: String,
+    /// Tenant the job bills to.
+    pub tenant: String,
+    /// Event kind: `submitted`, `rejected`, `ingest_complete`,
+    /// `started`, `preempted`, `resumed`, or `completed`.
+    pub event: String,
+    /// Modeled time of the event on the shared serve timeline, seconds.
+    pub start_seconds: f64,
+    /// Modeled seconds the event spans (ingest duration for
+    /// `ingest_complete`, arrival-to-completion latency for
+    /// `completed`; 0 for marker events).
+    pub duration_seconds: f64,
+    /// Devices leased to the job at the event (0 when not running).
+    pub devices: u64,
+    /// Job priority (higher preempts lower).
+    pub priority: i64,
+    /// Human-readable description (lease ids, rejection reason).
+    pub detail: String,
+}
+
 /// One convergence-trace sample (recorded by `run_to_rmse`).
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct ConvergencePoint {
@@ -165,6 +192,9 @@ pub trait ProfileSink: Send + Sync {
 
     /// One fault or recovery event landed on the modeled timeline.
     fn fault(&self, _record: &FaultRecord) {}
+
+    /// One job-lifecycle event landed on the serve timeline.
+    fn job(&self, _record: &JobRecord) {}
 }
 
 /// The no-op sink: profiling plumbing with zero recording cost, used
@@ -180,6 +210,7 @@ struct Recorded {
     iterations: Vec<IterationSample>,
     convergence: Vec<ConvergencePoint>,
     faults: Vec<FaultRecord>,
+    jobs: Vec<JobRecord>,
 }
 
 /// An in-memory sink recording every event, aggregated on demand into
@@ -197,54 +228,73 @@ impl RecordingSink {
         Self::default()
     }
 
+    /// Take the lock, recovering from poisoning. A worker that panics
+    /// while holding the lock leaves the data structurally intact
+    /// (every critical section is a single `push` or a read), so the
+    /// panic must not cascade into a second panic in every later
+    /// reader — a long-running server would turn that into an outage.
+    fn lock(&self) -> MutexGuard<'_, Recorded> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Recorded kernel spans, in emission order.
     pub fn spans(&self) -> Vec<KernelSpan> {
-        self.inner.lock().unwrap().spans.clone()
+        self.lock().spans.clone()
     }
 
     /// Recorded iteration samples, in emission order.
     pub fn iterations(&self) -> Vec<IterationSample> {
-        self.inner.lock().unwrap().iterations.clone()
+        self.lock().iterations.clone()
     }
 
     /// Recorded convergence points, in emission order.
     pub fn convergence(&self) -> Vec<ConvergencePoint> {
-        self.inner.lock().unwrap().convergence.clone()
+        self.lock().convergence.clone()
     }
 
     /// Recorded fault/recovery events, in emission order.
     pub fn faults(&self) -> Vec<FaultRecord> {
-        self.inner.lock().unwrap().faults.clone()
+        self.lock().faults.clone()
+    }
+
+    /// Recorded job-lifecycle events, in emission order.
+    pub fn jobs(&self) -> Vec<JobRecord> {
+        self.lock().jobs.clone()
     }
 
     /// Aggregate everything recorded so far into a report.
     pub fn report(&self, name: &str) -> ProfileReport {
-        let r = self.inner.lock().unwrap();
+        let r = self.lock();
         ProfileReport::from_parts(
             name,
             r.spans.clone(),
             r.iterations.clone(),
             r.convergence.clone(),
             r.faults.clone(),
+            r.jobs.clone(),
         )
     }
 }
 
 impl ProfileSink for RecordingSink {
     fn kernel(&self, span: &KernelSpan) {
-        self.inner.lock().unwrap().spans.push(span.clone());
+        self.lock().spans.push(span.clone());
     }
 
     fn iteration(&self, sample: &IterationSample) {
-        self.inner.lock().unwrap().iterations.push(*sample);
+        self.lock().iterations.push(*sample);
     }
 
     fn convergence(&self, point: &ConvergencePoint) {
-        self.inner.lock().unwrap().convergence.push(*point);
+        self.lock().convergence.push(*point);
     }
 
     fn fault(&self, record: &FaultRecord) {
-        self.inner.lock().unwrap().faults.push(record.clone());
+        self.lock().faults.push(record.clone());
+    }
+
+    fn job(&self, record: &JobRecord) {
+        self.lock().jobs.push(record.clone());
     }
 }
 
@@ -311,5 +361,59 @@ mod tests {
         let s = NullSink;
         s.kernel(&span("mbir_update", 1e-3));
         // Nothing to assert beyond "it compiles and does nothing".
+    }
+
+    #[test]
+    fn job_records_accumulate_and_reach_the_report() {
+        let s = RecordingSink::new();
+        s.job(&JobRecord {
+            job: "j0".into(),
+            tenant: "clinic-a".into(),
+            event: "submitted".into(),
+            start_seconds: 0.0,
+            duration_seconds: 0.0,
+            devices: 0,
+            priority: 1,
+            detail: String::new(),
+        });
+        s.job(&JobRecord {
+            job: "j0".into(),
+            tenant: "clinic-a".into(),
+            event: "completed".into(),
+            start_seconds: 2.5,
+            duration_seconds: 2.5,
+            devices: 2,
+            priority: 1,
+            detail: "lease [0, 1]".into(),
+        });
+        assert_eq!(s.jobs().len(), 2);
+        let report = s.report("serve");
+        assert_eq!(report.jobs.len(), 2);
+        assert_eq!(report.totals.jobs, 1, "one job completed");
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let s = RecordingSink::new();
+        s.kernel(&span("mbir_update", 1e-3));
+        // Poison the mutex: panic while holding the guard, the way a
+        // panicking worker mid-record would.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = s.inner.lock().unwrap();
+            panic!("worker died mid-record");
+        }));
+        assert!(result.is_err());
+        assert!(s.inner.is_poisoned());
+        // Every accessor and further recording must keep working.
+        s.kernel(&span("svb_create", 2e-3));
+        assert_eq!(s.spans().len(), 2);
+        assert!(s.iterations().is_empty());
+        assert!(s.convergence().is_empty());
+        assert!(s.faults().is_empty());
+        assert!(s.jobs().is_empty());
+        let report = s.report("after-poison");
+        assert_eq!(report.kernels.len(), 2);
     }
 }
