@@ -22,6 +22,7 @@ use mbir::sequential::{golden_image, IcdConfig, SequentialIcd};
 use mbir_bench::{gpu_options_for, Args};
 use mbir_fleet::{FaultSpec, FleetSpec};
 use mbir_telemetry::{chrome_trace, ProfileReport};
+use mbir_topo::ClusterSpec;
 use psv_icd::{PsvConfig, PsvIcd};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -44,6 +45,7 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "max-iters",
             "profile",
             "devices",
+            "fleet",
             "checkpoint",
             "resume",
             "checkpoint-every",
@@ -52,7 +54,7 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
         ]),
         "fan-demo" => Some(&["out"]),
         "volume" => Some(&["slices", "sigma", "passes", "out"]),
-        "serve" => Some(&["jobs", "devices", "fleet", "out", "profile"]),
+        "serve" => Some(&["jobs", "devices", "fleet", "out", "profile", "backfill"]),
         "info" => Some(&[]),
         _ => None,
     }
@@ -63,9 +65,10 @@ fn usage() {
     eprintln!("  scan        --phantom shepp-logan|water|baggage:<seed> --out <sino.csv> [--truth <t.pgm>] [--i0 <dose>]");
     eprintln!("  reconstruct --sino <sino.csv> --algo fbp|sequential|psv|gpu --out <img.pgm> [--csv <img.csv>] [--profile <report.json>] [--devices N] [--simd auto|scalar|lanes]");
     eprintln!("              [--checkpoint <dir> [--checkpoint-every N] [--resume]] [--faults fail:<d>@<b>,slow:<d>@<a>..<b>x<f>,link:<a>..<b>x<f>,backoff:<s>|random:<seed>]");
+    eprintln!("              [--fleet nodes=<N>x<M>[,slabs=<K>] | --fleet <fleet-or-cluster.json>] (multi-node cluster with hierarchical exchange and slab streaming)");
     eprintln!("  fan-demo    (fan acquisition -> rebin -> reconstruction demo)");
     eprintln!("  volume      --slices <n> (3-D multi-slice reconstruction demo)");
-    eprintln!("  serve       --jobs <workload.json> [--devices N | --fleet <fleet.json>] [--out <report.json>] [--profile <p.json>]");
+    eprintln!("  serve       --jobs <workload.json> [--devices N | --fleet <fleet.json>] [--backfill] [--out <report.json>] [--profile <p.json>]");
     eprintln!("  info        (geometry and system-matrix statistics)");
 }
 
@@ -106,6 +109,68 @@ fn main() -> ExitCode {
             }
             ExitCode::FAILURE
         }
+    }
+}
+
+/// A parsed `--fleet` argument: a flat fleet spec or a multi-node
+/// cluster (the latter switches the driver onto the hierarchical
+/// exchange and slab-streaming path).
+enum FleetArg {
+    Flat(FleetSpec),
+    Cluster(ClusterSpec),
+}
+
+impl FleetArg {
+    fn devices(&self) -> usize {
+        match self {
+            FleetArg::Flat(f) => f.devices,
+            FleetArg::Cluster(c) => c.total_devices(),
+        }
+    }
+}
+
+/// Parse `--fleet`: the `nodes=<N>x<M>[,slabs=<K>]` shorthand builds
+/// the Titan-X/NVLink/100GbE cluster preset; anything else is a path
+/// to a JSON spec — a cluster if it has a top-level `nodes` field, a
+/// flat fleet otherwise.
+fn parse_fleet_arg(value: &str) -> Result<FleetArg, MbirError> {
+    if let Some(shape) = value.strip_prefix("nodes=") {
+        let (shape, slabs) = match shape.split_once(',') {
+            Some((s, rest)) => {
+                let k = rest.strip_prefix("slabs=").ok_or_else(|| {
+                    usage_err(format!("bad --fleet option '{rest}' (expected slabs=<K>)"))
+                })?;
+                let k: usize =
+                    k.parse().map_err(|_| usage_err(format!("bad --fleet slab count '{k}'")))?;
+                (s, k)
+            }
+            None => (shape, 1),
+        };
+        let (n, m) = shape.split_once('x').ok_or_else(|| {
+            usage_err(format!("bad --fleet shape '{shape}' (expected nodes=<N>x<M>)"))
+        })?;
+        let nodes: usize =
+            n.parse().map_err(|_| usage_err(format!("bad --fleet node count '{n}'")))?;
+        let dpn: usize =
+            m.parse().map_err(|_| usage_err(format!("bad --fleet devices-per-node '{m}'")))?;
+        if nodes == 0 || dpn == 0 || slabs == 0 {
+            return Err(usage_err("--fleet nodes, devices-per-node, and slabs must be >= 1"));
+        }
+        return Ok(FleetArg::Cluster(ClusterSpec::titan_x_cluster(nodes, dpn).with_slabs(slabs)));
+    }
+    let text = std::fs::read_to_string(value).map_err(|e| MbirError::io(value, e))?;
+    let v = mbir_telemetry::json::parse(&text)
+        .map_err(|e| usage_err(format!("bad fleet spec '{value}': {e}")))?;
+    let is_cluster = matches!(&v, serde::json::Value::Object(fields)
+        if fields.iter().any(|(k, _)| k == "nodes"));
+    if is_cluster {
+        ClusterSpec::from_json(&v)
+            .map(FleetArg::Cluster)
+            .map_err(|e| usage_err(format!("bad cluster spec '{value}': {e}")))
+    } else {
+        FleetSpec::from_json(&v)
+            .map(FleetArg::Flat)
+            .map_err(|e| usage_err(format!("bad fleet spec '{value}': {e}")))
     }
 }
 
@@ -177,16 +242,40 @@ fn cmd_reconstruct(args: &Args) -> Result<(), MbirError> {
     if profile.is_some() && !matches!(algo, "psv" | "gpu") {
         return Err(usage_err(format!("--profile supports --algo psv|gpu, not '{algo}'")));
     }
-    let devices: usize = args.get_or("devices", 1);
+    let mut devices: usize = args.get_or("devices", 1);
     if devices < 1 {
         return Err(usage_err("--devices must be at least 1"));
     }
     if devices > 1 && algo != "gpu" {
         return Err(usage_err(format!("--devices supports --algo gpu only, not '{algo}'")));
     }
-    for flag in ["checkpoint", "resume", "checkpoint-every", "faults"] {
+    for flag in ["checkpoint", "resume", "checkpoint-every", "faults", "fleet"] {
         if args.has(flag) && algo != "gpu" {
             return Err(usage_err(format!("--{flag} supports --algo gpu only, not '{algo}'")));
+        }
+    }
+    if args.has("fleet") {
+        let value = args.get("fleet").ok_or_else(|| {
+            usage_err("--fleet requires nodes=<N>x<M>[,slabs=<K>] or a spec path")
+        })?;
+        let fa = parse_fleet_arg(value)?;
+        let n = fa.devices();
+        if args.has("devices") && devices != n {
+            return Err(usage_err(format!(
+                "--devices {devices} contradicts --fleet ({n} devices)"
+            )));
+        }
+        devices = n;
+        if matches!(fa, FleetArg::Cluster(_)) {
+            if args.has("faults") {
+                return Err(usage_err("--faults and cluster topologies are mutually exclusive"));
+            }
+            if args.has("checkpoint") {
+                return Err(usage_err(
+                    "--checkpoint is not supported on cluster topologies (slab residency \
+                     does not survive a restore)",
+                ));
+            }
         }
     }
     if args.has("checkpoint") && args.get("checkpoint").is_none() {
@@ -309,6 +398,12 @@ fn reconstruct(
                 ..gpu_options_for(scale)
             };
             let mut gpu = GpuIcd::new(&a, y, &w, &prior, init, opts);
+            if let Some(value) = args.get("fleet") {
+                match parse_fleet_arg(value)? {
+                    FleetArg::Flat(spec) => gpu.set_fleet_spec(spec)?,
+                    FleetArg::Cluster(cluster) => gpu.set_cluster_spec(cluster)?,
+                }
+            }
             if let Some(spec) = args.get("faults") {
                 let spec = FaultSpec::parse(spec, devices).map_err(MbirError::Usage)?;
                 gpu.set_fault_spec(spec)?;
@@ -498,7 +593,7 @@ fn cmd_serve(args: &Args) -> Result<(), MbirError> {
         }
     };
     let sink = args.get("profile").map(|_| Arc::new(RecordingSink::new()));
-    let outcome = Server::new(fleet, workload).run(sink.as_ref())?;
+    let outcome = Server::new(fleet, workload).backfill(args.has("backfill")).run(sink.as_ref())?;
     let r = &outcome.report;
     println!(
         "serve: {} devices, {} completed, {} rejected, {} preemption(s), \

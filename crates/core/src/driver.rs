@@ -29,7 +29,10 @@ use mbir::convergence::ConvergenceTrace;
 use mbir::prior::{clique_weight, Prior};
 use mbir::sequential::IcdStats;
 use mbir_fleet::{FaultEvent, FaultSpec, FleetReport, FleetSpec};
-use mbir_telemetry::{ConvergencePoint, FaultRecord, IterationSample, ProfileSink, RecordingSink};
+use mbir_telemetry::{
+    ConvergencePoint, ExchangeRecord, FaultRecord, IterationSample, ProfileSink, RecordingSink,
+};
+use mbir_topo::ClusterSpec;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -340,6 +343,52 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         Ok(())
     }
 
+    /// Replace the fleet with a multi-node cluster: SVs shard within
+    /// their slab's device group, the post-batch exchange is priced as
+    /// the hierarchical reduce (intra-node gather, inter-node leader
+    /// exchange, intra-node broadcast), and slab streaming loads and
+    /// seam halos are booked on the same timeline. Must be called
+    /// before the first iteration, with a cluster whose total device
+    /// count matches `opts.devices`. Mutually exclusive with fault
+    /// schedules and checkpoint restore — both replay flat-fleet
+    /// reshard/resume paths that do not know slab residency.
+    pub fn set_cluster_spec(&mut self, cluster: ClusterSpec) -> Result<(), MbirError> {
+        if self.opts.devices <= 1 {
+            return Err(MbirError::Usage(
+                "cluster spec applies to multi-device runs only (set --devices > 1)".into(),
+            ));
+        }
+        if self.iter != 0 {
+            return Err(MbirError::Usage(
+                "cluster spec must be set before the first iteration".into(),
+            ));
+        }
+        if cluster.total_devices() != self.opts.devices {
+            return Err(MbirError::Usage(format!(
+                "cluster spec sized for {} devices ({} nodes x {}), run uses {}",
+                cluster.total_devices(),
+                cluster.nodes,
+                cluster.devices_per_node(),
+                self.opts.devices
+            )));
+        }
+        if self.fleet.as_ref().is_some_and(|fs| !fs.faults.is_empty()) {
+            return Err(MbirError::Usage(
+                "fault schedules and cluster topologies are mutually exclusive".into(),
+            ));
+        }
+        self.fleet = Some(FleetState::new_cluster(
+            &self.model,
+            &self.skeleton,
+            &self.plan,
+            &self.tiling,
+            &self.opts,
+            self.a.geometry().num_channels,
+            cluster,
+        ));
+        Ok(())
+    }
+
     /// Install a deterministic fault schedule (validated against the
     /// fleet size). Must be called before the first iteration; the
     /// schedule bends only the modeled timeline — the reconstruction
@@ -355,6 +404,11 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
                 "fault injection requires a multi-device run (set --devices > 1)".into(),
             ));
         };
+        if fs.topo.is_some() {
+            return Err(MbirError::Usage(
+                "fault schedules and cluster topologies are mutually exclusive".into(),
+            ));
+        }
         spec.validate(fs.fleet.devices()).map_err(MbirError::Usage)?;
         fs.set_faults(spec);
         Ok(())
@@ -604,7 +658,9 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
     /// committed — faults can only bend the timeline).
     fn price_fleet_batch(&mut self, tally: &BatchTally, batch: &[usize]) -> f64 {
         let fs = self.fleet.as_ref().expect("fleet path requires fleet state");
-        if fs.faults.is_empty() {
+        if fs.topo.is_some() {
+            self.price_cluster_batch(tally, batch)
+        } else if fs.faults.is_empty() {
             self.price_fleet_batch_healthy(tally, batch)
         } else {
             self.price_fleet_batch_faulty(tally, batch)
@@ -676,6 +732,161 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         }
         let fs = self.fleet.as_mut().expect("fleet path requires fleet state");
         fs.fleet.batch(&kernel_seconds, &payloads).wall_seconds()
+    }
+
+    /// The cluster pricing path: slab streaming loads, the
+    /// bulk-synchronous compute span, seam-halo transfers, and the
+    /// hierarchical all-gather — booked in that order onto the
+    /// flattened fleet's ledger (so [`FleetReport`] keeps its shape),
+    /// with every movement surfaced as a schema-v6 exchange record
+    /// when profiling. Loads and halos stay inside a node and are
+    /// priced on the intra-node link, concurrent across devices;
+    /// the exchange is the three-phase hierarchical reduce.
+    fn price_cluster_batch(&mut self, tally: &BatchTally, batch: &[usize]) -> f64 {
+        let batch_id = self.batch_seq;
+        let iter = self.iter;
+        let mut records: Vec<ExchangeRecord> = Vec::new();
+
+        // Shard the batch and charge slab residency switches.
+        let fs = self.fleet.as_mut().expect("fleet path requires fleet state");
+        let devices = fs.fleet.devices();
+        let mut device_tallies: Vec<BatchTally> =
+            (0..devices).map(|_| BatchTally::default()).collect();
+        let mut payloads = vec![0u64; devices];
+        let mut halo_bytes = vec![0u64; devices];
+        let mut loads = vec![0u64; devices];
+        {
+            let topo = fs.topo.as_mut().expect("cluster path requires topo state");
+            for (bi, &sv) in batch.iter().enumerate() {
+                let d = fs.device_ids[fs.shard.device_of(sv)];
+                device_tallies[d].svs.push(tally.svs[bi]);
+                payloads[d] += fs.payload_bytes[sv];
+                halo_bytes[d] += topo.seam_bytes[sv];
+                if topo.slabs > 1 && topo.streamer.touch(d, topo.sv_slab[sv]) {
+                    loads[d] += 1;
+                }
+            }
+        }
+
+        // Slab loads stream in before the kernels launch; devices
+        // load concurrently, multiple loads on one device serialize.
+        let topo = fs.topo.as_ref().expect("cluster path requires topo state");
+        let slab_bytes = topo.streamer.slab_bytes();
+        let per_load = topo.topology.intra().transfer_seconds(slab_bytes);
+        let load_start = fs.fleet.wall_seconds();
+        let load_span = loads.iter().map(|&l| l as f64 * per_load).fold(0.0, f64::max);
+        if load_span > 0.0 {
+            for (d, &l) in loads.iter().enumerate() {
+                if l > 0 {
+                    records.push(ExchangeRecord {
+                        phase: "slab_load".into(),
+                        node: Some(topo.topology.spec().node_of(d) as u64),
+                        iteration: iter,
+                        batch: batch_id,
+                        start_seconds: load_start,
+                        duration_seconds: l as f64 * per_load,
+                        bytes: l * slab_bytes,
+                    });
+                }
+            }
+            let total = loads.iter().sum::<u64>() * slab_bytes;
+            fs.fleet.book_transfer(load_span, total);
+        }
+
+        // Every device's kernels start together after the loads.
+        let start = fs.fleet.wall_seconds();
+        let timings = self.price_device_tallies(&device_tallies, batch_id, start);
+        self.batch_seq += 1;
+        let kernel_seconds: Vec<f64> =
+            timings.iter().map(|t| t.as_ref().map_or(0.0, |t| t.seconds())).collect();
+        for t in timings.iter().flatten() {
+            self.run_stats.add(t);
+        }
+
+        let fs = self.fleet.as_mut().expect("fleet path requires fleet state");
+        let compute_span = fs.fleet.span(&kernel_seconds);
+
+        // Seam halos: devices on a slab seam trade one boundary row
+        // with the neighbor slab, concurrently, on the intra link.
+        let topo = fs.topo.as_ref().expect("cluster path requires topo state");
+        let halo_start = fs.fleet.wall_seconds();
+        let halo_seconds: Vec<f64> = halo_bytes
+            .iter()
+            .map(|&b| if b == 0 { 0.0 } else { topo.topology.intra().transfer_seconds(b) })
+            .collect();
+        let halo_span = halo_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+        if halo_span > 0.0 {
+            for (d, (&b, &s)) in halo_bytes.iter().zip(&halo_seconds).enumerate() {
+                if b > 0 {
+                    records.push(ExchangeRecord {
+                        phase: "seam_halo".into(),
+                        node: Some(topo.topology.spec().node_of(d) as u64),
+                        iteration: iter,
+                        batch: batch_id,
+                        start_seconds: halo_start,
+                        duration_seconds: s,
+                        bytes: b,
+                    });
+                }
+            }
+            fs.fleet.book_transfer(halo_span, halo_bytes.iter().sum());
+        }
+
+        // The hierarchical reduce replaces the flat ring all-gather.
+        let cost = topo.topology.allgather(&payloads);
+        let ex_start = fs.fleet.wall_seconds();
+        for (node, p) in cost.intra_gather.iter().enumerate() {
+            if p.bytes > 0 {
+                records.push(ExchangeRecord {
+                    phase: "intra_gather".into(),
+                    node: Some(node as u64),
+                    iteration: iter,
+                    batch: batch_id,
+                    start_seconds: ex_start,
+                    duration_seconds: p.seconds,
+                    bytes: p.bytes,
+                });
+            }
+        }
+        let inter_start = ex_start + cost.gather_span();
+        if cost.inter_exchange.bytes > 0 {
+            records.push(ExchangeRecord {
+                phase: "inter_exchange".into(),
+                node: None,
+                iteration: iter,
+                batch: batch_id,
+                start_seconds: inter_start,
+                duration_seconds: cost.inter_exchange.seconds,
+                bytes: cost.inter_exchange.bytes,
+            });
+        }
+        let bcast_start = inter_start + cost.inter_exchange.seconds;
+        for (node, p) in cost.intra_broadcast.iter().enumerate() {
+            if p.bytes > 0 {
+                records.push(ExchangeRecord {
+                    phase: "intra_broadcast".into(),
+                    node: Some(node as u64),
+                    iteration: iter,
+                    batch: batch_id,
+                    start_seconds: bcast_start,
+                    duration_seconds: p.seconds,
+                    bytes: p.bytes,
+                });
+            }
+        }
+        fs.fleet.book_exchange(cost.seconds, cost.bytes);
+        // Callers accumulate per-batch spans. Sum the booked spans in
+        // booking order (rather than differencing the wall clock) so
+        // the degenerate 1-node, 1-slab shape reproduces the flat
+        // path's `kernel + exchange` bit for bit.
+        let span = load_span + compute_span + halo_span + cost.seconds;
+
+        if let Some(sink) = &self.sink {
+            for r in &records {
+                sink.exchange(r);
+            }
+        }
+        span
     }
 
     /// The fault-injected fleet pricing path: apply straggler and
@@ -1002,6 +1213,13 @@ impl<'a, P: Prior + Sync> GpuIcd<'a, P> {
         if self.iter != 0 {
             return Err(MbirError::Checkpoint(
                 "restore requires a freshly-built driver (no iterations run)".into(),
+            ));
+        }
+        if self.fleet.as_ref().is_some_and(|fs| fs.topo.is_some()) {
+            return Err(MbirError::Checkpoint(
+                "checkpoint restore is not supported on cluster topologies (slab residency \
+                 resets on restore, so the resumed timeline would diverge)"
+                    .into(),
             ));
         }
         if ckp.grid != self.image.grid() {

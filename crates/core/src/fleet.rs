@@ -20,8 +20,30 @@ use crate::model::{GpuWorkModel, ProfileSkeleton};
 use crate::opts::GpuOptions;
 use crate::tally::{BatchTally, SvTally};
 use mbir_fleet::{FaultSpec, Fleet, FleetReport, FleetSpec, ShardPlan};
+use mbir_topo::{ClusterSpec, SlabPlan, SlabStreamer, Topology};
 use supervoxel::plan::{SvPlan, SvPlanSet};
 use supervoxel::tiling::Tiling;
+
+/// Cluster-mode extension of the fleet state: the hierarchical
+/// exchange pricer plus the slab residency the streaming regime
+/// tracks. Present only when the driver was given a [`ClusterSpec`];
+/// flat fleets never pay any of these costs.
+pub(crate) struct TopoState {
+    /// Prices hierarchical all-gathers, and (through its intra-node
+    /// link) slab streaming loads and seam-halo transfers.
+    pub(crate) topology: Topology,
+    /// Effective slab count (clamped to the SV-row count). One slab
+    /// means the whole volume fits every device: no streaming, no
+    /// seams — the flat fleet's memory assumption.
+    pub(crate) slabs: usize,
+    /// Per SV: the axial slab owning its SV row.
+    pub(crate) sv_slab: Vec<usize>,
+    /// Per SV: seam-halo bytes a batch touching it pays (0 off-seam —
+    /// one boundary row of f32 voxels on a slab seam).
+    pub(crate) seam_bytes: Vec<u64>,
+    /// Per-device slab residency and the streaming-load counter.
+    pub(crate) streamer: SlabStreamer,
+}
 
 /// Sharding plan, per-SV exchange payloads, liveness, fault schedule,
 /// and the fleet clocks for one GPU-ICD run.
@@ -48,6 +70,8 @@ pub struct FleetState {
     /// Per fault event: already surfaced to the telemetry fault lane?
     /// (Episodes spanning many batches are reported once, at onset.)
     pub(crate) episode_emitted: Vec<bool>,
+    /// Cluster topology + slab streaming (None on flat fleets).
+    pub(crate) topo: Option<TopoState>,
 }
 
 impl FleetState {
@@ -86,7 +110,64 @@ impl FleetState {
             fleet: Fleet::new(spec),
             faults: FaultSpec::none(),
             episode_emitted: Vec::new(),
+            topo: None,
         }
+    }
+
+    /// Plan a cluster run: shard SVs *within* their slab's device
+    /// group (so devices only ever touch slabs they are assigned,
+    /// keeping streaming loads to the unavoidable minimum), price
+    /// exchanges hierarchically, and track slab residency. The fleet
+    /// clocks run on the flattened cluster
+    /// ([`ClusterSpec::flatten`]); exchange, slab-load, and seam-halo
+    /// costs are booked onto them explicitly by the driver. With one
+    /// node and one slab this degenerates bitwise to
+    /// [`FleetState::new`] on the node's fleet: `balanced_within`
+    /// under a full-fleet range replays the unconstrained LPT
+    /// partition exactly, and the hierarchical reduce of a single
+    /// node is the flat intra-node ring.
+    pub fn new_cluster(
+        model: &GpuWorkModel,
+        skeleton: &ProfileSkeleton,
+        plans: &SvPlanSet,
+        tiling: &Tiling,
+        opts: &GpuOptions,
+        num_channels: usize,
+        cluster: ClusterSpec,
+    ) -> Self {
+        let devices = cluster.total_devices();
+        assert_eq!(devices, opts.devices, "cluster spec sized for a different device count");
+        let (sv_rows, _) = tiling.sv_grid();
+        let plan = SlabPlan::new(sv_rows, cluster.slabs);
+
+        let sv_slab: Vec<usize> =
+            tiling.svs().iter().map(|sv| plan.slab_of_row(sv.sv_row)).collect();
+        let seam_bytes: Vec<u64> = tiling
+            .svs()
+            .iter()
+            .map(|sv| if plan.is_seam_row(sv.sv_row) { sv.cols as u64 * 4 } else { 0 })
+            .collect();
+        let allowed: Vec<(usize, usize)> =
+            sv_slab.iter().map(|&s| plan.device_group(s, devices)).collect();
+
+        // Modeled per-device footprint of one slab: its share of the
+        // image plane plus its share of the error bands.
+        let grid = tiling.grid();
+        let image_bytes = (grid.nx * grid.ny) as u64 * 4;
+        let band_bytes: u64 = plans.plans().iter().map(|p| p.svb_bytes as u64).sum();
+        let slab_bytes = (image_bytes + band_bytes) / plan.slabs() as u64;
+
+        let mut fs =
+            FleetState::new(model, skeleton, plans, tiling, opts, num_channels, cluster.flatten());
+        fs.shard = ShardPlan::balanced_within(&fs.costs, devices, &allowed);
+        fs.topo = Some(TopoState {
+            topology: Topology::new(cluster),
+            slabs: plan.slabs(),
+            sv_slab,
+            seam_bytes,
+            streamer: SlabStreamer::new(devices, slab_bytes),
+        });
+        fs
     }
 
     /// The sharding plan in force.
@@ -241,6 +322,69 @@ mod tests {
         let (mut fs, _) = state(2);
         fs.kill(0);
         fs.kill(0);
+    }
+
+    fn cluster_state(nodes: usize, dpn: usize, slabs: usize) -> (FleetState, usize) {
+        let g = Geometry::tiny_scale();
+        let a = SystemMatrix::compute(&g);
+        let opts = GpuOptions { sv_side: 6, devices: nodes * dpn, ..Default::default() };
+        let tiling = Tiling::new(g.grid, opts.sv_side);
+        let plans = SvPlanSet::build(&a, &tiling, plan_config(&opts), 1);
+        let model = GpuWorkModel::titan_x();
+        let skeleton = model.skeleton(&opts);
+        let n = tiling.len();
+        let cluster = mbir_topo::ClusterSpec::titan_x_cluster(nodes, dpn).with_slabs(slabs);
+        let fs = FleetState::new_cluster(
+            &model,
+            &skeleton,
+            &plans,
+            &tiling,
+            &opts,
+            g.num_channels,
+            cluster,
+        );
+        (fs, n)
+    }
+
+    #[test]
+    fn cluster_shard_stays_inside_each_svs_slab_group() {
+        let (fs, n) = cluster_state(2, 2, 2);
+        let topo = fs.topo.as_ref().expect("cluster state");
+        let plan = SlabPlan::new(4, 2); // tiny_scale @ sv_side 6: 4 SV rows
+        for sv in 0..n {
+            let (lo, hi) = plan.device_group(topo.sv_slab[sv], 4);
+            let d = fs.device_of(sv);
+            assert!(d >= lo && d < hi, "sv {sv} (slab {}) on device {d}", topo.sv_slab[sv]);
+        }
+        // Middle rows flank the slab seam and carry halo bytes; the
+        // outer rows do not.
+        assert!((0..n).any(|sv| topo.seam_bytes[sv] > 0));
+        assert!((0..n).any(|sv| topo.seam_bytes[sv] == 0));
+    }
+
+    #[test]
+    fn degenerate_cluster_reproduces_the_flat_shard() {
+        // One node, one slab: the cluster planner must replay the flat
+        // fleet's LPT partition bitwise (same visit order, same
+        // tie-breaks) — the identity the equivalence suite leans on.
+        let (cluster, n) = cluster_state(1, 3, 1);
+        let (flat, _) = state(3);
+        for sv in 0..n {
+            assert_eq!(cluster.shard().device_of(sv), flat.shard().device_of(sv));
+        }
+        let topo = cluster.topo.as_ref().expect("cluster state");
+        assert!(topo.seam_bytes.iter().all(|&b| b == 0), "one slab has no seams");
+        assert!(topo.sv_slab.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn slab_bytes_split_the_modeled_footprint() {
+        let (one, _) = cluster_state(2, 2, 1);
+        let (four, _) = cluster_state(2, 2, 4);
+        let whole = one.topo.as_ref().unwrap().streamer.slab_bytes();
+        let quarter = four.topo.as_ref().unwrap().streamer.slab_bytes();
+        assert!(whole > 0);
+        assert_eq!(quarter, whole / 4);
     }
 
     #[test]

@@ -156,6 +156,32 @@ impl Fleet {
         BatchCost { kernel_seconds: slowest, exchange_seconds: exchange, exchange_bytes: bytes }
     }
 
+    /// Book a pre-priced transfer (slab streaming load, seam halo)
+    /// onto the timeline: wall and exchange ledgers advance by
+    /// `seconds` and `bytes` joins the byte total, with no batch
+    /// counted. The topology layer prices these on its own links and
+    /// books them here so the fleet ledger stays the one source of
+    /// truth for the timeline.
+    pub fn book_transfer(&mut self, seconds: f64, bytes: u64) {
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "booked transfer seconds must be finite and non-negative"
+        );
+        self.wall_seconds += seconds;
+        self.exchange_seconds += seconds;
+        self.exchange_bytes += bytes;
+    }
+
+    /// Book a pre-priced exchange (the topology layer's hierarchical
+    /// reduce) onto the timeline and count the batch. The compute span
+    /// must already have been priced via [`Fleet::span`]; together
+    /// `span` + `book_exchange` are the cluster path's equivalent of
+    /// [`Fleet::batch`].
+    pub fn book_exchange(&mut self, seconds: f64, bytes: u64) {
+        self.book_transfer(seconds, bytes);
+        self.batches += 1;
+    }
+
     /// Advance the timeline by one bulk-synchronous compute span
     /// without an exchange or a batch count: all devices run, the
     /// slowest sets the span, busy time accrues per device. The
@@ -353,6 +379,32 @@ mod tests {
         for d in &r.per_device {
             assert!((d.busy_seconds + d.idle_seconds - r.wall_seconds).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn booked_exchanges_match_the_batch_ledger_shape() {
+        // span + book_exchange must leave the same ledger a batch
+        // with the same numbers would: that is what makes the cluster
+        // pricing path a drop-in peer of the flat one.
+        let mut flat = fleet(2);
+        let cost = flat.batch(&[0.1, 0.2], &[1 << 20, 1 << 19]);
+        let mut booked = fleet(2);
+        let span = booked.span(&[0.1, 0.2]);
+        assert_eq!(span, cost.kernel_seconds);
+        booked.book_exchange(cost.exchange_seconds, cost.exchange_bytes);
+        assert_eq!(flat.report(), booked.report());
+        // A transfer books time and bytes but no batch.
+        booked.book_transfer(0.5, 100);
+        let r = booked.report();
+        assert_eq!(r.batches, 1);
+        assert_eq!(r.exchange_bytes, cost.exchange_bytes + 100);
+        assert!((r.exchange_seconds - (cost.exchange_seconds + 0.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_booked_transfer_is_a_bug() {
+        fleet(2).book_transfer(-0.1, 0);
     }
 
     #[test]

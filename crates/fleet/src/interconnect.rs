@@ -95,6 +95,28 @@ impl Interconnect {
         seconds
     }
 
+    /// Seconds for a pipelined chain broadcast of `bytes` across
+    /// `hops` links (a line of `hops + 1` devices rooted at the
+    /// source). The head of the stream pays one latency per hop; with
+    /// chunks streaming behind it, the payload then crosses at line
+    /// rate — `hops × latency + bytes / bandwidth`. Zero hops (the
+    /// source alone) costs nothing. This is the intra-node fan-out
+    /// phase of the hierarchical reduce: after the inter-node
+    /// exchange, each node leader chains the foreign bytes through its
+    /// `d - 1` peers.
+    pub fn broadcast_seconds(&self, bytes: u64, hops: usize) -> f64 {
+        if hops == 0 {
+            return 0.0;
+        }
+        hops as f64 * self.spec.latency_us * 1e-6 + bytes as f64 / (self.spec.link_gbps * 1e9)
+    }
+
+    /// Total bytes a chain broadcast moves: the payload crosses every
+    /// one of the `hops` links once.
+    pub fn broadcast_bytes(&self, bytes: u64, hops: usize) -> u64 {
+        bytes * hops as u64
+    }
+
     /// Total bytes a ring all-gather moves across all links: every
     /// device's payload crosses `devices - 1` links.
     pub fn allgather_bytes(&self, payload_bytes: &[u64]) -> u64 {
@@ -244,6 +266,23 @@ mod tests {
         // And it propagates through the ring pricing.
         let payloads = [1u64 << 20, 1 << 20];
         assert!(ic.allgather_seconds_among(&payloads, None, 0.5) > ic.allgather_seconds(&payloads));
+    }
+
+    #[test]
+    fn chain_broadcast_pays_one_latency_per_hop_and_streams_bytes_once() {
+        let ic = pcie();
+        let spec = ic.spec().clone();
+        assert_eq!(ic.broadcast_seconds(1 << 20, 0), 0.0, "the source alone moves nothing");
+        assert_eq!(ic.broadcast_bytes(1 << 20, 0), 0);
+        // 3 hops: three latencies, but the byte term appears once —
+        // the stream pipelines through the chain at line rate.
+        let secs = ic.broadcast_seconds(12_000_000, 3);
+        let expect = 3.0 * spec.latency_us * 1e-6 + 1e-3;
+        assert!((secs - expect).abs() < 1e-12, "{secs} vs {expect}");
+        assert_eq!(ic.broadcast_bytes(12_000_000, 3), 36_000_000);
+        // A chain broadcast beats relaying the payload hop by serial
+        // hop, which would pay the byte term per hop.
+        assert!(secs < 3.0 * ic.transfer_seconds(12_000_000));
     }
 
     #[test]

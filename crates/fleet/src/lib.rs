@@ -56,4 +56,4 @@ pub use fleet::{BatchCost, DeviceReport, Fleet, FleetReport};
 pub use interconnect::Interconnect;
 pub use ledger::{TenantUsage, UsageLedger};
 pub use shard::ShardPlan;
-pub use spec::{FleetSpec, InterconnectSpec};
+pub use spec::{CarveError, FleetSpec, InterconnectSpec};

@@ -46,6 +46,43 @@ impl ShardPlan {
         ShardPlan { assignment, loads }
     }
 
+    /// [`ShardPlan::balanced`] with placement constraints: SV `sv` may
+    /// only land on devices in the half-open range `allowed[sv]`. The
+    /// topology layer's slab-aware sharding uses this to keep each
+    /// slab's SVs within the device group holding that slab resident.
+    /// Visit order and tie-breaks are identical to the unconstrained
+    /// planner, so a constraint of `(0, devices)` for every SV
+    /// produces the exact same plan as [`ShardPlan::balanced`].
+    pub fn balanced_within(costs: &[f64], devices: usize, allowed: &[(usize, usize)]) -> Self {
+        assert!(devices >= 1, "a shard plan needs at least one device");
+        assert_eq!(allowed.len(), costs.len(), "one device range per SV");
+        assert!(
+            costs.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "SV costs must be finite and non-negative"
+        );
+        assert!(
+            allowed.iter().all(|&(s, e)| s < e && e <= devices),
+            "device ranges must be non-empty and within the fleet"
+        );
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by(|&a, &b| costs[b].total_cmp(&costs[a]).then(a.cmp(&b)));
+
+        let mut assignment = vec![0usize; costs.len()];
+        let mut loads = vec![0.0f64; devices];
+        for sv in order {
+            let (start, end) = allowed[sv];
+            let device = loads[start..end]
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                .map(|(d, _)| start + d)
+                .unwrap();
+            assignment[sv] = device;
+            loads[device] += costs[sv];
+        }
+        ShardPlan { assignment, loads }
+    }
+
     /// Number of devices the plan spans.
     pub fn devices(&self) -> usize {
         self.loads.len()
@@ -124,6 +161,35 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unconstrained_ranges_reproduce_the_plain_planner_exactly() {
+        let costs = [4.0, 1.0, 3.0, 2.0, 2.0, 5.0];
+        let allowed = vec![(0usize, 3usize); costs.len()];
+        assert_eq!(ShardPlan::balanced_within(&costs, 3, &allowed), ShardPlan::balanced(&costs, 3),);
+    }
+
+    #[test]
+    fn constrained_svs_stay_inside_their_group() {
+        // SVs 0..3 may only use devices 0..2, SVs 3..6 only 2..4 —
+        // the slab-aware shape (one device group per slab).
+        let costs = [4.0, 1.0, 3.0, 2.0, 2.0, 5.0];
+        let allowed = [(0, 2), (0, 2), (0, 2), (2, 4), (2, 4), (2, 4)];
+        let plan = ShardPlan::balanced_within(&costs, 4, &allowed);
+        for (sv, &(s, e)) in allowed.iter().enumerate() {
+            let d = plan.device_of(sv);
+            assert!(d >= s && d < e, "sv {sv} escaped its group: device {d}");
+        }
+        // Within a group, LPT still balances: the 2-device group with
+        // costs {2, 2, 5} cannot put everything on one device.
+        assert!(plan.load(2) > 0.0 && plan.load(3) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty and within the fleet")]
+    fn out_of_range_group_is_a_bug() {
+        ShardPlan::balanced_within(&[1.0], 2, &[(1, 3)]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use gpu_sim::GpuSpec;
 use serde::json::Value;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Bandwidth and latency of the inter-device link.
 ///
@@ -39,6 +40,14 @@ impl InterconnectSpec {
         InterconnectSpec { name: "NVLink 1.0".into(), link_gbps: 18.0, latency_us: 1.3 }
     }
 
+    /// 100 Gb Ethernet with RDMA between nodes: 12.5 GB/s raw, ~10.5
+    /// GB/s effective after protocol overhead; ~5 us end-to-end with
+    /// kernel bypass — the inter-node fabric of the cluster topology
+    /// (`mbir-topo`), slower and laggier than any intra-node link.
+    pub fn net_100gbe() -> Self {
+        InterconnectSpec { name: "100GbE RDMA".into(), link_gbps: 10.5, latency_us: 5.0 }
+    }
+
     /// Parse a spec back out of a JSON value tree (the offline
     /// `serde_json` stand-in only serializes, so round-trips go through
     /// [`mbir_telemetry::json::parse`]).
@@ -50,6 +59,37 @@ impl InterconnectSpec {
         })
     }
 }
+
+/// Typed failure modes of [`FleetSpec::carve`].
+///
+/// Topology composition carves leases in bulk (one per node, one per
+/// slab group), so callers need to branch on *which* bound a request
+/// broke rather than string-match an error message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CarveError {
+    /// A lease of zero devices was requested.
+    ZeroDevices,
+    /// The requested lease is larger than the fleet it carves from.
+    ExceedsFleet {
+        /// Devices the lease asked for.
+        requested: usize,
+        /// Devices the fleet actually has.
+        fleet: usize,
+    },
+}
+
+impl fmt::Display for CarveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CarveError::ZeroDevices => write!(f, "a lease needs at least one device"),
+            CarveError::ExceedsFleet { requested, fleet } => {
+                write!(f, "lease of {requested} devices exceeds fleet size {fleet}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CarveError {}
 
 /// A fleet: N identical devices joined by one interconnect.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -98,13 +138,18 @@ impl FleetSpec {
 
     /// Carve a sub-fleet lease of `devices` devices out of this fleet:
     /// same per-device machine and interconnect, smaller ring. The
-    /// serve layer prices each leased job's exchanges against this.
-    pub fn carve(&self, devices: usize) -> Result<Self, String> {
+    /// serve layer prices each leased job's exchanges against this,
+    /// and the topology layer carves one lease per node.
+    ///
+    /// Carving the *full* fleet round-trips cleanly — the lease equals
+    /// the fleet — and the failure modes (zero devices, more devices
+    /// than the fleet has) are typed [`CarveError`]s, not panics.
+    pub fn carve(&self, devices: usize) -> Result<Self, CarveError> {
         if devices == 0 {
-            return Err("a lease needs at least one device".into());
+            return Err(CarveError::ZeroDevices);
         }
         if devices > self.devices {
-            return Err(format!("lease of {devices} devices exceeds fleet size {}", self.devices));
+            return Err(CarveError::ExceedsFleet { requested: devices, fleet: self.devices });
         }
         Ok(FleetSpec { devices, gpu: self.gpu.clone(), interconnect: self.interconnect.clone() })
     }
@@ -140,6 +185,12 @@ fn get_f64(v: &Value, key: &str) -> Result<f64, String> {
     // makespan into NaN/inf, so refuse it at the boundary.
     if !x.is_finite() {
         return Err(format!("field '{key}' is not finite: {x}"));
+    }
+    // Every f64 field in these specs is a physical rate, size, or
+    // delay; a negative bandwidth or latency would make transfers
+    // finish before they start, so refuse those at the boundary too.
+    if x < 0.0 {
+        return Err(format!("field '{key}' is negative: {x}"));
     }
     Ok(x)
 }
@@ -288,7 +339,84 @@ mod tests {
         assert_eq!(lease.devices, 2);
         assert_eq!(lease.gpu, fleet.gpu);
         assert_eq!(lease.interconnect, fleet.interconnect);
-        assert!(fleet.carve(0).is_err());
-        assert!(fleet.carve(5).unwrap_err().contains("exceeds fleet size"));
+        assert_eq!(fleet.carve(0).unwrap_err(), CarveError::ZeroDevices);
+        let err = fleet.carve(5).unwrap_err();
+        assert_eq!(err, CarveError::ExceedsFleet { requested: 5, fleet: 4 });
+        assert!(err.to_string().contains("exceeds fleet size"));
+    }
+
+    #[test]
+    fn carving_the_full_fleet_round_trips() {
+        // Topology composition carves a whole node out of itself when a
+        // cluster has one node; that must be the identity, not an error
+        // (and certainly not a debug-assert).
+        for devices in [1, 2, 8] {
+            let fleet = FleetSpec::titan_x_nvlink(devices);
+            assert_eq!(fleet.carve(devices).unwrap(), fleet);
+        }
+    }
+
+    #[test]
+    fn single_device_carve_has_no_ring() {
+        // The smallest legal lease: one device, which downstream
+        // prices zero exchange. It must carve cleanly from any fleet.
+        let fleet = FleetSpec::titan_x_pcie(8);
+        assert_eq!(fleet.carve(1).unwrap().devices, 1);
+    }
+
+    #[test]
+    fn asymmetric_and_heterogeneous_links_round_trip() {
+        // A cluster pairs heterogeneous links (fast intra-node, slow
+        // inter-node) and nothing requires them to look like the
+        // presets: exercise the round trip with asymmetric hand-rolled
+        // specs, including extreme-but-finite values.
+        let links = [
+            InterconnectSpec::net_100gbe(),
+            InterconnectSpec {
+                name: "x16 up / x4 down (down)".into(),
+                link_gbps: 3.0,
+                latency_us: 8.0,
+            },
+            InterconnectSpec { name: "lossy WAN".into(), link_gbps: 0.125, latency_us: 35_000.0 },
+            InterconnectSpec { name: "zero-copy".into(), link_gbps: 900.0, latency_us: 0.0 },
+        ];
+        for ic in &links {
+            let text = serde_json::to_string(ic).expect("serializes");
+            let value = json::parse(&text).expect("parses");
+            assert_eq!(&InterconnectSpec::from_json(&value).expect("reconstructs"), ic);
+        }
+        // Heterogeneous pairs stay distinct through the round trip.
+        let pair: Vec<InterconnectSpec> = links[..2]
+            .iter()
+            .map(|ic| {
+                let text = serde_json::to_string(ic).unwrap();
+                InterconnectSpec::from_json(&json::parse(&text).unwrap()).unwrap()
+            })
+            .collect();
+        assert_ne!(pair[0], pair[1]);
+    }
+
+    #[test]
+    fn negative_bandwidth_and_latency_are_rejected() {
+        // A negative rate or delay would make transfers finish before
+        // they start; the parser refuses both, on either link field
+        // and on the GPU's bandwidth fields.
+        let err = parse_with("link_gbps", "-12.0").unwrap_err();
+        assert!(err.contains("link_gbps"), "{err}");
+        assert!(err.contains("negative"), "{err}");
+        let err = parse_with("latency_us", "-0.5").unwrap_err();
+        assert!(err.contains("latency_us"), "{err}");
+        assert!(err.contains("negative"), "{err}");
+        let err = parse_with("dram_gbps", "-1").unwrap_err();
+        assert!(err.contains("dram_gbps"), "{err}");
+    }
+
+    #[test]
+    fn inter_node_preset_is_slower_than_any_intra_link() {
+        let inter = InterconnectSpec::net_100gbe();
+        for intra in [InterconnectSpec::pcie3_x16(), InterconnectSpec::nvlink1()] {
+            assert!(inter.link_gbps < intra.link_gbps);
+        }
+        assert!(inter.latency_us > InterconnectSpec::nvlink1().latency_us);
     }
 }

@@ -141,7 +141,9 @@ fn build_driver<'p>(
         p.plan.clone(),
     );
     if p.opts.devices > 1 {
-        gpu.set_fleet_spec(fleet.carve(p.opts.devices).map_err(MbirError::Usage)?)?;
+        gpu.set_fleet_spec(
+            fleet.carve(p.opts.devices).map_err(|e| MbirError::Usage(e.to_string()))?,
+        )?;
     }
     if let Some(c) = ckp {
         gpu.restore(c)?;
@@ -197,12 +199,27 @@ pub struct ServeOutcome {
 pub struct Server {
     fleet: FleetSpec,
     workload: WorkloadSpec,
+    backfill: bool,
 }
 
 impl Server {
     /// A server for one fleet and one workload.
     pub fn new(fleet: FleetSpec, workload: WorkloadSpec) -> Server {
-        Server { fleet, workload }
+        Server { fleet, workload, backfill: false }
+    }
+
+    /// Opt into backfill scheduling (`--backfill`): when the queue
+    /// head is blocked waiting on preempted victims, *strictly
+    /// lower-priority* jobs may lease the free devices the head is
+    /// not waiting for. The head's own lease time is untouched — the
+    /// devices it needs stay reserved, and a backfilled job is itself
+    /// preemptible the moment a higher-priority job wants its
+    /// devices — so backfill can only raise utilization, never starve
+    /// the head. Off by default (the conservative no-backfill policy
+    /// of earlier releases).
+    pub fn backfill(mut self, on: bool) -> Server {
+        self.backfill = on;
+        self
     }
 
     /// Why a job can never run on this fleet, if so.
@@ -402,9 +419,21 @@ impl Server {
             });
             let mut free: Vec<usize> =
                 (0..self.fleet.devices).filter(|&d| device_owner[d].is_none()).collect();
+            // Once the head of the queue blocks, `blocked` carries
+            // (head index, devices reserved for the head). Backfill
+            // grants behind the head come only out of the unreserved
+            // remainder, so the head's lease time is unchanged.
+            let mut blocked: Option<(usize, usize)> = None;
             for &j in &queue {
                 let need = jobs[j].devices;
-                if need <= free.len() {
+                let grantable = match blocked {
+                    None => need <= free.len(),
+                    Some((head, reserved)) => {
+                        jobs[j].priority < jobs[head].priority
+                            && need <= free.len().saturating_sub(reserved)
+                    }
+                };
+                if grantable {
                     let lease: Vec<usize> = free.drain(..need).collect();
                     let p = prepared[j].as_ref().expect("admitted job was prepared");
                     let resumed = states[j].ckp.is_some();
@@ -438,10 +467,16 @@ impl Server {
                     drivers[j] = Some(gpu);
                     continue;
                 }
+                if blocked.is_some() {
+                    // Behind a blocked head only strictly-lower
+                    // priority jobs that fit in the spare devices are
+                    // granted; everything else waits its turn.
+                    continue;
+                }
                 // The head of the queue cannot get its lease. Reclaim
                 // devices from strictly lower-priority running jobs
-                // (checkpointed at their next boundary), and do not
-                // backfill anything behind the blocked head.
+                // (checkpointed at their next boundary). Without
+                // --backfill nothing behind the blocked head runs.
                 let mut incoming: usize = (0..n)
                     .filter(|&v| states[v].phase == Phase::Running && states[v].preempt_requested)
                     .map(|v| states[v].lease.len())
@@ -464,7 +499,10 @@ impl Server {
                         incoming += states[v].lease.len();
                     }
                 }
-                break;
+                if !self.backfill {
+                    break;
+                }
+                blocked = Some((j, need.saturating_sub(incoming).min(free.len())));
             }
         }
 
@@ -623,6 +661,70 @@ mod tests {
         assert!((r.fairness_jain - 1.0).abs() < 1.0);
     }
 
+    /// The backfill starvation bound: `--backfill` lets a small
+    /// low-priority job slip onto the spare device while the blocked
+    /// queue head waits for its preempted victims — and the head's
+    /// start, completion, and image do not move by a modeled second.
+    #[test]
+    fn backfill_fills_spare_devices_without_delaying_the_blocked_head() {
+        let fleet = FleetSpec::titan_x_pcie(3);
+        let mut bg = tiny_job("bg");
+        bg.tenant = "archive".into();
+        bg.devices = 2;
+        bg.iters = 6;
+        let mut urgent = tiny_job("urgent");
+        urgent.tenant = "trauma".into();
+        urgent.priority = 5;
+        urgent.devices = 2;
+        urgent.iters = 2;
+        let mut fill = tiny_job("fill");
+        fill.tenant = "research".into();
+        fill.iters = 1;
+        let (_, solo_modeled) = solo_run(&fleet, &bg).expect("solo");
+        // urgent and fill both arrive at bg's mid-run: bg holds 2 of
+        // 3 devices, urgent needs 2 and blocks, fill needs the 1
+        // spare device urgent is not waiting for.
+        urgent.arrival_seconds = 0.45 * solo_modeled;
+        fill.arrival_seconds = urgent.arrival_seconds;
+        let jobs = vec![bg, urgent, fill];
+        let strict = Server::new(fleet.clone(), WorkloadSpec { jobs: jobs.clone() })
+            .run(None)
+            .expect("serve strict");
+        let relaxed = Server::new(fleet, WorkloadSpec { jobs })
+            .backfill(true)
+            .run(None)
+            .expect("serve backfill");
+        let row = |o: &ServeOutcome, id: &str| {
+            o.report.jobs.iter().find(|j| j.id == id).expect("row").clone()
+        };
+        // The head is untouched by backfill: same lease time, same
+        // finish, same preemption of bg.
+        let (us, ur) = (row(&strict, "urgent"), row(&relaxed, "urgent"));
+        assert_eq!(us.first_start_seconds, ur.first_start_seconds, "head lease moved");
+        assert_eq!(us.completed_seconds, ur.completed_seconds, "head finish moved");
+        assert!(row(&relaxed, "bg").preemptions >= 1, "bg was never preempted");
+        // The filler ran earlier — strictly, on the spare device
+        // while the head was still waiting — instead of queuing
+        // behind the blocked head.
+        let (fs, fr) = (row(&strict, "fill"), row(&relaxed, "fill"));
+        assert!(
+            fr.first_start_seconds < fs.first_start_seconds,
+            "backfill did not start fill earlier: {} vs {}",
+            fr.first_start_seconds,
+            fs.first_start_seconds
+        );
+        assert!(
+            fr.first_start_seconds < ur.first_start_seconds,
+            "fill should start while the head is still blocked"
+        );
+        // Scheduling policy moves timelines only, never pixels.
+        for (id, img) in &strict.images {
+            let (_, other) =
+                relaxed.images.iter().find(|(i, _)| i == id).expect("image in both runs");
+            assert_eq!(img.data(), other.data(), "{id} image diverged under backfill");
+        }
+    }
+
     #[test]
     fn admission_control_rejects_impossible_jobs() {
         let fleet = FleetSpec::titan_x_pcie(2);
@@ -691,6 +793,6 @@ mod tests {
         assert!(spans.iter().all(|s| s.device < 2), "span on a device outside the fleet");
         let report = sink.report("serve");
         assert_eq!(report.totals.jobs, 2);
-        assert!(report.to_json_pretty().contains("\"schema_version\": 5"));
+        assert!(report.to_json_pretty().contains("\"schema_version\": 6"));
     }
 }

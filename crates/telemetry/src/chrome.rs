@@ -26,7 +26,10 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 /// onsets) as instant `"i"` events. Job-lifecycle events (schema v5)
 /// share the pid-0 scheduler process: one named thread per job, with
 /// spanning events (ingest, completion latency) as `"X"` and marker
-/// events (submission, preemption, resume) as instants.
+/// events (submission, preemption, resume) as instants. Cluster
+/// data-movement records (schema v6) render on one `exchanges` thread
+/// after the job threads: hierarchical-reduce phases, slab loads and
+/// seam halos as `"X"` spans named by phase.
 pub fn chrome_trace(report: &ProfileReport) -> String {
     let mut tids: Vec<String> = Vec::new();
     let mut devices: Vec<u64> = Vec::new();
@@ -148,6 +151,42 @@ pub fn chrome_trace(report: &ProfileReport) -> String {
         events.push(obj(fields));
     }
 
+    // Exchange lane: cluster data movement on one thread after the
+    // job threads in the pid-0 process.
+    let exchange_tid = job_tids.len() as u64 + 1;
+    for x in &report.exchanges {
+        let ph = if x.duration_seconds > 0.0 { "X" } else { "i" };
+        let mut fields = vec![
+            ("name", Value::Str(x.phase.clone())),
+            ("cat", Value::Str("exchange".into())),
+            ("ph", Value::Str(ph.into())),
+            ("ts", Value::F64(x.start_seconds * 1e6)),
+        ];
+        if x.duration_seconds > 0.0 {
+            fields.push(("dur", Value::F64(x.duration_seconds * 1e6)));
+        } else {
+            fields.push(("s", Value::Str("t".into())));
+        }
+        fields.push(("pid", Value::U64(0)));
+        fields.push(("tid", Value::U64(exchange_tid)));
+        fields.push((
+            "args",
+            obj(vec![
+                (
+                    "node",
+                    match x.node {
+                        Some(n) => Value::U64(n),
+                        None => Value::Null,
+                    },
+                ),
+                ("iteration", Value::U64(x.iteration)),
+                ("batch", Value::U64(x.batch)),
+                ("bytes", Value::U64(x.bytes)),
+            ]),
+        ));
+        events.push(obj(fields));
+    }
+
     // Metadata: one named process per device, kernel-class threads in
     // each. An empty report still names device 0 so the trace opens.
     if devices.is_empty() {
@@ -155,8 +194,14 @@ pub fn chrome_trace(report: &ProfileReport) -> String {
     }
     devices.sort_unstable();
     let mut meta = Vec::new();
-    if !report.faults.is_empty() || !report.jobs.is_empty() {
-        let lane = if report.jobs.is_empty() { "faults" } else { "scheduler" };
+    if !report.faults.is_empty() || !report.jobs.is_empty() || !report.exchanges.is_empty() {
+        let lane = if !report.jobs.is_empty() {
+            "scheduler"
+        } else if !report.faults.is_empty() {
+            "faults"
+        } else {
+            "exchanges"
+        };
         meta.push(obj(vec![
             ("name", Value::Str("process_name".into())),
             ("ph", Value::Str("M".into())),
@@ -180,6 +225,15 @@ pub fn chrome_trace(report: &ProfileReport) -> String {
             ("pid", Value::U64(0)),
             ("tid", Value::U64(i as u64 + 1)),
             ("args", obj(vec![("name", Value::Str(format!("job {id}")))])),
+        ]));
+    }
+    if !report.exchanges.is_empty() {
+        meta.push(obj(vec![
+            ("name", Value::Str("thread_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::U64(0)),
+            ("tid", Value::U64(exchange_tid)),
+            ("args", obj(vec![("name", Value::Str("exchanges".into()))])),
         ]));
     }
     for &d in &devices {
@@ -255,6 +309,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            Vec::new(),
         );
         let s = chrome_trace(&report);
         assert!(s.contains("\"traceEvents\""));
@@ -303,6 +358,7 @@ mod tests {
             Vec::new(),
             faults,
             Vec::new(),
+            Vec::new(),
         );
         let s = chrome_trace(&report);
         // Marker renders as an instant event, recovery as a complete span.
@@ -340,6 +396,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             jobs,
+            Vec::new(),
         );
         let s = chrome_trace(&report);
         // Each job gets a named thread in the scheduler process.
@@ -350,6 +407,43 @@ mod tests {
         assert!(s.contains("\"ph\":\"i\""));
         assert!(s.contains("\"ph\":\"X\""));
         assert!(s.contains("\"preempted\""));
+        crate::json::parse(&s).expect("valid JSON");
+    }
+
+    #[test]
+    fn exchange_lane_renders_phases_as_spans() {
+        use crate::sink::ExchangeRecord;
+        let mk = |phase: &str, node: Option<u64>, start: f64| ExchangeRecord {
+            phase: phase.into(),
+            node,
+            iteration: 1,
+            batch: 0,
+            start_seconds: start,
+            duration_seconds: 2e-5,
+            bytes: 4096,
+        };
+        let exchanges = vec![
+            mk("intra_gather", Some(0), 0.1),
+            mk("inter_exchange", None, 0.2),
+            mk("slab_load", Some(1), 0.3),
+        ];
+        let report = ProfileReport::from_parts(
+            "cluster",
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            exchanges,
+        );
+        let s = chrome_trace(&report);
+        assert!(s.contains("\"exchanges\""), "{s}");
+        assert!(s.contains("\"intra_gather\""));
+        assert!(s.contains("\"inter_exchange\""));
+        assert!(s.contains("\"slab_load\""));
+        assert!(s.contains("\"cat\":\"exchange\""));
+        // The leaderless inter phase carries a null node.
+        assert!(s.contains("\"node\":null"));
         crate::json::parse(&s).expect("valid JSON");
     }
 }

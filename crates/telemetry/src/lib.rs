@@ -37,6 +37,6 @@ pub mod sink;
 pub use chrome::chrome_trace;
 pub use report::{KernelClassAgg, ProfileReport, Totals, SCHEMA_VERSION};
 pub use sink::{
-    ConvergencePoint, FaultRecord, IterationSample, JobRecord, KernelSpan, LaunchCtx, NullSink,
-    ProfileSink, RecordingSink,
+    ConvergencePoint, ExchangeRecord, FaultRecord, IterationSample, JobRecord, KernelSpan,
+    LaunchCtx, NullSink, ProfileSink, RecordingSink,
 };

@@ -1,6 +1,8 @@
 //! Aggregation of recorded telemetry into a structured JSON report.
 
-use crate::sink::{ConvergencePoint, FaultRecord, IterationSample, JobRecord, KernelSpan};
+use crate::sink::{
+    ConvergencePoint, ExchangeRecord, FaultRecord, IterationSample, JobRecord, KernelSpan,
+};
 use serde::Serialize;
 
 /// Schema version stamped into every report (bump when the report
@@ -15,7 +17,10 @@ use serde::Serialize;
 /// v5: reports carry a `jobs` lane (job-lifecycle events on the serve
 /// layer's shared timeline: submission, admission, leases, preemption,
 /// completion) and `totals.jobs` counting completed jobs.
-pub const SCHEMA_VERSION: u64 = 5;
+/// v6: reports carry an `exchanges` lane (cluster data-movement phases
+/// on the modeled timeline: hierarchical-reduce phases, slab streaming
+/// loads, seam halos) and `totals.exchanges` counting the records.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Per-kernel-class aggregate over every launch of that kernel — the
 /// run-level analogue of the paper's Table 2/3 counter columns.
@@ -94,6 +99,8 @@ pub struct Totals {
     pub faults: u64,
     /// Jobs completed during the run (serve-layer runs only).
     pub jobs: u64,
+    /// Cluster data-movement records (cluster runs only).
+    pub exchanges: u64,
 }
 
 /// The structured profiling report: spans, per-class aggregates,
@@ -122,6 +129,10 @@ pub struct ProfileReport {
     /// Job-lifecycle events on the serve timeline, ordered by start
     /// time with job id as the tiebreak (empty outside serve runs).
     pub jobs: Vec<JobRecord>,
+    /// Cluster data-movement phases on the modeled timeline, ordered
+    /// by start time with (batch, node) as the tiebreak (empty outside
+    /// cluster runs).
+    pub exchanges: Vec<ExchangeRecord>,
     /// Whole-run totals.
     pub totals: Totals,
 }
@@ -142,11 +153,18 @@ impl ProfileReport {
         convergence: Vec<ConvergencePoint>,
         mut faults: Vec<FaultRecord>,
         mut jobs: Vec<JobRecord>,
+        mut exchanges: Vec<ExchangeRecord>,
     ) -> ProfileReport {
         faults.sort_by(|a, b| {
             a.start_seconds.total_cmp(&b.start_seconds).then(a.batch.cmp(&b.batch))
         });
         jobs.sort_by(|a, b| a.start_seconds.total_cmp(&b.start_seconds).then(a.job.cmp(&b.job)));
+        exchanges.sort_by(|a, b| {
+            a.start_seconds
+                .total_cmp(&b.start_seconds)
+                .then(a.batch.cmp(&b.batch))
+                .then(a.node.cmp(&b.node))
+        });
         spans.sort_by(|a, b| {
             a.start_seconds.total_cmp(&b.start_seconds).then(a.device.cmp(&b.device))
         });
@@ -227,6 +245,7 @@ impl ProfileReport {
             final_rmse_hu: convergence.last().map(|c| c.rmse_hu),
             faults: faults.len() as u64,
             jobs: jobs.iter().filter(|j| j.event == "completed").count() as u64,
+            exchanges: exchanges.len() as u64,
         };
 
         ProfileReport {
@@ -239,6 +258,7 @@ impl ProfileReport {
             convergence,
             faults,
             jobs,
+            exchanges,
             totals,
         }
     }
@@ -296,8 +316,15 @@ mod tests {
             span("mbir_update", 1.0, 10, 6),
             span("svb_create", 0.5, 0, 0),
         ];
-        let r =
-            ProfileReport::from_parts("t", spans, Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let r = ProfileReport::from_parts(
+            "t",
+            spans,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
         assert_eq!(r.kernels.len(), 2);
         let mbir = r.kernel("mbir_update").unwrap();
         assert_eq!(mbir.launches, 2);
@@ -318,13 +345,15 @@ mod tests {
             Vec::new(),
             Vec::new(),
             Vec::new(),
+            Vec::new(),
         );
         assert!(r.kernels.is_empty());
         assert_eq!(r.totals.seconds, 0.0);
         assert_eq!(r.totals.faults, 0);
+        assert_eq!(r.totals.exchanges, 0);
         // Zero-division edges must stay finite all the way to JSON.
         let s = r.to_json_pretty();
-        assert!(s.contains("\"schema_version\": 5"));
+        assert!(s.contains("\"schema_version\": 6"));
         // Reports name the SIMD backend they resolved to.
         assert!(s.contains("\"backend\": \"scalar\"") || s.contains("\"backend\": \"lanes\""));
     }
@@ -343,8 +372,15 @@ mod tests {
         };
         let faults =
             vec![mk("recovery", 3, 0.2), mk("device_failure", 3, 0.1), mk("straggler", 1, 0.1)];
-        let r =
-            ProfileReport::from_parts("t", Vec::new(), Vec::new(), Vec::new(), faults, Vec::new());
+        let r = ProfileReport::from_parts(
+            "t",
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            faults,
+            Vec::new(),
+            Vec::new(),
+        );
         let order: Vec<(String, u64)> =
             r.faults.iter().map(|f| (f.kind.clone(), f.batch)).collect();
         assert_eq!(
@@ -356,6 +392,47 @@ mod tests {
             ]
         );
         assert_eq!(r.totals.faults, 3);
+    }
+
+    #[test]
+    fn exchanges_sort_by_start_then_batch_then_node_and_count_into_totals() {
+        use crate::sink::ExchangeRecord;
+        let mk = |phase: &str, node: Option<u64>, batch: u64, start: f64| ExchangeRecord {
+            phase: phase.into(),
+            node,
+            iteration: 1,
+            batch,
+            start_seconds: start,
+            duration_seconds: 1e-6,
+            bytes: 64,
+        };
+        let exchanges = vec![
+            mk("intra_broadcast", Some(1), 0, 0.3),
+            mk("intra_broadcast", Some(0), 0, 0.3),
+            mk("inter_exchange", None, 0, 0.2),
+            mk("intra_gather", Some(0), 0, 0.1),
+        ];
+        let r = ProfileReport::from_parts(
+            "t",
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            exchanges,
+        );
+        let order: Vec<(String, Option<u64>)> =
+            r.exchanges.iter().map(|x| (x.phase.clone(), x.node)).collect();
+        assert_eq!(
+            order,
+            [
+                ("intra_gather".to_string(), Some(0)),
+                ("inter_exchange".to_string(), None),
+                ("intra_broadcast".to_string(), Some(0)),
+                ("intra_broadcast".to_string(), Some(1)),
+            ]
+        );
+        assert_eq!(r.totals.exchanges, 4);
     }
 
     #[test]
@@ -372,8 +449,24 @@ mod tests {
         let a = vec![mk(1, 0.2), mk(0, 0.1), mk(1, 0.1), mk(0, 0.2)];
         let mut b = a.clone();
         b.reverse();
-        let ra = ProfileReport::from_parts("t", a, Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        let rb = ProfileReport::from_parts("t", b, Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let ra = ProfileReport::from_parts(
+            "t",
+            a,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
+        let rb = ProfileReport::from_parts(
+            "t",
+            b,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+        );
         let order: Vec<(u64, f64)> = ra.spans.iter().map(|s| (s.device, s.start_seconds)).collect();
         assert_eq!(order, [(0, 0.1), (1, 0.1), (0, 0.2), (1, 0.2)]);
         let other: Vec<(u64, f64)> = rb.spans.iter().map(|s| (s.device, s.start_seconds)).collect();

@@ -163,6 +163,31 @@ pub struct JobRecord {
     pub detail: String,
 }
 
+/// One cluster-exchange or slab-streaming event on the modeled fleet
+/// timeline (schema v6). The topology layer emits one record per
+/// hierarchical-reduce phase (per node for the concurrent phases) and
+/// per slab transfer; like every other lane these are observe-only —
+/// the reconstruction is bitwise identical with or without them.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExchangeRecord {
+    /// Phase kind: `intra_gather`, `inter_exchange`, `intra_broadcast`,
+    /// `slab_load`, or `seam_halo`.
+    pub phase: String,
+    /// Node the phase ran on, for node-scoped phases (`None` for the
+    /// inter-node exchange and for fleet-wide slab/seam transfers).
+    pub node: Option<u64>,
+    /// 1-based outer iteration the exchange belongs to.
+    pub iteration: u64,
+    /// 0-based global SV-batch sequence number.
+    pub batch: u64,
+    /// Modeled start time of the phase, seconds from run start.
+    pub start_seconds: f64,
+    /// Modeled seconds the phase spans on the fleet timeline.
+    pub duration_seconds: f64,
+    /// Bytes the phase moved, every link crossing counted.
+    pub bytes: u64,
+}
+
 /// One convergence-trace sample (recorded by `run_to_rmse`).
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct ConvergencePoint {
@@ -195,6 +220,10 @@ pub trait ProfileSink: Send + Sync {
 
     /// One job-lifecycle event landed on the serve timeline.
     fn job(&self, _record: &JobRecord) {}
+
+    /// One cluster-exchange phase or slab transfer landed on the
+    /// modeled timeline.
+    fn exchange(&self, _record: &ExchangeRecord) {}
 }
 
 /// The no-op sink: profiling plumbing with zero recording cost, used
@@ -211,6 +240,7 @@ struct Recorded {
     convergence: Vec<ConvergencePoint>,
     faults: Vec<FaultRecord>,
     jobs: Vec<JobRecord>,
+    exchanges: Vec<ExchangeRecord>,
 }
 
 /// An in-memory sink recording every event, aggregated on demand into
@@ -262,6 +292,12 @@ impl RecordingSink {
         self.lock().jobs.clone()
     }
 
+    /// Recorded exchange-phase and slab-transfer events, in emission
+    /// order.
+    pub fn exchanges(&self) -> Vec<ExchangeRecord> {
+        self.lock().exchanges.clone()
+    }
+
     /// Aggregate everything recorded so far into a report.
     pub fn report(&self, name: &str) -> ProfileReport {
         let r = self.lock();
@@ -272,6 +308,7 @@ impl RecordingSink {
             r.convergence.clone(),
             r.faults.clone(),
             r.jobs.clone(),
+            r.exchanges.clone(),
         )
     }
 }
@@ -295,6 +332,10 @@ impl ProfileSink for RecordingSink {
 
     fn job(&self, record: &JobRecord) {
         self.lock().jobs.push(record.clone());
+    }
+
+    fn exchange(&self, record: &ExchangeRecord) {
+        self.lock().exchanges.push(record.clone());
     }
 }
 
@@ -393,6 +434,33 @@ mod tests {
     }
 
     #[test]
+    fn exchange_records_accumulate_and_reach_the_report() {
+        let s = RecordingSink::new();
+        s.exchange(&ExchangeRecord {
+            phase: "intra_gather".into(),
+            node: Some(0),
+            iteration: 1,
+            batch: 0,
+            start_seconds: 0.0,
+            duration_seconds: 1e-5,
+            bytes: 4096,
+        });
+        s.exchange(&ExchangeRecord {
+            phase: "inter_exchange".into(),
+            node: None,
+            iteration: 1,
+            batch: 0,
+            start_seconds: 1e-5,
+            duration_seconds: 5e-5,
+            bytes: 8192,
+        });
+        assert_eq!(s.exchanges().len(), 2);
+        let report = s.report("cluster");
+        assert_eq!(report.exchanges.len(), 2);
+        assert_eq!(report.totals.exchanges, 2);
+    }
+
+    #[test]
     fn poisoned_lock_recovers_instead_of_cascading() {
         use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -413,6 +481,7 @@ mod tests {
         assert!(s.convergence().is_empty());
         assert!(s.faults().is_empty());
         assert!(s.jobs().is_empty());
+        assert!(s.exchanges().is_empty());
         let report = s.report("after-poison");
         assert_eq!(report.kernels.len(), 2);
     }

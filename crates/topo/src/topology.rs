@@ -1,0 +1,281 @@
+//! Hierarchical all-gather pricing over a cluster.
+//!
+//! The flat fleet prices every post-batch exchange as one ring
+//! all-gather over all devices; across a cluster that ring is paced by
+//! its slowest (inter-node) hop, so its `N-1` steps all pay network
+//! latency and network bandwidth. The hierarchical reduce replaces it
+//! with three phases:
+//!
+//! 1. **Intra-node gather** — each node runs a ring all-gather over
+//!    its own devices on the fast intra-node link. Nodes run
+//!    concurrently, so the phase costs the *slowest node's* gather.
+//! 2. **Inter-node exchange** — node leaders ring-all-gather the
+//!    per-node aggregate payloads over the inter-node link: `n-1`
+//!    steps instead of `N-1`, with `d`-times-larger chunks.
+//! 3. **Intra-node broadcast** — each leader chains the foreign bytes
+//!    (everything its node did not produce) through its `d-1` peers as
+//!    a pipelined broadcast on the intra-node link. Nodes run
+//!    concurrently again.
+//!
+//! Latency-wise the win is structural (`d-1` fast hops + `n-1` slow
+//! hops + `d-1` fast hops, versus `nd-1` slow hops); byte-wise the
+//! inter-node link carries `(n-1)/n` of what the flat ring pushed
+//! through it, with the remainder moved on the fast link. Both
+//! degeneracies collapse exactly: one node prices bitwise-identically
+//! to the flat intra-node ring, one device per node to the flat
+//! inter-node ring.
+
+use crate::spec::ClusterSpec;
+use mbir_fleet::Interconnect;
+
+/// Seconds and link-crossing bytes of one phase (or one node's share
+/// of a concurrent phase).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseCost {
+    /// Modeled seconds.
+    pub seconds: f64,
+    /// Bytes crossing links, every crossing counted.
+    pub bytes: u64,
+}
+
+/// The priced hierarchical reduce for one batch's payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeCost {
+    /// Total wall seconds: gather span + inter exchange + broadcast
+    /// span (the phases are barriers on the bulk-synchronous
+    /// timeline).
+    pub seconds: f64,
+    /// Total bytes across all links and phases.
+    pub bytes: u64,
+    /// Phase 1 per node (concurrent; the span is the per-node max).
+    pub intra_gather: Vec<PhaseCost>,
+    /// Phase 2, over the node leaders.
+    pub inter_exchange: PhaseCost,
+    /// Phase 3 per node (concurrent; the span is the per-node max).
+    pub intra_broadcast: Vec<PhaseCost>,
+}
+
+impl ExchangeCost {
+    /// Wall seconds of the concurrent intra-node gather phase.
+    pub fn gather_span(&self) -> f64 {
+        self.intra_gather.iter().map(|p| p.seconds).fold(0.0, f64::max)
+    }
+
+    /// Wall seconds of the concurrent intra-node broadcast phase.
+    pub fn broadcast_span(&self) -> f64 {
+        self.intra_broadcast.iter().map(|p| p.seconds).fold(0.0, f64::max)
+    }
+}
+
+/// Prices cluster exchanges: the hierarchical reduce and the flat-ring
+/// baseline it replaces.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    spec: ClusterSpec,
+    intra: Interconnect,
+    inter: Interconnect,
+    flat: Interconnect,
+}
+
+impl Topology {
+    /// Build a pricer for `spec`.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let intra = Interconnect::new(spec.node.fleet.interconnect.clone());
+        let inter = Interconnect::new(spec.inter.clone());
+        let flat = Interconnect::new(spec.flatten().interconnect);
+        Topology { spec, intra, inter, flat }
+    }
+
+    /// The cluster this pricer reads its constants from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The intra-node link pricer (also prices slab streaming loads
+    /// and seam-halo transfers, which stay inside a node).
+    pub fn intra(&self) -> &Interconnect {
+        &self.intra
+    }
+
+    /// Price the hierarchical reduce for one batch, `payload_bytes[g]`
+    /// being what global device `g` must publish.
+    pub fn allgather(&self, payload_bytes: &[u64]) -> ExchangeCost {
+        let d = self.spec.devices_per_node();
+        let n = self.spec.nodes;
+        assert_eq!(payload_bytes.len(), n * d, "one payload per device");
+
+        // Phase 1: per-node ring all-gather on the intra link.
+        let mut intra_gather = Vec::with_capacity(n);
+        let mut node_totals = Vec::with_capacity(n);
+        for node in 0..n {
+            let slice = &payload_bytes[node * d..(node + 1) * d];
+            node_totals.push(slice.iter().sum::<u64>());
+            intra_gather.push(PhaseCost {
+                seconds: self.intra.allgather_seconds(slice),
+                bytes: self.intra.allgather_bytes(slice),
+            });
+        }
+
+        // Phase 2: leaders exchange per-node aggregates on the inter
+        // link.
+        let inter_exchange = PhaseCost {
+            seconds: self.inter.allgather_seconds(&node_totals),
+            bytes: self.inter.allgather_bytes(&node_totals),
+        };
+
+        // Phase 3: each leader chains the foreign bytes through its
+        // node. No foreign bytes (single node, or silent peers) means
+        // no broadcast at all — not even the latency.
+        let total: u64 = node_totals.iter().sum();
+        let intra_broadcast = node_totals
+            .iter()
+            .map(|&own| {
+                let foreign = total - own;
+                if foreign == 0 {
+                    PhaseCost::default()
+                } else {
+                    PhaseCost {
+                        seconds: self.intra.broadcast_seconds(foreign, d - 1),
+                        bytes: self.intra.broadcast_bytes(foreign, d - 1),
+                    }
+                }
+            })
+            .collect::<Vec<_>>();
+
+        let cost = ExchangeCost {
+            seconds: 0.0,
+            bytes: intra_gather.iter().map(|p| p.bytes).sum::<u64>()
+                + inter_exchange.bytes
+                + intra_broadcast.iter().map(|p| p.bytes).sum::<u64>(),
+            intra_gather,
+            inter_exchange,
+            intra_broadcast,
+        };
+        ExchangeCost {
+            seconds: cost.gather_span() + cost.inter_exchange.seconds + cost.broadcast_span(),
+            ..cost
+        }
+    }
+
+    /// The flat-ring baseline over the same payloads: one ring over
+    /// all devices, paced by the slowest hop (see
+    /// [`ClusterSpec::flatten`]).
+    pub fn flat_allgather(&self, payload_bytes: &[u64]) -> PhaseCost {
+        assert_eq!(payload_bytes.len(), self.spec.total_devices(), "one payload per device");
+        PhaseCost {
+            seconds: self.flat.allgather_seconds(payload_bytes),
+            bytes: self.flat.allgather_bytes(payload_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbir_fleet::InterconnectSpec;
+
+    fn payloads(cluster: &ClusterSpec, each: u64) -> Vec<u64> {
+        vec![each; cluster.total_devices()]
+    }
+
+    #[test]
+    fn single_node_degenerates_to_the_flat_intra_ring() {
+        let topo = Topology::new(ClusterSpec::titan_x_cluster(1, 8));
+        let p = payloads(topo.spec(), 50_000);
+        let hier = topo.allgather(&p);
+        let flat = topo.flat_allgather(&p);
+        assert_eq!(hier.seconds, flat.seconds, "one node: gather IS the flat ring");
+        assert_eq!(hier.bytes, flat.bytes);
+        assert_eq!(hier.inter_exchange, PhaseCost::default());
+        assert_eq!(hier.broadcast_span(), 0.0);
+    }
+
+    #[test]
+    fn single_device_nodes_degenerate_to_the_flat_inter_ring() {
+        let topo = Topology::new(ClusterSpec::titan_x_cluster(8, 1));
+        let p = payloads(topo.spec(), 50_000);
+        let hier = topo.allgather(&p);
+        let flat = topo.flat_allgather(&p);
+        assert_eq!(hier.seconds, flat.seconds, "1 device/node: leaders ARE the ring");
+        assert_eq!(hier.bytes, flat.bytes);
+        assert_eq!(hier.gather_span(), 0.0);
+        assert_eq!(hier.broadcast_span(), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_beats_the_flat_ring_on_real_clusters() {
+        // The acceptance shape: up to 64 devices across 8 nodes with
+        // per-SV-scale payloads. The win must hold at 16+ devices.
+        for (nodes, dpn) in [(2, 8), (4, 8), (8, 8), (4, 4), (2, 2)] {
+            let topo = Topology::new(ClusterSpec::titan_x_cluster(nodes, dpn));
+            let p = payloads(topo.spec(), 50_000);
+            let hier = topo.allgather(&p);
+            let flat = topo.flat_allgather(&p);
+            assert!(
+                hier.seconds < flat.seconds,
+                "{nodes}x{dpn}: hierarchical {} !< flat {}",
+                hier.seconds,
+                flat.seconds
+            );
+        }
+    }
+
+    #[test]
+    fn phase_spans_sum_to_the_total() {
+        let topo = Topology::new(ClusterSpec::titan_x_cluster(4, 4));
+        let p: Vec<u64> = (0..16).map(|g| 10_000 + 1_000 * g).collect();
+        let cost = topo.allgather(&p);
+        let sum = cost.gather_span() + cost.inter_exchange.seconds + cost.broadcast_span();
+        assert_eq!(cost.seconds, sum);
+        let bytes: u64 = cost.intra_gather.iter().map(|x| x.bytes).sum::<u64>()
+            + cost.inter_exchange.bytes
+            + cost.intra_broadcast.iter().map(|x| x.bytes).sum::<u64>();
+        assert_eq!(cost.bytes, bytes);
+    }
+
+    #[test]
+    fn inter_link_carries_fewer_bytes_than_the_flat_ring() {
+        // The structural byte win: the flat ring pushes every payload
+        // across N-1 network-paced links; the hierarchical inter phase
+        // pushes node aggregates across n-1.
+        let topo = Topology::new(ClusterSpec::titan_x_cluster(8, 8));
+        let p = payloads(topo.spec(), 65_536);
+        let hier = topo.allgather(&p);
+        let flat = topo.flat_allgather(&p);
+        assert!(hier.inter_exchange.bytes < flat.bytes);
+    }
+
+    #[test]
+    fn silent_devices_cost_no_broadcast() {
+        // All payloads on node 0: the other nodes receive everything,
+        // node 0's own broadcast covers only foreign bytes — zero.
+        let topo = Topology::new(ClusterSpec::titan_x_cluster(2, 2));
+        let cost = topo.allgather(&[1 << 20, 1 << 20, 0, 0]);
+        assert_eq!(cost.intra_broadcast[0], PhaseCost::default());
+        assert!(cost.intra_broadcast[1].seconds > 0.0);
+    }
+
+    #[test]
+    fn per_node_gather_is_priced_on_each_nodes_own_payloads() {
+        let topo = Topology::new(ClusterSpec::titan_x_cluster(2, 2));
+        let cost = topo.allgather(&[1 << 22, 1 << 22, 16, 16]);
+        assert!(cost.intra_gather[0].seconds > cost.intra_gather[1].seconds);
+        assert_eq!(cost.gather_span(), cost.intra_gather[0].seconds);
+    }
+
+    #[test]
+    fn heterogeneous_links_price_on_their_own_constants() {
+        // Make the "intra" link slower than the inter link: the model
+        // must keep pricing each phase on its own link (no hidden
+        // assumption that intra is faster), even though such a cluster
+        // gains nothing from hierarchy.
+        let mut spec = ClusterSpec::titan_x_cluster(2, 2);
+        spec.node.fleet.interconnect =
+            InterconnectSpec { name: "slow intra".into(), link_gbps: 1.0, latency_us: 50.0 };
+        let topo = Topology::new(spec);
+        let cost = topo.allgather(&[1 << 20; 4]);
+        let fast_intra = Topology::new(ClusterSpec::titan_x_cluster(2, 2)).allgather(&[1 << 20; 4]);
+        assert!(cost.gather_span() > fast_intra.gather_span());
+        assert_eq!(cost.inter_exchange, fast_intra.inter_exchange);
+    }
+}
