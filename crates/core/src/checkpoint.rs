@@ -23,7 +23,7 @@
 use crate::error::MbirError;
 use ct_core::geometry::ImageGrid;
 use mbir::sequential::IcdStats;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"MBIRCKP1";
@@ -70,6 +70,19 @@ impl Checkpoint {
     /// the write never leaves a truncated checkpoint behind.
     pub fn save(&self, path: &Path) -> Result<(), MbirError> {
         let tmp = path.with_extension("tmp");
+        let buf = self.to_bytes();
+        let mut f = std::fs::File::create(&tmp).map_err(|e| MbirError::io(&tmp, e))?;
+        f.write_all(&buf).map_err(|e| MbirError::io(&tmp, e))?;
+        f.sync_all().map_err(|e| MbirError::io(&tmp, e))?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(|e| MbirError::io(path, e))?;
+        Ok(())
+    }
+
+    /// Serialize to the flat `MBIRCKP1` byte layout ([`Checkpoint::save`]
+    /// writes exactly these bytes; [`Checkpoint::from_bytes`] inverts
+    /// them).
+    pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf: Vec<u8> = Vec::with_capacity(
             MAGIC.len()
                 + 12 * 8
@@ -104,49 +117,77 @@ impl Checkpoint {
         for &v in &self.update_amount {
             buf.extend_from_slice(&v.to_le_bytes());
         }
-        let mut f = std::fs::File::create(&tmp).map_err(|e| MbirError::io(&tmp, e))?;
-        f.write_all(&buf).map_err(|e| MbirError::io(&tmp, e))?;
-        f.sync_all().map_err(|e| MbirError::io(&tmp, e))?;
-        drop(f);
-        std::fs::rename(&tmp, path).map_err(|e| MbirError::io(path, e))?;
-        Ok(())
+        buf
     }
 
     /// Read and validate a checkpoint from `path`.
     pub fn load(path: &Path) -> Result<Checkpoint, MbirError> {
-        let mut f = std::fs::File::open(path).map_err(|e| MbirError::io(path, e))?;
-        let mut magic = [0u8; 8];
-        read_exact(&mut f, &mut magic, path)?;
-        if &magic != MAGIC {
-            return Err(MbirError::Checkpoint(format!(
-                "{}: bad magic (not a checkpoint file)",
-                path.display()
-            )));
+        let bytes = std::fs::read(path).map_err(|e| MbirError::io(path, e))?;
+        Self::from_bytes(&bytes, &path.display().to_string())
+    }
+
+    /// Parse and validate a checkpoint from in-memory bytes. `source`
+    /// names the origin (a path, "fuzz input", ...) in error messages.
+    ///
+    /// Every dimension is validated against both [`MAX_ELEMS`] *and*
+    /// the actual byte count on hand before any payload allocation:
+    /// a hostile header claiming a huge (but under-cap) image over a
+    /// 100-byte file must fail on the length check, not allocate a
+    /// gigabyte and then discover EOF.
+    pub fn from_bytes(bytes: &[u8], source: &str) -> Result<Checkpoint, MbirError> {
+        let corrupt = |msg: &str| MbirError::Checkpoint(format!("{source}: {msg}"));
+        if bytes.len() < MAGIC.len() {
+            return Err(corrupt("truncated"));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(corrupt("bad magic (not a checkpoint file)"));
         }
         let mut header = [0u64; 14];
+        let mut pos = MAGIC.len();
         for h in &mut header {
-            *h = read_u64(&mut f, path)?;
+            let end = pos + 8;
+            if end > bytes.len() {
+                return Err(corrupt("truncated"));
+            }
+            *h = u64::from_le_bytes(bytes[pos..end].try_into().unwrap());
+            pos = end;
         }
         let [nx, ny, pixel_bits, num_views, num_channels, iter, batch_seq, updates, skipped, abs_delta_bits, seconds_bits, seed, devices, sv_count] =
             header;
-        let voxels = checked_elems(nx, ny, "image", path)?;
-        let samples = checked_elems(num_views, num_channels, "error sinogram", path)?;
+        // The writer stores `f32::to_bits()` zero-extended to u64; a
+        // header with high bits set in this field is not something we
+        // ever wrote, and silently truncating it would break the
+        // bitwise round-trip contract (`to_bytes` re-emits only the
+        // low 32 bits).
+        if pixel_bits > u64::from(u32::MAX) {
+            return Err(corrupt(&format!(
+                "pixel size field {pixel_bits:#x} is not a valid f32 bit pattern"
+            )));
+        }
+        let voxels = checked_elems(nx, ny, "image", source)?;
+        let samples = checked_elems(num_views, num_channels, "error sinogram", source)?;
         if sv_count > MAX_ELEMS {
-            return Err(MbirError::Checkpoint(format!(
-                "{}: implausible SV count {sv_count}",
-                path.display()
+            return Err(corrupt(&format!("implausible SV count {sv_count}")));
+        }
+        // MAX_ELEMS caps each term well below u64 overflow, so this
+        // sum is exact; compare it against what is actually on hand
+        // before touching the allocator.
+        let payload = 4 * (voxels as u64 + samples as u64) + 8 * sv_count;
+        let expected = pos as u64 + payload;
+        if (bytes.len() as u64) < expected {
+            return Err(corrupt(&format!(
+                "truncated: header promises {expected} bytes, file has {}",
+                bytes.len()
             )));
         }
-        let image = read_f32_vec(&mut f, voxels, path)?;
-        let error = read_f32_vec(&mut f, samples, path)?;
-        let update_amount = read_f64_vec(&mut f, sv_count as usize, path)?;
-        let mut trailing = [0u8; 1];
-        if f.read(&mut trailing).map_err(|e| MbirError::io(path, e))? != 0 {
-            return Err(MbirError::Checkpoint(format!(
-                "{}: trailing bytes after payload",
-                path.display()
-            )));
+        if bytes.len() as u64 > expected {
+            return Err(corrupt("trailing bytes after payload"));
         }
+        let image = f32_vec(&bytes[pos..pos + 4 * voxels]);
+        pos += 4 * voxels;
+        let error = f32_vec(&bytes[pos..pos + 4 * samples]);
+        pos += 4 * samples;
+        let update_amount = f64_vec(&bytes[pos..pos + 8 * sv_count as usize]);
         Ok(Checkpoint {
             grid: ImageGrid {
                 nx: nx as usize,
@@ -168,44 +209,24 @@ impl Checkpoint {
     }
 }
 
-fn checked_elems(a: u64, b: u64, what: &str, path: &Path) -> Result<usize, MbirError> {
+fn checked_elems(a: u64, b: u64, what: &str, source: &str) -> Result<usize, MbirError> {
     match a.checked_mul(b) {
         Some(n) if n > 0 && n <= MAX_ELEMS => Ok(n as usize),
-        _ => Err(MbirError::Checkpoint(format!(
-            "{}: implausible {what} dimensions {a} x {b}",
-            path.display()
-        ))),
+        _ => {
+            Err(MbirError::Checkpoint(format!("{source}: implausible {what} dimensions {a} x {b}")))
+        }
     }
 }
 
-fn read_exact(f: &mut std::fs::File, buf: &mut [u8], path: &Path) -> Result<(), MbirError> {
-    f.read_exact(buf).map_err(|e| match e.kind() {
-        std::io::ErrorKind::UnexpectedEof => {
-            MbirError::Checkpoint(format!("{}: truncated", path.display()))
-        }
-        _ => MbirError::io(path, e),
-    })
+fn f32_vec(bytes: &[u8]) -> Vec<f32> {
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
 }
 
-fn read_u64(f: &mut std::fs::File, path: &Path) -> Result<u64, MbirError> {
-    let mut b = [0u8; 8];
-    read_exact(f, &mut b, path)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn read_f32_vec(f: &mut std::fs::File, n: usize, path: &Path) -> Result<Vec<f32>, MbirError> {
-    let mut bytes = vec![0u8; n * 4];
-    read_exact(f, &mut bytes, path)?;
-    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
-}
-
-fn read_f64_vec(f: &mut std::fs::File, n: usize, path: &Path) -> Result<Vec<f64>, MbirError> {
-    let mut bytes = vec![0u8; n * 8];
-    read_exact(f, &mut bytes, path)?;
-    Ok(bytes
+fn f64_vec(bytes: &[u8]) -> Vec<f64> {
+    bytes
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
-        .collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -276,5 +297,51 @@ mod tests {
         assert!(matches!(Checkpoint::load(&missing), Err(MbirError::Io { .. })));
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bytes_round_trip_matches_save_load() {
+        let ckp = sample();
+        let bytes = ckp.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes, "memory").expect("parses");
+        assert_eq!(ckp, back);
+    }
+
+    #[test]
+    fn huge_header_over_tiny_payload_fails_on_length_not_allocation() {
+        // Regression: a header promising a large-but-under-cap image
+        // over a near-empty file used to allocate the full payload
+        // buffer (up to 1 GiB) before read_exact noticed EOF. The
+        // length check must fire first.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(MAGIC);
+        let header: [u64; 14] = [
+            16384, 16384, // nx x ny = 2^28 = MAX_ELEMS exactly (under the cap)
+            0x3f800000, 2, 2, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+        ];
+        for v in header {
+            evil.extend_from_slice(&v.to_le_bytes());
+        }
+        let err = Checkpoint::from_bytes(&evil, "evil").expect_err("must refuse");
+        let msg = format!("{err:?}");
+        assert!(msg.contains("header promises"), "{msg}");
+    }
+
+    #[test]
+    fn pixel_size_field_with_high_bits_is_rejected() {
+        // Regression (found by the checkpoint fuzz target's bitwise
+        // round-trip property): the writer zero-extends
+        // `f32::to_bits()` into this u64 field, but the loader used to
+        // truncate with `as u32` — accepting headers we never wrote
+        // and breaking `from_bytes(b).to_bytes() == b`.
+        let good = sample().to_bytes();
+        let mut evil = good.clone();
+        // pixel_size is header word 2: magic(8) + 2*8 = offset 24,
+        // high half at 28..32.
+        evil[28..32].copy_from_slice(&0xdead_beefu32.to_le_bytes());
+        let err = Checkpoint::from_bytes(&evil, "evil").expect_err("must refuse");
+        assert!(format!("{err:?}").contains("not a valid f32 bit pattern"));
+        // And the unmodified bytes still parse.
+        Checkpoint::from_bytes(&good, "good").expect("canonical bytes parse");
     }
 }

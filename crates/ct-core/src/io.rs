@@ -6,7 +6,7 @@
 use crate::geometry::ImageGrid;
 use crate::image::Image;
 use crate::sinogram::Sinogram;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// Refuse PGM payloads beyond this many pixels — far above any grid
@@ -53,7 +53,17 @@ pub fn write_pgm(path: &Path, img: &Image, lo: f32, hi: f32) -> std::io::Result<
 /// [`std::io::ErrorKind::InvalidData`] — never a panic or an OOM.
 pub fn read_pgm(path: &Path, pixel_size: f32, lo: f32, hi: f32) -> std::io::Result<Image> {
     let f = std::fs::File::open(path)?;
-    let mut r = BufReader::new(f);
+    read_pgm_from(&mut BufReader::new(f), pixel_size, lo, hi)
+}
+
+/// [`read_pgm`] over any reader — the path-less entrypoint the fuzz
+/// harness drives with in-memory bytes.
+pub fn read_pgm_from<R: BufRead>(
+    r: &mut R,
+    pixel_size: f32,
+    lo: f32,
+    hi: f32,
+) -> std::io::Result<Image> {
     let mut header = String::new();
     // Magic, dimensions, maxval (no comment support — we wrote it).
     r.read_line(&mut header)?;
@@ -65,6 +75,12 @@ pub fn read_pgm(path: &Path, pixel_size: f32, lo: f32, hi: f32) -> std::io::Resu
     let mut it = dims.split_whitespace();
     let nx: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| invalid("bad dims"))?;
     let ny: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| invalid("bad dims"))?;
+    // A dims line with anything after `nx ny` was written by some
+    // other tool (or an attacker): refuse it rather than guessing
+    // which two tokens were meant.
+    if let Some(extra) = it.next() {
+        return Err(invalid(format!("trailing token `{extra}` after PGM dimensions")));
+    }
     let pixels = match nx.checked_mul(ny) {
         Some(n) if n > 0 && n <= MAX_PGM_PIXELS => n as usize,
         _ => return Err(invalid(format!("implausible PGM dimensions {nx} x {ny}"))),
@@ -96,35 +112,56 @@ pub fn write_sinogram_csv(path: &Path, s: &Sinogram) -> std::io::Result<()> {
 }
 
 /// Read a sinogram from CSV.
+///
+/// Non-finite tokens (`NaN`, `inf`, `-inf` — which `f32::from_str`
+/// happily accepts) are rejected *here*, with the line and column,
+/// mirroring [`write_pgm`]'s write-side refusal: letting them in would
+/// only fail hundreds of iterations later when the reconstruction
+/// tries to window, with no hint of which input cell was poisoned.
 pub fn read_sinogram_csv(path: &Path) -> std::io::Result<Sinogram> {
     let f = std::fs::File::open(path)?;
-    let r = BufReader::new(f);
+    read_sinogram_csv_from(BufReader::new(f))
+}
+
+/// [`read_sinogram_csv`] over any reader — the path-less entrypoint
+/// the fuzz harness drives with in-memory bytes.
+pub fn read_sinogram_csv_from<R: BufRead>(r: R) -> std::io::Result<Sinogram> {
     let mut data = Vec::new();
     let mut channels = None;
     let mut views = 0usize;
-    for line in r.lines() {
+    for (lineno, line) in r.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let row: Result<Vec<f32>, _> = line.split(',').map(|t| t.trim().parse::<f32>()).collect();
-        let row =
-            row.map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut row = Vec::new();
+        for (col, token) in line.split(',').enumerate() {
+            let token = token.trim();
+            let x: f32 = token.parse().map_err(|_| {
+                invalid(format!(
+                    "line {}, column {}: cannot parse `{token}` as a number",
+                    lineno + 1,
+                    col + 1
+                ))
+            })?;
+            if !x.is_finite() {
+                return Err(invalid(format!(
+                    "line {}, column {}: non-finite value `{token}`",
+                    lineno + 1,
+                    col + 1
+                )));
+            }
+            row.push(x);
+        }
         match channels {
             None => channels = Some(row.len()),
-            Some(c) if c != row.len() => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "ragged sinogram rows",
-                ))
-            }
+            Some(c) if c != row.len() => return Err(invalid("ragged sinogram rows")),
             _ => {}
         }
         views += 1;
         data.extend(row);
     }
-    let channels = channels
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty sinogram"))?;
+    let channels = channels.ok_or_else(|| invalid("empty sinogram"))?;
     Ok(Sinogram::from_vec(views, channels, data))
 }
 
@@ -228,6 +265,10 @@ mod tests {
             ("maxval16.pgm", b"P5\n2 2\n16\n\x00\x01\x02\x03"),
             ("maxval65535.pgm", b"P5\n2 2\n65535\n\x00\x01\x02\x03"),
             ("nonnumeric.pgm", b"P5\nab cd\n255\n"),
+            // Trailing tokens after `nx ny` were silently dropped
+            // before the hardening pass; now they are refused.
+            ("trailing-dims.pgm", b"P5\n2 2 999\n255\n\x00\x01\x02\x03"),
+            ("quad-dims.pgm", b"P5\n2 2 2 2\n255\n\x00\x01\x02\x03"),
         ];
         for (name, bytes) in cases {
             let path = tmp(name);
@@ -235,6 +276,35 @@ mod tests {
             let err = read_pgm(&path, 1.0, 0.0, 1.0).expect_err(name);
             assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{name}");
         }
+    }
+
+    #[test]
+    fn non_finite_csv_tokens_are_rejected_at_parse_time() {
+        // Regression: `"NaN"`/`"inf"` parse successfully as f32, so
+        // they used to flow straight into the reconstruction and only
+        // explode much later at write_pgm's non-finite refusal. They
+        // must be a located error at ingest.
+        let cases: &[(&str, &str, &str)] = &[
+            ("nan.csv", "1,2\nNaN,4\n", "line 2, column 1"),
+            ("inf.csv", "1,inf\n3,4\n", "line 1, column 2"),
+            ("neginf.csv", "1,2\n3,-inf\n", "line 2, column 2"),
+            ("infinity.csv", "Infinity,2\n", "line 1, column 1"),
+            // The overflow spelling: a finite-looking literal that
+            // f32::from_str rounds to infinity.
+            ("overflow.csv", "1e40,2\n", "line 1, column 1"),
+        ];
+        for (name, text, where_) in cases {
+            let path = tmp(name);
+            std::fs::write(&path, text).unwrap();
+            let err = read_sinogram_csv(&path).expect_err(name);
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{name}");
+            assert!(err.to_string().contains(where_), "{name}: {err} lacks `{where_}`");
+        }
+        // The blank-line skip must not desynchronize the reported line.
+        let path = tmp("blank-then-nan.csv");
+        std::fs::write(&path, "1,2\n\nNaN,4\n").unwrap();
+        let err = read_sinogram_csv(&path).unwrap_err();
+        assert!(err.to_string().contains("line 3, column 1"), "{err}");
     }
 
     #[test]

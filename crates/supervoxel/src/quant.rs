@@ -43,11 +43,15 @@ impl QuantizedColumn {
     /// dequantization yields exactly 0.0 rather than NaN), and every
     /// code is explicitly clamped to `[0, levels]` so a value above
     /// `scale` — or a NaN, which maps to 0 — cannot land outside the
-    /// code range.
+    /// code range. A scale large enough that `levels * scale`
+    /// overflows f32 is degenerate too: the canonical dequantization
+    /// multiplies before dividing (the order the SIMD paths pin
+    /// bitwise), so such a scale would decode top codes to infinity.
     pub fn from_values(values: &[f32], scale: f32, bits: u32) -> QuantizedColumn {
         assert!((1..=8).contains(&bits));
         let levels = ((1u32 << bits) - 1) as f32;
-        if !(scale.is_finite() && scale > 0.0) {
+        let overflows = (scale as f64) * (levels as f64) > f32::MAX as f64;
+        if !(scale.is_finite() && scale > 0.0) || overflows {
             return QuantizedColumn { scale: 0.0, levels, codes: vec![0u8; values.len()] };
         }
         let codes = values
@@ -170,6 +174,27 @@ mod tests {
             assert_eq!(q.scale, 0.0);
             assert_eq!(q.dequantize_all(), vec![0.0; 3], "scale {scale}");
         }
+    }
+
+    #[test]
+    fn overflowing_scale_is_degenerate_not_infinite() {
+        // Regression (found by fuzz_quantizer): a finite scale near
+        // f32::MAX made the canonical dequantization `code * scale /
+        // levels` overflow to inf at the multiply. Such scales now
+        // join the degenerate bucket instead of decoding to infinity.
+        for bits in [1u32, 3, 8] {
+            let levels = ((1u32 << bits) - 1) as f32;
+            let scale = 1.701_437_6e38_f32; // > f32::MAX / levels for bits >= 2
+            let q = QuantizedColumn::from_values(&[scale, scale / 2.0], scale, bits);
+            let deq = q.dequantize_all();
+            assert!(deq.iter().all(|v| v.is_finite()), "bits {bits}: {deq:?}");
+            if (scale as f64) * (levels as f64) > f32::MAX as f64 {
+                assert_eq!(q.scale, 0.0, "bits {bits}");
+            }
+        }
+        // A scale that fits stays exact: top code decodes finite.
+        let q = QuantizedColumn::from_values(&[1.0], 1.0, 8);
+        assert!(q.dequant(0).is_finite() && q.scale == 1.0);
     }
 
     #[test]

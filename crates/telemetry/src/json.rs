@@ -10,15 +10,67 @@
 
 use serde::json::Value;
 
+/// Maximum container nesting [`parse`] accepts. Every recursive
+/// descent into an object or array counts one level; hostile input
+/// like `[[[[…` otherwise recurses once per byte and overflows the
+/// stack — an abort, not an `Err`. 128 levels is an order of magnitude
+/// beyond the deepest document any producer in this workspace writes
+/// (profiles nest 4 levels).
+pub const MAX_DEPTH: usize = 128;
+
+/// Why a document failed to parse. Carries the byte offset where the
+/// parser stopped; [`std::fmt::Display`] renders the one-line message
+/// the CLI prints, and `From<JsonError> for String` keeps the
+/// string-error callers (spec parsers, tests) source-compatible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Containers nested deeper than [`MAX_DEPTH`]: almost certainly
+    /// hostile or corrupt input, refused before the recursion can
+    /// touch the stack guard page.
+    TooDeep {
+        /// The limit that was exceeded ([`MAX_DEPTH`]).
+        limit: usize,
+        /// Byte offset of the opening bracket one past the limit.
+        at: usize,
+    },
+    /// Any other syntax error (unterminated string, bad escape, stray
+    /// token, trailing data).
+    Syntax {
+        /// What the parser expected or rejected.
+        msg: String,
+        /// Byte offset where it happened.
+        at: usize,
+    },
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::TooDeep { limit, at } => {
+                write!(f, "nesting deeper than {limit} levels at byte {at}")
+            }
+            JsonError::Syntax { msg, at } => write!(f, "{msg} at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<JsonError> for String {
+    fn from(e: JsonError) -> String {
+        e.to_string()
+    }
+}
+
 /// Parse a JSON document. Errors carry a byte offset and message.
-pub fn parse(text: &str) -> Result<Value, String> {
+pub fn parse(text: &str) -> Result<Value, JsonError> {
     let bytes = text.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser { bytes, pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
     if p.pos != bytes.len() {
-        return Err(format!("trailing data at byte {}", p.pos));
+        return Err(JsonError::Syntax { msg: "trailing data".into(), at: p.pos });
     }
     Ok(v)
 }
@@ -26,11 +78,28 @@ pub fn parse(text: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
-    fn err<T>(&self, msg: &str) -> Result<T, String> {
-        Err(format!("{msg} at byte {}", self.pos))
+    fn err<T>(&self, msg: &str) -> Result<T, JsonError> {
+        Err(JsonError::Syntax { msg: msg.into(), at: self.pos })
+    }
+
+    /// Count one container level on entry to an object or array; the
+    /// matching [`Parser::descend_end`] runs after its closing
+    /// bracket. Refusing *before* recursing keeps the stack bounded by
+    /// `MAX_DEPTH` frames no matter what the input holds.
+    fn descend(&mut self) -> Result<(), JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(JsonError::TooDeep { limit: MAX_DEPTH, at: self.pos });
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn descend_end(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> Option<u8> {
@@ -43,7 +112,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), String> {
+    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
         if self.peek() == Some(c) {
             self.pos += 1;
             Ok(())
@@ -52,7 +121,7 @@ impl Parser<'_> {
         }
     }
 
-    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, JsonError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
@@ -61,7 +130,7 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, String> {
+    fn value(&mut self) -> Result<Value, JsonError> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
@@ -74,7 +143,14 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<Value, String> {
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.descend()?;
+        let v = self.object_inner();
+        self.descend_end();
+        v
+    }
+
+    fn object_inner(&mut self) -> Result<Value, JsonError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -102,7 +178,14 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<Value, String> {
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.descend()?;
+        let v = self.array_inner();
+        self.descend_end();
+        v
+    }
+
+    fn array_inner(&mut self) -> Result<Value, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -125,7 +208,7 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut s = String::new();
         loop {
@@ -154,7 +237,10 @@ impl Parser<'_> {
                             let hex = std::str::from_utf8(hex)
                                 .ok()
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                                .ok_or(JsonError::Syntax {
+                                    msg: "bad \\u escape".into(),
+                                    at: self.pos,
+                                })?;
                             // Surrogate pairs are not needed by any
                             // producer in this workspace; map lone
                             // surrogates to the replacement character.
@@ -170,12 +256,14 @@ impl Parser<'_> {
                     // surface as a parse error, never a panic — this
                     // path is reachable from any profile JSON on disk.
                     let rest = &self.bytes[self.pos..];
-                    let s_rest =
-                        std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
-                    let c = s_rest
-                        .chars()
-                        .next()
-                        .ok_or_else(|| format!("unterminated string at byte {}", self.pos))?;
+                    let s_rest = std::str::from_utf8(rest).map_err(|_| JsonError::Syntax {
+                        msg: "invalid UTF-8".into(),
+                        at: self.pos,
+                    })?;
+                    let c = s_rest.chars().next().ok_or(JsonError::Syntax {
+                        msg: "unterminated string".into(),
+                        at: self.pos,
+                    })?;
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -183,7 +271,7 @@ impl Parser<'_> {
         }
     }
 
-    fn number(&mut self) -> Result<Value, String> {
+    fn number(&mut self) -> Result<Value, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -220,7 +308,7 @@ impl Parser<'_> {
         }
         text.parse::<f64>()
             .map(Value::F64)
-            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+            .map_err(|_| JsonError::Syntax { msg: format!("bad number '{text}'"), at: start })
     }
 }
 
@@ -388,6 +476,48 @@ mod tests {
         assert!(parse(r#"{"name": "ab"#).is_err());
         assert!(parse("\"ab\\").is_err());
         assert!(parse("\"ab\\u00").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        // Regression: before the depth guard, each of these recursed
+        // once per byte and aborted the process on the stack guard
+        // page. They must come back as a typed error.
+        for open in ["[", "{\"k\":"] {
+            let deep = open.repeat(100_000);
+            match parse(&deep) {
+                Err(JsonError::TooDeep { limit, .. }) => assert_eq!(limit, MAX_DEPTH),
+                other => panic!("expected TooDeep, got {other:?}"),
+            }
+        }
+        // Mixed nesting counts the same budget.
+        let mixed = "[{\"a\":".repeat(60_000);
+        assert!(matches!(parse(&mixed), Err(JsonError::TooDeep { .. })));
+    }
+
+    #[test]
+    fn nesting_at_the_limit_parses_and_one_past_does_not() {
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok(), "exactly MAX_DEPTH levels must parse");
+        let too_deep = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        match parse(&too_deep) {
+            Err(JsonError::TooDeep { limit, at }) => {
+                assert_eq!(limit, MAX_DEPTH);
+                assert_eq!(at, MAX_DEPTH, "offset names the bracket past the limit");
+            }
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        // The error formats as the one-liner the CLI prints.
+        let msg: String = parse(&too_deep).unwrap_err().into();
+        assert!(msg.contains("nesting deeper than"), "{msg}");
+    }
+
+    #[test]
+    fn depth_resets_between_siblings() {
+        // Wide-but-shallow documents must not accumulate depth: only
+        // the *current* nesting counts.
+        let wide = format!("[{}0]", "[0],".repeat(10_000));
+        assert!(parse(&wide).is_ok());
     }
 
     #[test]

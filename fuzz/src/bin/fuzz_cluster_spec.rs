@@ -1,0 +1,26 @@
+//! Fuzz the spec deserializers layered on the telemetry JSON parser:
+//! `mbir_fleet::{FleetSpec, InterconnectSpec}` and
+//! `mbir_topo::ClusterSpec`. Any value tree the parser yields must be
+//! safe to feed each `from_json`, and an accepted fleet must survive
+//! the `carve` paths the scheduler uses.
+
+use mbir_fleet::{FleetSpec, InterconnectSpec};
+use mbir_topo::ClusterSpec;
+
+mbir_fuzz::fuzz_target!(|data: &[u8]| {
+    let Ok(text) = std::str::from_utf8(data) else { return };
+    let Ok(v) = mbir_telemetry::json::parse(text) else { return };
+    let _ = InterconnectSpec::from_json(&v);
+    if let Ok(fleet) = FleetSpec::from_json(&v) {
+        assert!(fleet.devices >= 1, "carve target: empty fleet accepted");
+        // Every lease size the scheduler could ask for, plus the
+        // over-ask and zero-ask error paths.
+        for lease in 0..=fleet.devices.min(64) + 1 {
+            let _ = fleet.carve(lease);
+        }
+    }
+    if let Ok(cluster) = ClusterSpec::from_json(&v) {
+        assert!(cluster.nodes >= 1 && cluster.slabs >= 1);
+        assert!(cluster.node.fleet.devices >= 1);
+    }
+});

@@ -1,0 +1,29 @@
+//! Fuzz `mbir_fleet::FaultSpec::parse` — the compact CLI fault
+//! grammar (`fail:1@3,slow:0@2..5x2,link:4..6x2,backoff:0.25,random:7`).
+//!
+//! The first input byte selects the fleet width (1..=8 devices); the
+//! rest is the schedule text.
+
+use mbir_fleet::FaultSpec;
+
+mbir_fuzz::fuzz_target!(|data: &[u8]| {
+    let Some((&width, rest)) = data.split_first() else { return };
+    let devices = 1 + (width as usize) % 8;
+    let Ok(text) = std::str::from_utf8(rest) else { return };
+    if let Ok(spec) = FaultSpec::parse(text, devices) {
+        // Parse promises a validated schedule.
+        spec.validate(devices).expect("parsed schedules validate");
+        assert!(spec.backoff_seconds.is_finite() && spec.backoff_seconds >= 0.0);
+        // The lookup surface the driver hits every batch must hold up
+        // over arbitrary batch numbers, including u64::MAX.
+        for batch in [0u64, 1, 7, u64::MAX - 1, u64::MAX] {
+            let _ = spec.failures_at(batch);
+            for device in 0..devices {
+                let s = spec.slowdown(device, batch);
+                assert!(s >= 1.0 && s.is_finite(), "slowdown {s}");
+            }
+            let l = spec.link_factor(batch);
+            assert!(l >= 1.0 && l.is_finite(), "link factor {l}");
+        }
+    }
+});

@@ -1,0 +1,16 @@
+//! Fuzz `ct_core::io::read_pgm_from` — the binary PGM header parser
+//! hardened in PR 5 (checked dimension math, maxval gate, and now the
+//! trailing-dims-token rejection).
+
+mbir_fuzz::fuzz_target!(|data: &[u8]| {
+    let mut reader = data;
+    if let Ok(img) = ct_core::io::read_pgm_from(&mut reader, 1.0, 0.0, 1.0) {
+        // Anything accepted must be a plausible image: non-empty,
+        // dims consistent with the payload, every pixel inside the
+        // requested window (u8 codes cannot leave [lo, hi]).
+        let grid = img.grid();
+        assert!(grid.nx > 0 && grid.ny > 0);
+        assert_eq!(img.data().len(), grid.nx * grid.ny);
+        assert!(img.data().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+});

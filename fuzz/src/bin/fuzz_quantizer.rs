@@ -1,0 +1,46 @@
+//! Property target for `supervoxel::QuantizedColumn` — the u8 A-matrix
+//! quantizer behind the paper's Table 2 byte modes. Input layout:
+//! byte 0 → bits (1..=8), bytes 1..5 → scale (f32 LE), rest → values.
+
+use supervoxel::QuantizedColumn;
+
+mbir_fuzz::fuzz_target!(|data: &[u8]| {
+    if data.len() < 5 {
+        return;
+    }
+    let bits = 1 + (data[0] as u32) % 8;
+    let scale = f32::from_le_bytes([data[1], data[2], data[3], data[4]]);
+    let values: Vec<f32> =
+        data[5..].chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+
+    let q = QuantizedColumn::from_values(&values, scale, bits);
+    let levels = ((1u32 << bits) - 1) as f32;
+    assert_eq!(q.codes.len(), values.len());
+    assert_eq!(q.levels, levels);
+    assert!(q.codes.iter().all(|&c| (c as f32) <= levels), "code above level count");
+
+    // Dequantization must never produce NaN/inf, whatever the inputs
+    // were — a degenerate scale stores 0.0 and decodes to exact zeros.
+    let deq = q.dequantize_all();
+    assert_eq!(deq.len(), values.len());
+    for (k, &d) in deq.iter().enumerate() {
+        assert!(d.is_finite(), "dequant({k}) = {d} not finite");
+        assert_eq!(d, q.dequant(k));
+    }
+    assert!(q.error_bound().is_finite() || q.scale != 0.0);
+
+    // The paper's accuracy contract: for in-range values under a
+    // well-behaved (non-degenerate) scale, round-trip error is
+    // bounded by half an LSB. `q.scale > 0.0` is the quantizer's own
+    // verdict that the scale was usable — finite, positive, and small
+    // enough that dequantization cannot overflow.
+    if q.scale > 0.0 {
+        let bound = scale / levels * 0.5 + scale * 1e-5;
+        for (k, &a) in values.iter().enumerate() {
+            if a.is_finite() && (0.0..=scale).contains(&a) && a / scale * levels < 1e7 {
+                let err = (deq[k] - a).abs();
+                assert!(err <= bound, "|{} - {}| = {err} > {bound} (bits {bits})", deq[k], a);
+            }
+        }
+    }
+});

@@ -1,0 +1,13 @@
+//! Fuzz `ct_core::io::read_sinogram_csv_from` (which also backs
+//! `read_image_csv`): the numeric CSV reader must reject ragged rows
+//! and — since the hostile-input sweep — non-finite tokens, and
+//! anything it accepts must be rectangular and finite.
+
+mbir_fuzz::fuzz_target!(|data: &[u8]| {
+    if let Ok(s) = ct_core::io::read_sinogram_csv_from(data) {
+        assert!(s.num_views() > 0 && s.num_channels() > 0);
+        assert_eq!(s.data().len(), s.num_views() * s.num_channels());
+        // The non-finite ingestion fix: NaN/inf must never get in.
+        assert!(s.data().iter().all(|v| v.is_finite()), "non-finite value survived CSV parsing");
+    }
+});

@@ -1,0 +1,68 @@
+//! Fuzz `mbir_telemetry::json::parse` + schema validation + the
+//! serializer round trip — the parser behind every profile, workload,
+//! fleet, and cluster document in the workspace.
+
+use serde::json::Value;
+
+/// The checked-in profile schema: `validate` must accept or reject any
+/// parsed document without panicking.
+const SCHEMA: &str =
+    include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../schemas/profile.schema.json"));
+
+fn has_non_finite(v: &Value) -> bool {
+    match v {
+        Value::F64(x) => !x.is_finite(),
+        Value::Array(items) => items.iter().any(has_non_finite),
+        Value::Object(fields) => fields.iter().any(|(_, v)| has_non_finite(v)),
+        _ => false,
+    }
+}
+
+/// Structural equality with numbers compared as f64 bits: the
+/// serializer legitimately turns `F64(1e16)` into `10000000000000000`,
+/// which reparses as `U64` — same number, different variant.
+fn same_tree(a: &Value, b: &Value) -> bool {
+    fn as_f64(v: &Value) -> Option<f64> {
+        match v {
+            Value::I64(i) => Some(*i as f64),
+            Value::U64(u) => Some(*u as f64),
+            Value::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+    match (a, b) {
+        (Value::Array(x), Value::Array(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| same_tree(a, b))
+        }
+        (Value::Object(x), Value::Object(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|((ka, va), (kb, vb))| ka == kb && same_tree(va, vb))
+        }
+        _ => match (as_f64(a), as_f64(b)) {
+            (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        },
+    }
+}
+
+mbir_fuzz::fuzz_target!(|data: &[u8]| {
+    let Ok(text) = std::str::from_utf8(data) else { return };
+    let Ok(value) = mbir_telemetry::json::parse(text) else { return };
+
+    // Validation over an arbitrary parsed tree must never panic.
+    let schema = mbir_telemetry::json::parse(SCHEMA).expect("checked-in schema parses");
+    let _ = mbir_telemetry::json::validate(&value, &schema);
+    // Hostile documents can even arrive in the schema position
+    // (validate_profile takes both paths from the CLI).
+    let _ = mbir_telemetry::json::validate(&schema, &value);
+
+    // Round trip: anything we parsed must serialize to a document
+    // that reparses to the same tree. Non-finite numbers (`1e400`)
+    // are excluded — the serializer spells them `null` by design.
+    if !has_non_finite(&value) {
+        let text2 = serde_json::to_string_pretty(&value).expect("serializes");
+        let back = mbir_telemetry::json::parse(&text2)
+            .unwrap_or_else(|e| panic!("round trip failed to reparse: {e}\n{text2}"));
+        assert!(same_tree(&value, &back), "round trip changed the tree");
+    }
+});

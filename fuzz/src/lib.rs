@@ -1,0 +1,294 @@
+//! Deterministic fuzzing harness for the workspace's untrusted-input
+//! surfaces.
+//!
+//! The build environment has no registry access, so `cargo-fuzz` /
+//! `libfuzzer-sys` are not available; this crate supplies the same
+//! developer surface — `fuzz_target!(|data: &[u8]| { ... })` binaries,
+//! one per entrypoint, each with a checked-in seed corpus under
+//! `corpus/<target>/` — backed by a small deterministic mutation
+//! engine instead of libFuzzer. Every run with the same `-seed=` and
+//! `-runs=` executes the same inputs in the same order, so a CI
+//! failure reproduces locally byte-for-byte.
+//!
+//! Each execution round:
+//! 1. replays the whole seed corpus (sorted by file name), then
+//! 2. executes `-runs=N` mutated inputs: a corpus entry (or the empty
+//!    input) stacked with 1–8 mutations — bit flips, byte splices,
+//!    block duplication (the mutation that finds `[[[[…` nesting
+//!    bombs), truncation, and insertions from a dictionary of tokens
+//!    hostile to *these* parsers (`NaN`, `1e400`, `random:`, `P5`,
+//!    the `MBIRCKP1` magic, ...).
+//!
+//! A panic inside the target aborts the process with exit code 101
+//! after writing the offending input to `artifacts/<target>/crash`;
+//! crashes the unwinder cannot catch (stack overflow) still leave the
+//! input at `artifacts/<target>/last` — run the binary again with
+//! that file as an argument to reproduce under a debugger.
+
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+
+/// Declare a fuzz target: expands to `fn main()` running the harness
+/// over the closure. Source-compatible with the `libfuzzer_sys` macro
+/// shape so targets port to real `cargo-fuzz` unchanged (minus the
+/// `#![no_main]`).
+#[macro_export]
+macro_rules! fuzz_target {
+    (|$data:ident: &[u8]| $body:block) => {
+        fn main() {
+            $crate::run(env!("CARGO_BIN_NAME"), |$data: &[u8]| $body);
+        }
+    };
+}
+
+/// Tokens the mutator splices in, chosen to stress every parser this
+/// workspace hardens: non-finite floats, numeric-overflow spellings,
+/// nesting bombs, format magics, and the fault-schedule grammar.
+const DICTIONARY: &[&[u8]] = &[
+    b"NaN",
+    b"inf",
+    b"-inf",
+    b"Infinity",
+    b"1e400",
+    b"-1e400",
+    b"18446744073709551615",
+    b"99999999999999999999",
+    b"-9223372036854775809",
+    b"[[[[[[[[",
+    b"{\"a\":{\"a\":{\"a\":",
+    b"\\u0000",
+    b"\\uD800",
+    b"\"",
+    b"P5\n",
+    b"255\n",
+    b"MBIRCKP1",
+    b"fail:",
+    b"slow:",
+    b"link:",
+    b"backoff:",
+    b"random:",
+    b"..",
+    b"x",
+    b"@",
+    b",,",
+    b"null",
+    b"1e-400",
+    b"0.0000000000000000000000000001",
+];
+
+/// Split-mix style deterministic PRNG — good enough for mutation
+/// scheduling, and trivially reproducible from the printed seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // xorshift64* (Marsaglia); period 2^64-1, never returns the
+        // same stream for two different seeds.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// One parsed `-flag=value` command line.
+struct Options {
+    runs: u64,
+    seed: u64,
+    max_len: usize,
+    replay: Vec<PathBuf>,
+}
+
+fn parse_args(target: &str) -> Options {
+    let mut o = Options { runs: 256, seed: 0x6d626972, max_len: 1 << 16, replay: Vec::new() };
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("-runs=") {
+            o.runs = v.parse().unwrap_or_else(|_| bad_arg(target, &arg));
+        } else if let Some(v) = arg.strip_prefix("-seed=") {
+            o.seed = v.parse().unwrap_or_else(|_| bad_arg(target, &arg));
+        } else if let Some(v) = arg.strip_prefix("-max-len=") {
+            o.max_len = v.parse().unwrap_or_else(|_| bad_arg(target, &arg));
+        } else if arg.starts_with('-') {
+            bad_arg(target, &arg)
+        } else {
+            // A positional path replays one saved input (crash triage).
+            o.replay.push(PathBuf::from(arg));
+        }
+    }
+    o
+}
+
+fn bad_arg(target: &str, arg: &str) -> ! {
+    eprintln!("{target}: bad argument `{arg}` (expected -runs=N, -seed=N, -max-len=N, or a path)");
+    std::process::exit(2);
+}
+
+fn manifest_dir() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn load_corpus(target: &str) -> Vec<Vec<u8>> {
+    let dir = manifest_dir().join("corpus").join(target);
+    let mut entries: Vec<(String, Vec<u8>)> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_file())
+            .map(|e| {
+                let bytes = std::fs::read(e.path()).unwrap_or_default();
+                (e.file_name().to_string_lossy().into_owned(), bytes)
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    // Directory order is filesystem-dependent; sort for determinism.
+    entries.sort();
+    entries.into_iter().map(|(_, b)| b).collect()
+}
+
+fn artifacts_dir(target: &str) -> PathBuf {
+    let dir = manifest_dir().join("artifacts").join(target);
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+fn mutate(rng: &mut Rng, base: &[u8], corpus: &[Vec<u8>], max_len: usize) -> Vec<u8> {
+    let mut data = base.to_vec();
+    for _ in 0..1 + rng.below(8) {
+        match rng.below(8) {
+            // Flip one bit.
+            0 if !data.is_empty() => {
+                let i = rng.below(data.len());
+                data[i] ^= 1 << rng.below(8);
+            }
+            // Overwrite one byte with anything.
+            1 if !data.is_empty() => {
+                let i = rng.below(data.len());
+                data[i] = rng.next() as u8;
+            }
+            // Insert a random byte.
+            2 => {
+                let i = rng.below(data.len() + 1);
+                data.insert(i, rng.next() as u8);
+            }
+            // Delete a span.
+            3 if !data.is_empty() => {
+                let from = rng.below(data.len());
+                let to = (from + 1 + rng.below(16)).min(data.len());
+                data.drain(from..to);
+            }
+            // Duplicate a block several times — this is the mutation
+            // that grows `[` into `[[[[[[…` and finds nesting bombs.
+            4 if !data.is_empty() => {
+                let from = rng.below(data.len());
+                let to = (from + 1 + rng.below(8)).min(data.len());
+                let block = data[from..to].to_vec();
+                let reps = 1 + rng.below(64);
+                let at = rng.below(data.len() + 1);
+                for _ in 0..reps {
+                    let splice_at = at.min(data.len());
+                    data.splice(splice_at..splice_at, block.iter().copied());
+                    if data.len() > max_len {
+                        break;
+                    }
+                }
+            }
+            // Splice in a dictionary token.
+            5 => {
+                let tok = DICTIONARY[rng.below(DICTIONARY.len())];
+                let at = rng.below(data.len() + 1);
+                data.splice(at..at, tok.iter().copied());
+            }
+            // Crossover with another corpus entry.
+            6 if !corpus.is_empty() => {
+                let other = &corpus[rng.below(corpus.len())];
+                if !other.is_empty() {
+                    let take = rng.below(other.len()) + 1;
+                    let at = rng.below(data.len() + 1);
+                    data.splice(at..at, other[..take].iter().copied());
+                }
+            }
+            // Truncate.
+            _ => {
+                let keep = rng.below(data.len() + 1);
+                data.truncate(keep);
+            }
+        }
+        if data.len() > max_len {
+            data.truncate(max_len);
+        }
+    }
+    data
+}
+
+/// Drive `target_fn` over the seed corpus plus `-runs=N` mutated
+/// inputs (see the module docs). Called by the [`fuzz_target!`]
+/// expansion — not meant to be invoked directly.
+pub fn run(target: &str, target_fn: impl Fn(&[u8]) + std::panic::RefUnwindSafe) {
+    let opts = parse_args(target);
+
+    // Replay mode: run saved inputs and exit (panics propagate raw so
+    // a debugger sees the original backtrace).
+    if !opts.replay.is_empty() {
+        for path in &opts.replay {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("{target}: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            eprintln!("{target}: replaying {} ({} bytes)", path.display(), bytes.len());
+            target_fn(&bytes);
+        }
+        eprintln!("{target}: replay ok");
+        return;
+    }
+
+    let corpus = load_corpus(target);
+    let artifacts = artifacts_dir(target);
+    let last = artifacts.join("last");
+    let mut executed = 0u64;
+
+    let mut exec = |data: &[u8]| {
+        // Persist the input *before* running so even an uncatchable
+        // crash (stack overflow) leaves a reproducer on disk.
+        let _ = std::fs::write(&last, data);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| target_fn(data)));
+        if result.is_err() {
+            let crash = artifacts.join("crash");
+            let _ = std::fs::write(&crash, data);
+            eprintln!(
+                "{target}: PANIC on a {}-byte input; reproducer saved to {}",
+                data.len(),
+                crash.display()
+            );
+            eprintln!(
+                "{target}: reproduce with: cargo run --release --bin {target} -- {}",
+                crash.display()
+            );
+            std::process::exit(101);
+        }
+        executed += 1;
+    };
+
+    for entry in &corpus {
+        exec(entry);
+    }
+    let mut rng = Rng(opts.seed | 1);
+    for _ in 0..opts.runs {
+        let base: &[u8] = if corpus.is_empty() { &[] } else { &corpus[rng.below(corpus.len())] };
+        let data = mutate(&mut rng, base, &corpus, opts.max_len);
+        exec(&data);
+    }
+    let _ = std::fs::remove_file(&last);
+    eprintln!(
+        "{target}: ok — {} corpus entries + {} mutated runs (seed {:#x})",
+        corpus.len(),
+        executed - corpus.len() as u64,
+        opts.seed
+    );
+}
